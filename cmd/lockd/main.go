@@ -1,0 +1,38 @@
+// Command lockd runs the network lock manager: a central granule lock
+// service for shared-nothing workers in separate processes.
+//
+// Usage:
+//
+//	lockd [-addr 127.0.0.1:7654]
+//
+// The protocol is newline-delimited JSON (see internal/locksrv):
+//
+//	{"op":"acquire","txn":1,"granules":[3,4],"exclusive":[true,false]}
+//	{"op":"release","txn":1}
+//	{"op":"stats"}
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"os"
+
+	"granulock/internal/locksrv"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:7654", "listen address")
+	flag.Parse()
+	lis, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lockd:", err)
+		os.Exit(1)
+	}
+	srv := locksrv.NewServer(lis, nil)
+	fmt.Println("lockd listening on", srv.Addr())
+	if err := srv.Serve(); err != nil {
+		fmt.Fprintln(os.Stderr, "lockd:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,102 @@
+// Command sweep runs the simulation model over one swept parameter and
+// prints a metric table — a generic tool for exploring configurations
+// beyond the paper's figures.
+//
+// Usage:
+//
+//	sweep -param ltot -values 1,10,100,1000,5000 -npros 20
+//	sweep -param npros -values 1,2,4,8,16,32 -ltot 100 -metric response
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"granulock"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "sweep:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out *os.File) error {
+	fs := flag.NewFlagSet("sweep", flag.ContinueOnError)
+	p := granulock.DefaultParams()
+	fs.IntVar(&p.DBSize, "dbsize", p.DBSize, "database size")
+	fs.IntVar(&p.Ltot, "ltot", p.Ltot, "number of locks")
+	fs.IntVar(&p.NTrans, "ntrans", p.NTrans, "transactions in the system")
+	fs.IntVar(&p.MaxTransize, "maxtransize", p.MaxTransize, "maximum transaction size")
+	fs.IntVar(&p.NPros, "npros", p.NPros, "number of processors")
+	fs.Float64Var(&p.TMax, "tmax", p.TMax, "simulated time units")
+	seed := fs.Uint64("seed", 1, "random seed")
+	param := fs.String("param", "ltot", "parameter to sweep: ltot, npros, ntrans or maxtransize")
+	values := fs.String("values", "1,10,100,1000,5000", "comma-separated sweep values")
+	metric := fs.String("metric", "throughput", "metric to report: throughput, response, usefulio, usefulcpu, lockoverhead, denialrate")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	p.Seed = *seed
+
+	get, err := metricAccessor(*metric)
+	if err != nil {
+		return err
+	}
+	set, err := paramSetter(*param)
+	if err != nil {
+		return err
+	}
+
+	fmt.Fprintf(out, "%12s  %14s\n", *param, *metric)
+	for _, field := range strings.Split(*values, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(field))
+		if err != nil {
+			return fmt.Errorf("bad sweep value %q: %w", field, err)
+		}
+		q := p
+		set(&q, v)
+		m, err := granulock.Run(q)
+		if err != nil {
+			return fmt.Errorf("%s=%d: %w", *param, v, err)
+		}
+		fmt.Fprintf(out, "%12d  %14.4f\n", v, get(m))
+	}
+	return nil
+}
+
+func metricAccessor(name string) (func(granulock.Metrics) float64, error) {
+	switch name {
+	case "throughput":
+		return func(m granulock.Metrics) float64 { return m.Throughput }, nil
+	case "response":
+		return func(m granulock.Metrics) float64 { return m.MeanResponse }, nil
+	case "usefulio":
+		return func(m granulock.Metrics) float64 { return m.UsefulIOs }, nil
+	case "usefulcpu":
+		return func(m granulock.Metrics) float64 { return m.UsefulCPUs }, nil
+	case "lockoverhead":
+		return func(m granulock.Metrics) float64 { return m.LockCPUs + m.LockIOs }, nil
+	case "denialrate":
+		return func(m granulock.Metrics) float64 { return m.DenialRate }, nil
+	}
+	return nil, fmt.Errorf("unknown metric %q", name)
+}
+
+func paramSetter(name string) (func(*granulock.Params, int), error) {
+	switch name {
+	case "ltot":
+		return func(p *granulock.Params, v int) { p.Ltot = v }, nil
+	case "npros":
+		return func(p *granulock.Params, v int) { p.NPros = v }, nil
+	case "ntrans":
+		return func(p *granulock.Params, v int) { p.NTrans = v }, nil
+	case "maxtransize":
+		return func(p *granulock.Params, v int) { p.MaxTransize = v }, nil
+	}
+	return nil, fmt.Errorf("unknown sweep parameter %q", name)
+}

@@ -1,0 +1,72 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"granulock/internal/wal"
+)
+
+func writeLog(t *testing.T) string {
+	t.Helper()
+	var buf bytes.Buffer
+	w := wal.NewWriter(&buf)
+	if err := w.AppendGroup([]wal.Record{
+		{Kind: wal.KindBegin, Txn: 1},
+		{Kind: wal.KindUpdate, Txn: 1, Entity: 3, Before: 10, After: 20},
+		{Kind: wal.KindCommit, Txn: 1},
+		{Kind: wal.KindBegin, Txn: 2},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "test.wal")
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func capture(t *testing.T, path string, verbose bool) string {
+	t.Helper()
+	f, err := os.CreateTemp(t.TempDir(), "out")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := run(path, verbose, f); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(f.Name())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(data)
+}
+
+func TestSummary(t *testing.T) {
+	out := capture(t, writeLog(t), false)
+	for _, want := range []string{"records     4", "committed   1", "incomplete  1", "torn tail   false"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("summary missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestVerboseDumpsRecords(t *testing.T) {
+	out := capture(t, writeLog(t), true)
+	if !strings.Contains(out, "entity 3: 10 -> 20") {
+		t.Fatalf("verbose dump missing update:\n%s", out)
+	}
+	if !strings.Contains(out, "commit") {
+		t.Fatalf("verbose dump missing commit:\n%s", out)
+	}
+}
+
+func TestMissingFile(t *testing.T) {
+	if err := run("/nonexistent/path.wal", false, os.Stdout); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}

@@ -1,0 +1,71 @@
+// Analytic: compare the closed-form MVA approximation against the
+// discrete-event simulation across the granularity sweep. The analytic
+// model answers "roughly where is the optimum?" in microseconds; the
+// simulation is the ground truth it is validated against.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	"granulock"
+)
+
+func main() {
+	tmax := flag.Float64("tmax", 1000, "simulated time units per point")
+	npros := flag.Int("npros", 10, "number of processors")
+	flag.Parse()
+
+	p := granulock.DefaultParams()
+	p.NPros = *npros
+	p.TMax = *tmax
+
+	fmt.Printf("npros=%d, maxtransize=%d, ntrans=%d\n\n", p.NPros, p.MaxTransize, p.NTrans)
+	fmt.Printf("%8s  %12s  %12s  %8s  %10s  %10s\n",
+		"ltot", "simulated", "analytic", "ratio", "pred.block", "pred.activ")
+
+	simStart := time.Now()
+	var simTotal, anaTotal time.Duration
+	for _, ltot := range []int{1, 2, 5, 10, 20, 50, 100, 200, 500, 1000, 2000, 5000} {
+		q := p
+		q.Ltot = ltot
+
+		s0 := time.Now()
+		m, err := granulock.Run(q)
+		if err != nil {
+			log.Fatal(err)
+		}
+		simTotal += time.Since(s0)
+
+		a0 := time.Now()
+		pred, err := granulock.Predict(q)
+		if err != nil {
+			log.Fatal(err)
+		}
+		anaTotal += time.Since(a0)
+
+		ratio := 0.0
+		if m.Throughput > 0 {
+			ratio = pred.Throughput / m.Throughput
+		}
+		fmt.Printf("%8d  %12.4f  %12.4f  %8.2f  %10.3f  %10.2f\n",
+			ltot, m.Throughput, pred.Throughput, ratio, pred.BlockProbability, pred.MeanActive)
+	}
+	_ = simStart
+
+	simBest, _, err := granulock.OptimalGranularity(p)
+	if err != nil {
+		log.Fatal(err)
+	}
+	anaBest, _, err := granulock.PredictOptimalGranularity(p)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\noptimal granularity: simulated %d, analytic %d\n", simBest, anaBest)
+	fmt.Printf("cost of the full sweep: simulation %v, analytic %v\n", simTotal, anaTotal)
+	fmt.Println("\nThe analytic model ignores lock-manager serialization and fork-join")
+	fmt.Println("skew, so it is optimistic at entity-level granularity — but it finds")
+	fmt.Println("the same optimum region orders of magnitude faster.")
+}

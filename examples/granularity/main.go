@@ -1,0 +1,42 @@
+// Granularity: reproduce the shape of the paper's Figure 2 — throughput
+// and response time as a function of the number of locks for several
+// machine sizes — and render it as tables and ASCII charts.
+//
+// Flags shorten or lengthen the runs:
+//
+//	go run ./examples/granularity -tmax 500 -reps 1
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"granulock"
+)
+
+func main() {
+	tmax := flag.Float64("tmax", 500, "simulated time units per point")
+	reps := flag.Int("reps", 1, "replications per point")
+	flag.Parse()
+
+	fmt.Println(granulock.Table1())
+
+	fig, err := granulock.RunFigure("fig2", granulock.Options{
+		TMax:         *tmax,
+		Replications: *reps,
+		Seed:         7,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(granulock.RenderText(fig))
+
+	fmt.Println("Reading the output against the paper's §3.1:")
+	fmt.Println(" * each curve is convex: throughput rises with the first few locks,")
+	fmt.Println("   then falls as lock management overhead dominates;")
+	fmt.Println(" * the optimum stays below ~200 locks even with 30 processors;")
+	fmt.Println(" * larger machines gain more from granularity and lose more when it")
+	fmt.Println("   is mistuned;")
+	fmt.Println(" * response-time curves flatten as processors are added.")
+}

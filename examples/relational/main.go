@@ -1,0 +1,123 @@
+// Relational: drive the relational layer (catalog + multigranularity
+// locking + escalation + undo) with a banking workload, and show how
+// access patterns map onto the paper's placement strategies on a real
+// system: range scans lock few granules (best placement), scattered
+// point updates lock one granule each (worst placement), and full scans
+// take a single coarse table lock.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"sync"
+
+	"granulock/internal/relation"
+)
+
+func main() {
+	accounts := flag.Int("accounts", 200, "number of bank accounts")
+	granule := flag.Int("granule", 10, "tuples per lock granule")
+	workers := flag.Int("workers", 8, "concurrent tellers")
+	txns := flag.Int("txns", 200, "transactions per teller")
+	flag.Parse()
+
+	ctx := context.Background()
+	db := relation.NewDB("bank", relation.WithEscalation(16))
+	tbl, err := db.CreateTable("accounts", relation.Schema{Columns: []relation.Column{
+		{Name: "owner", Type: relation.String},
+		{Name: "balance", Type: relation.Int},
+	}}, 4, *granule)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	if err := db.Exec(ctx, func(txn *relation.Txn) error {
+		for i := 0; i < *accounts; i++ {
+			if _, err := txn.Insert(tbl, relation.Tuple{
+				relation.StrDatum(fmt.Sprintf("acct%04d", i)),
+				relation.IntDatum(1000),
+			}); err != nil {
+				return err
+			}
+		}
+		return nil
+	}); err != nil {
+		log.Fatal(err)
+	}
+	initial := int64(*accounts) * 1000
+
+	var wg sync.WaitGroup
+	for w := 0; w < *workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < *txns; i++ {
+				from := int64((w*17 + i*7) % *accounts)
+				to := int64((w*5 + i*13 + 1) % *accounts)
+				err := db.Exec(ctx, func(txn *relation.Txn) error {
+					a, err := txn.Get(tbl, from)
+					if err != nil {
+						return err
+					}
+					b, err := txn.Get(tbl, to)
+					if err != nil {
+						return err
+					}
+					if err := txn.Update(tbl, from, "balance", relation.IntDatum(a[1].Int-7)); err != nil {
+						return err
+					}
+					return txn.Update(tbl, to, "balance", relation.IntDatum(b[1].Int+7))
+				})
+				if err != nil {
+					log.Fatalf("teller %d: %v", w, err)
+				}
+				// Every 50th transaction audits a branch with a range
+				// scan: sequential access, few locks (best placement).
+				if i%50 == 49 {
+					err := db.Exec(ctx, func(txn *relation.Txn) error {
+						_, err := txn.RangeScan(tbl, 0, int64(*granule*4))
+						return err
+					})
+					if err != nil {
+						log.Fatalf("audit: %v", err)
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	// Full audit under one coarse table lock.
+	var total int64
+	if err := db.Exec(ctx, func(txn *relation.Txn) error {
+		all, err := txn.Scan(tbl, nil)
+		if err != nil {
+			return err
+		}
+		total = 0
+		for _, tup := range all {
+			total += tup[1].Int
+		}
+		return nil
+	}); err != nil {
+		log.Fatal(err)
+	}
+
+	s := db.Stats()
+	fmt.Printf("accounts            %d (granule size %d)\n", *accounts, *granule)
+	fmt.Printf("commits             %d\n", s.Commits)
+	fmt.Printf("aborts              %d (deadlock victims retried: %d)\n", s.Aborts, s.Deadlocks)
+	fmt.Printf("lock grants/blocks  %d / %d\n", s.Lock.Grants, s.Lock.Blocks)
+	fmt.Printf("lock escalations    %d\n", s.Escalations)
+	fmt.Printf("total balance       %d (initial %d)\n", total, initial)
+	if total != initial {
+		log.Fatal("CONSISTENCY VIOLATED")
+	}
+	fmt.Println("\nTotal conserved under concurrent transfers, range audits and full")
+	fmt.Println("scans: two-phase multigranularity locking at work. Try -granule 1")
+	fmt.Println("(tuple locks: more grants, fewer blocks) vs -granule 200 (one")
+	fmt.Println("granule: transfers serialize) to feel the paper's trade-off.")
+}

@@ -1,0 +1,3 @@
+module granulock
+
+go 1.22

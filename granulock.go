@@ -1,0 +1,193 @@
+// Package granulock reproduces "Locking Granularity in Multiprocessor
+// Database Systems" (S. Dandamudi and S.-L. Au, Proc. IEEE ICDE 1991):
+// a discrete-event simulation study of how the number of lockable
+// granules affects throughput, response time and lock overhead in a
+// shared-nothing multiprocessor database system.
+//
+// The package is a thin facade; the machinery lives under internal/:
+//
+//   - internal/model — the paper's closed simulation model;
+//   - internal/experiments — Table 1 and Figures 2–12 as runnable sweeps;
+//   - internal/lockmgr — the probabilistic conflict model plus real lock
+//     managers (flat S/X, multigranularity, deadlock detection);
+//   - internal/engine — an executable shared-nothing mini-DBMS used to
+//     cross-validate the simulation's conclusions on real goroutines.
+//
+// # Quick start
+//
+//	p := granulock.DefaultParams() // the paper's Table 1 configuration
+//	p.NPros = 30
+//	p.Ltot = 100
+//	m, err := granulock.Run(p)
+//	if err != nil { ... }
+//	fmt.Println(m.Throughput, m.MeanResponse)
+//
+// To regenerate a figure from the paper:
+//
+//	fig, err := granulock.RunFigure("fig2", granulock.Options{})
+//	fmt.Println(granulock.RenderText(fig))
+package granulock
+
+import (
+	"io"
+
+	"granulock/internal/analytic"
+	"granulock/internal/core"
+	"granulock/internal/experiments"
+	"granulock/internal/model"
+	"granulock/internal/partition"
+	"granulock/internal/sched"
+	"granulock/internal/stats"
+	"granulock/internal/trace"
+	"granulock/internal/workload"
+)
+
+// Params are the simulation model's input parameters; see the field
+// documentation in internal/model.
+type Params = model.Params
+
+// Metrics are the model's output parameters.
+type Metrics = model.Metrics
+
+// Class is one transaction size class of a workload mix.
+type Class = workload.Class
+
+// Placement selects the granule-placement strategy (lock demand model).
+type Placement = workload.Placement
+
+// Granule placement strategies (paper §3.5).
+const (
+	PlacementBest   = workload.PlacementBest
+	PlacementWorst  = workload.PlacementWorst
+	PlacementRandom = workload.PlacementRandom
+)
+
+// Strategy selects the data partitioning method (paper §3.4).
+type Strategy = partition.Strategy
+
+// Data partitioning strategies.
+const (
+	Horizontal = partition.Horizontal
+	RandomPart = partition.Random
+)
+
+// Figure is one evaluated experiment (a paper figure).
+type Figure = experiments.Figure
+
+// Options control experiment execution (horizon, seed, replications,
+// parallelism).
+type Options = experiments.Options
+
+// Replicated summarizes repeated runs of one configuration.
+type Replicated = core.Replicated
+
+// PointSummary is one point of a granularity tuning curve.
+type PointSummary = core.PointSummary
+
+// DefaultParams returns the paper's Table 1 configuration.
+func DefaultParams() Params { return core.DefaultParams() }
+
+// Run executes the simulation model once; deterministic per Seed.
+func Run(p Params) (Metrics, error) { return core.Simulate(p) }
+
+// RunReplicated executes reps independent replications in parallel and
+// summarizes the headline metrics with 95% confidence intervals.
+func RunReplicated(p Params, reps int) (Replicated, error) {
+	return core.SimulateReplicated(p, reps)
+}
+
+// OptimalGranularity sweeps the number of locks and returns the
+// throughput-maximizing value together with the whole curve.
+func OptimalGranularity(p Params) (best int, curve []PointSummary, err error) {
+	return core.OptimalGranularity(p)
+}
+
+// FigureIDs lists the reproducible figures ("fig2" .. "fig12") in paper
+// order.
+func FigureIDs() []string { return experiments.IDs() }
+
+// ExtensionIDs lists the extension experiments beyond the paper
+// (scheduling remedy and modeling ablations); run them with RunFigure.
+func ExtensionIDs() []string { return experiments.ExtIDs() }
+
+// RunFigure evaluates one figure of the paper's evaluation section.
+func RunFigure(id string, o Options) (Figure, error) { return experiments.Run(id, o) }
+
+// Table1 renders the paper's input-parameter table.
+func Table1() string { return experiments.Table1() }
+
+// RenderText formats a figure as aligned tables plus ASCII charts.
+func RenderText(f Figure) string { return experiments.RenderText(f) }
+
+// RenderCSV formats a figure as CSV (figure,panel,series,x,y).
+func RenderCSV(f Figure) string { return experiments.RenderCSV(f) }
+
+// UniformWorkload returns the single-class workload of §3.1–§3.4.
+func UniformWorkload(maxtransize int) []Class { return workload.Uniform(maxtransize) }
+
+// SmallLargeMix returns the §3.6 mixed workload.
+func SmallLargeMix(smallMax, largeMax int, fracSmall float64) []Class {
+	return workload.SmallLargeMix(smallMax, largeMax, fracSmall)
+}
+
+// Prediction is the analytic (MVA-based) estimate of a configuration's
+// steady state.
+type Prediction = analytic.Prediction
+
+// Predict analytically approximates the model's throughput, attained
+// concurrency and blocking probability in microseconds — the
+// closed-form companion to Run. Horizontal partitioning only; see
+// internal/analytic for the approximation's assumptions.
+func Predict(p Params) (Prediction, error) { return analytic.Predict(p) }
+
+// PredictOptimalGranularity sweeps the standard granularity grid
+// analytically and returns the predicted throughput-optimal number of
+// locks with the whole curve.
+func PredictOptimalGranularity(p Params) (best int, curve []Prediction, err error) {
+	return analytic.OptimalGranularity(p, experiments.LtotSweep(p.DBSize))
+}
+
+// Observer receives simulation lifecycle events; see RunWithObserver.
+type Observer = model.Observer
+
+// ResponseCollector gathers per-transaction response times (an
+// Observer), for quantiles and batch-means confidence intervals.
+type ResponseCollector = model.ResponseCollector
+
+// ClassCollector gathers per-class completions and response times for
+// mixed workloads (an Observer).
+type ClassCollector = model.ClassCollector
+
+// RunWithObserver is Run with a tracing/measurement hook attached.
+func RunWithObserver(p Params, obs Observer) (Metrics, error) {
+	return model.RunObserved(p, obs)
+}
+
+// NewTraceWriter returns an Observer streaming every simulation event
+// to w as JSON lines; Close it after the run to flush.
+func NewTraceWriter(w io.Writer) *trace.Writer { return trace.NewWriter(w) }
+
+// Quantile returns the q-quantile of xs by linear interpolation (NaN
+// for empty input).
+func Quantile(xs []float64, q float64) float64 { return stats.Quantile(xs, q) }
+
+// BatchMeans summarizes autocorrelated within-run observations (e.g. a
+// ResponseCollector's samples) with a batch-means 95% confidence
+// interval.
+func BatchMeans(xs []float64, batches int) (stats.Summary, error) {
+	return stats.BatchMeans(xs, batches)
+}
+
+// Scheduler is a transaction-level admission policy (paper §3.7).
+type Scheduler = sched.Policy
+
+// FixedMPL returns a policy admitting at most limit concurrently active
+// transactions.
+func FixedMPL(limit int) Scheduler { return sched.FixedMPL{Limit: limit} }
+
+// AdaptiveMPL returns the additive-increase/multiplicative-decrease
+// admission policy adapting an MPL limit in [min, max] to the observed
+// lock-denial rate.
+func AdaptiveMPL(min, max, window int, targetDenialRate float64) (Scheduler, error) {
+	return sched.NewAdaptiveMPL(min, max, window, targetDenialRate)
+}

@@ -1,0 +1,139 @@
+package granulock_test
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"granulock"
+	"granulock/internal/engine"
+	"granulock/internal/relation"
+)
+
+// TestCrossSystemGranularityStory verifies the paper's core trade-off
+// end to end on all three systems in the repository: the simulation
+// model, the executable engine, and the relational layer all agree
+// that finer granularity means fewer conflicts.
+func TestCrossSystemGranularityStory(t *testing.T) {
+	// 1. Simulation model: denial rate falls as ltot rises.
+	denial := func(ltot int) float64 {
+		p := granulock.DefaultParams()
+		p.TMax = 500
+		p.Ltot = ltot
+		m, err := granulock.Run(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m.DenialRate
+	}
+	if d1, d100 := denial(1), denial(100); d100 >= d1 {
+		t.Fatalf("simulation: denial rate did not fall with granularity: %v -> %v", d1, d100)
+	}
+
+	// 2. Executable engine: blocked acquisitions fall as granules rise.
+	blocks := func(granules int) int64 {
+		db, err := engine.Open(engine.Config{
+			Nodes: 4, DBSize: 1000, Granules: granules,
+			Protocol: engine.Conservative, InitialValue: 100,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := db.RunClosed(context.Background(), engine.Workload{
+			Workers: 8, TxnsPerWorker: 100, TransfersPerTxn: 2,
+			WorkPerTxn: 20000, Seed: 1,
+		}); err != nil {
+			t.Fatal(err)
+		}
+		return db.Stats().Lock.Blocks
+	}
+	if b1, b100 := blocks(1), blocks(100); b100 >= b1 {
+		t.Fatalf("engine: blocks did not fall with granularity: %d -> %d", b1, b100)
+	}
+
+	// 3. Relational layer: coarse granules force blocking between
+	// transfers on different rows; fine granules avoid it.
+	relBlocks := func(granuleSize int) int64 {
+		db := relation.NewDB("x")
+		tbl, err := db.CreateTable("t", relation.Schema{Columns: []relation.Column{
+			{Name: "v", Type: relation.Int},
+		}}, 2, granuleSize)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ctx := context.Background()
+		if err := db.Exec(ctx, func(txn *relation.Txn) error {
+			for i := 0; i < 100; i++ {
+				if _, err := txn.Insert(tbl, relation.Tuple{relation.IntDatum(100)}); err != nil {
+					return err
+				}
+			}
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		// One transaction holds row 0's granule while another touches
+		// row 99: with granuleSize 100 they collide, with 1 they don't.
+		hold := db.Begin(ctx)
+		if err := hold.Update(tbl, 0, "v", relation.IntDatum(1)); err != nil {
+			t.Fatal(err)
+		}
+		done := make(chan error, 1)
+		go func() {
+			done <- db.Exec(ctx, func(txn *relation.Txn) error {
+				return txn.Update(tbl, 99, "v", relation.IntDatum(2))
+			})
+		}()
+		// Give the second transaction time to pass (fine granules) or
+		// park (coarse), then release and drain.
+		select {
+		case err := <-done:
+			if err != nil {
+				t.Fatal(err)
+			}
+			blocked := db.Stats().Lock.Blocks
+			hold.Commit()
+			return blocked
+		case <-time.After(50 * time.Millisecond):
+		}
+		blocked := db.Stats().Lock.Blocks
+		hold.Commit()
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+		return blocked
+	}
+	if fine := relBlocks(1); fine != 0 {
+		t.Fatalf("relational: tuple-level granules blocked disjoint rows (%d)", fine)
+	}
+	if coarse := relBlocks(100); coarse == 0 {
+		t.Fatal("relational: table-wide granule did not block disjoint rows")
+	}
+}
+
+// TestSimulatorAnalyticEngineConsistentOptimum ties the simulator and
+// the analytic model together at the facade level.
+func TestSimulatorAnalyticEngineConsistentOptimum(t *testing.T) {
+	p := granulock.DefaultParams()
+	p.TMax = 500
+	simBest, _, err := granulock.OptimalGranularity(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	anaBest, _, err := granulock.PredictOptimalGranularity(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Both optima must be interior and within a factor of ~10 of each
+	// other on the log grid (they usually coincide exactly).
+	if simBest <= 1 || simBest >= p.DBSize || anaBest <= 1 || anaBest >= p.DBSize {
+		t.Fatalf("extreme optimum: simulated %d, analytic %d", simBest, anaBest)
+	}
+	lo, hi := simBest, anaBest
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	if hi > lo*10 {
+		t.Fatalf("optima far apart: simulated %d vs analytic %d", simBest, anaBest)
+	}
+}

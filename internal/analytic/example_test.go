@@ -1,0 +1,15 @@
+package analytic_test
+
+import (
+	"fmt"
+
+	"granulock/internal/analytic"
+)
+
+// ExampleMVA solves the textbook two-balanced-centers network.
+func ExampleMVA() {
+	x, r, _ := analytic.MVA([]float64{1, 1}, 2)
+	fmt.Printf("X=%.4f R=%.1f\n", x, r)
+	// Output:
+	// X=0.6667 R=3.0
+}

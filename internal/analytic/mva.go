@@ -1,0 +1,76 @@
+// Package analytic provides a closed-form companion to the simulation:
+// exact Mean Value Analysis (MVA) for closed product-form queueing
+// networks, and a first-order analytic approximation of the paper's
+// model built on it. The approximation serves two purposes: it
+// cross-checks the simulator (the two must agree where the
+// approximation's assumptions hold) and it answers "roughly where is
+// the optimum?" in microseconds instead of a simulation run.
+package analytic
+
+import "fmt"
+
+// MVA computes the exact throughput and mean response time of a closed
+// queueing network of fixed-rate (load-independent) FCFS centers with
+// the given per-cycle service demands and integer customer population.
+// This is the classic exact MVA recursion (Reiser & Lavenberg):
+//
+//	R_k(n) = D_k · (1 + Q_k(n−1))
+//	X(n)   = n / Σ_k R_k(n)
+//	Q_k(n) = X(n) · R_k(n)
+func MVA(demands []float64, population int) (throughput, response float64, err error) {
+	if len(demands) == 0 {
+		return 0, 0, fmt.Errorf("analytic: no service centers")
+	}
+	for i, d := range demands {
+		if d < 0 {
+			return 0, 0, fmt.Errorf("analytic: negative demand %v at center %d", d, i)
+		}
+	}
+	if population < 0 {
+		return 0, 0, fmt.Errorf("analytic: negative population %d", population)
+	}
+	if population == 0 {
+		return 0, 0, nil
+	}
+	queue := make([]float64, len(demands))
+	var x, r float64
+	for n := 1; n <= population; n++ {
+		r = 0
+		for k, d := range demands {
+			rk := d * (1 + queue[k])
+			r += rk
+		}
+		if r == 0 {
+			return 0, 0, fmt.Errorf("analytic: zero total demand")
+		}
+		x = float64(n) / r
+		for k, d := range demands {
+			queue[k] = x * d * (1 + queue[k])
+		}
+	}
+	return x, r, nil
+}
+
+// MVAInterp evaluates MVA at a real-valued population by linear
+// interpolation between the neighbouring integer populations, which the
+// fixed-point iteration of Predict needs (the mean active population is
+// fractional).
+func MVAInterp(demands []float64, population float64) (throughput, response float64, err error) {
+	if population < 0 {
+		return 0, 0, fmt.Errorf("analytic: negative population %v", population)
+	}
+	lo := int(population)
+	frac := population - float64(lo)
+	xLo, rLo, err := MVA(demands, lo)
+	if err != nil {
+		return 0, 0, err
+	}
+	if frac == 0 {
+		return xLo, rLo, nil
+	}
+	xHi, rHi, err := MVA(demands, lo+1)
+	if err != nil {
+		return 0, 0, err
+	}
+	return xLo + frac*(xHi-xLo), rLo + frac*(rHi-rLo), nil
+}

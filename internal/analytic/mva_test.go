@@ -1,0 +1,118 @@
+package analytic
+
+import (
+	"math"
+	"testing"
+)
+
+func TestMVAValidation(t *testing.T) {
+	if _, _, err := MVA(nil, 1); err == nil {
+		t.Fatal("no centers accepted")
+	}
+	if _, _, err := MVA([]float64{-1}, 1); err == nil {
+		t.Fatal("negative demand accepted")
+	}
+	if _, _, err := MVA([]float64{1}, -1); err == nil {
+		t.Fatal("negative population accepted")
+	}
+	if _, _, err := MVA([]float64{0, 0}, 3); err == nil {
+		t.Fatal("zero total demand accepted")
+	}
+}
+
+func TestMVAZeroPopulation(t *testing.T) {
+	x, r, err := MVA([]float64{1, 2}, 0)
+	if err != nil || x != 0 || r != 0 {
+		t.Fatalf("empty network: %v %v %v", x, r, err)
+	}
+}
+
+func TestMVASingleCustomer(t *testing.T) {
+	// One customer never queues: R = ΣD, X = 1/ΣD.
+	x, r, err := MVA([]float64{2, 3}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(r-5) > 1e-12 || math.Abs(x-0.2) > 1e-12 {
+		t.Fatalf("X=%v R=%v, want 0.2/5", x, r)
+	}
+}
+
+func TestMVATwoBalancedCenters(t *testing.T) {
+	// Textbook: D=[1,1], N=2 -> R_k = 1.5, R = 3, X = 2/3.
+	x, r, err := MVA([]float64{1, 1}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(x-2.0/3.0) > 1e-12 || math.Abs(r-3) > 1e-12 {
+		t.Fatalf("X=%v R=%v, want 2/3 and 3", x, r)
+	}
+}
+
+func TestMVABottleneckAsymptote(t *testing.T) {
+	// Large population: X -> 1/maxD, R -> N·maxD.
+	demands := []float64{0.5, 2, 1}
+	x, r, err := MVA(demands, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(x-0.5) > 0.001 {
+		t.Fatalf("asymptotic X=%v, want 0.5", x)
+	}
+	if math.Abs(r-float64(500)/0.5) > 5 {
+		t.Fatalf("asymptotic R=%v, want about 1000", r)
+	}
+}
+
+func TestMVAThroughputMonotoneInPopulation(t *testing.T) {
+	demands := []float64{1, 0.4}
+	prevX := 0.0
+	for n := 1; n <= 50; n++ {
+		x, _, err := MVA(demands, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if x < prevX-1e-12 {
+			t.Fatalf("throughput decreased at n=%d", n)
+		}
+		if x > 1/1.0+1e-12 {
+			t.Fatalf("throughput %v exceeds bottleneck bound at n=%d", x, n)
+		}
+		prevX = x
+	}
+}
+
+func TestMVALittlesLaw(t *testing.T) {
+	// N = X·R must hold exactly at every population.
+	demands := []float64{0.7, 0.3, 1.1}
+	for n := 1; n <= 20; n++ {
+		x, r, err := MVA(demands, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(x*r-float64(n)) > 1e-9 {
+			t.Fatalf("Little violated at n=%d: X·R=%v", n, x*r)
+		}
+	}
+}
+
+func TestMVAInterp(t *testing.T) {
+	demands := []float64{1, 1}
+	x2, r2, _ := MVA(demands, 2)
+	x3, r3, _ := MVA(demands, 3)
+	x, r, err := MVAInterp(demands, 2.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(x-(x2+x3)/2) > 1e-12 || math.Abs(r-(r2+r3)/2) > 1e-12 {
+		t.Fatalf("interpolation X=%v R=%v", x, r)
+	}
+	// Integer population short-circuits.
+	xi, ri, err := MVAInterp(demands, 2)
+	if err != nil || xi != x2 || ri != r2 {
+		t.Fatal("integer population mismatch")
+	}
+	if _, _, err := MVAInterp(demands, -0.5); err == nil {
+		t.Fatal("negative population accepted")
+	}
+}

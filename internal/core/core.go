@@ -1,0 +1,123 @@
+// Package core is the facade tying the reproduction together: one-shot
+// simulation runs, replicated runs with confidence intervals, and access
+// to the paper's experiment suite. The root package granulock re-exports
+// this API for downstream users.
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"granulock/internal/experiments"
+	"granulock/internal/model"
+	"granulock/internal/stats"
+)
+
+// DefaultParams returns the paper's Table 1 configuration.
+func DefaultParams() model.Params {
+	return experiments.BaseParams()
+}
+
+// Simulate runs the model once. It is deterministic for a given
+// Params.Seed.
+func Simulate(p model.Params) (model.Metrics, error) {
+	return model.Run(p)
+}
+
+// Replicated summarizes independent replications of one configuration.
+type Replicated struct {
+	// Runs holds the per-replication metrics in seed order.
+	Runs []model.Metrics
+	// Throughput, MeanResponse, UsefulCPU, UsefulIO and LockOverhead
+	// summarize the headline outputs with 95% confidence half-widths.
+	Throughput   stats.Summary
+	MeanResponse stats.Summary
+	UsefulCPU    stats.Summary
+	UsefulIO     stats.Summary
+	LockOverhead stats.Summary
+}
+
+// SimulateReplicated runs reps independent replications (seeds Seed,
+// Seed+1, ...) in parallel and summarizes them. reps must be >= 1.
+func SimulateReplicated(p model.Params, reps int) (Replicated, error) {
+	if reps < 1 {
+		return Replicated{}, fmt.Errorf("core: replications %d < 1", reps)
+	}
+	if err := p.Validate(); err != nil {
+		return Replicated{}, err
+	}
+	runs := make([]model.Metrics, reps)
+	errs := make([]error, reps)
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	for i := 0; i < reps; i++ {
+		i := i
+		wg.Add(1)
+		sem <- struct{}{}
+		go func() {
+			defer wg.Done()
+			defer func() { <-sem }()
+			q := p
+			q.Seed = p.Seed + uint64(i)
+			runs[i], errs[i] = model.Run(q)
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return Replicated{}, err
+		}
+	}
+
+	var thr, resp, ucpu, uio, lock stats.Welford
+	for _, m := range runs {
+		thr.Add(m.Throughput)
+		resp.Add(m.MeanResponse)
+		ucpu.Add(m.UsefulCPUs)
+		uio.Add(m.UsefulIOs)
+		lock.Add(m.LockCPUs + m.LockIOs)
+	}
+	return Replicated{
+		Runs:         runs,
+		Throughput:   thr.Summarize(),
+		MeanResponse: resp.Summarize(),
+		UsefulCPU:    ucpu.Summarize(),
+		UsefulIO:     uio.Summarize(),
+		LockOverhead: lock.Summarize(),
+	}, nil
+}
+
+// OptimalGranularity sweeps ltot over the standard grid and returns the
+// value maximizing throughput, with the full sweep for inspection. This
+// is the tuning question the paper answers; exposing it directly makes
+// the library useful as a granularity advisor.
+func OptimalGranularity(p model.Params) (best int, curve []PointSummary, err error) {
+	if err := p.Validate(); err != nil {
+		return 0, nil, err
+	}
+	grid := experiments.LtotSweep(p.DBSize)
+	curve = make([]PointSummary, len(grid))
+	bestThroughput := -1.0
+	for i, ltot := range grid {
+		q := p
+		q.Ltot = ltot
+		m, err := model.Run(q)
+		if err != nil {
+			return 0, nil, err
+		}
+		curve[i] = PointSummary{Ltot: ltot, Throughput: m.Throughput, MeanResponse: m.MeanResponse}
+		if m.Throughput > bestThroughput {
+			bestThroughput = m.Throughput
+			best = ltot
+		}
+	}
+	return best, curve, nil
+}
+
+// PointSummary is one point of a granularity curve.
+type PointSummary struct {
+	Ltot         int
+	Throughput   float64
+	MeanResponse float64
+}

@@ -1,0 +1,122 @@
+package core
+
+import (
+	"testing"
+)
+
+func TestDefaultParamsValid(t *testing.T) {
+	p := DefaultParams()
+	if err := p.Validate(); err != nil {
+		t.Fatalf("default params invalid: %v", err)
+	}
+	if p.DBSize != 5000 || p.NTrans != 10 || p.IOTime != 0.2 {
+		t.Fatalf("defaults drifted from Table 1: %+v", p)
+	}
+}
+
+func TestSimulateMatchesModel(t *testing.T) {
+	p := DefaultParams()
+	p.TMax = 200
+	a, err := Simulate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Simulate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatal("facade runs not deterministic")
+	}
+}
+
+func TestSimulateReplicatedValidation(t *testing.T) {
+	p := DefaultParams()
+	if _, err := SimulateReplicated(p, 0); err == nil {
+		t.Fatal("reps=0 accepted")
+	}
+	p.DBSize = 0
+	if _, err := SimulateReplicated(p, 2); err == nil {
+		t.Fatal("invalid params accepted")
+	}
+}
+
+func TestSimulateReplicatedSummaries(t *testing.T) {
+	p := DefaultParams()
+	p.TMax = 200
+	r, err := SimulateReplicated(p, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Runs) != 4 {
+		t.Fatalf("%d runs", len(r.Runs))
+	}
+	if r.Throughput.N != 4 || r.Throughput.Mean <= 0 {
+		t.Fatalf("throughput summary %+v", r.Throughput)
+	}
+	if r.Throughput.CI95 <= 0 {
+		t.Fatalf("zero CI across distinct seeds: %+v", r.Throughput)
+	}
+	if r.MeanResponse.Mean <= 0 || r.LockOverhead.Mean <= 0 {
+		t.Fatal("summaries not populated")
+	}
+	// Replications must use distinct seeds.
+	if r.Runs[0] == r.Runs[1] {
+		t.Fatal("replications identical")
+	}
+}
+
+func TestSimulateReplicatedDeterministic(t *testing.T) {
+	p := DefaultParams()
+	p.TMax = 200
+	a, err := SimulateReplicated(p, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := SimulateReplicated(p, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Runs {
+		if a.Runs[i] != b.Runs[i] {
+			t.Fatalf("replication %d diverged", i)
+		}
+	}
+}
+
+func TestOptimalGranularity(t *testing.T) {
+	p := DefaultParams()
+	p.TMax = 500
+	best, curve, err := OptimalGranularity(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(curve) == 0 {
+		t.Fatal("empty curve")
+	}
+	// The paper's central observation: the optimum is neither one lock
+	// nor one lock per entity.
+	if best <= 1 || best >= p.DBSize {
+		t.Fatalf("optimal granularity %d at an extreme; curve %+v", best, curve)
+	}
+	// best must actually be the argmax of the curve.
+	bestThroughput := -1.0
+	for _, pt := range curve {
+		if pt.Ltot == best {
+			bestThroughput = pt.Throughput
+		}
+	}
+	for _, pt := range curve {
+		if pt.Throughput > bestThroughput {
+			t.Fatalf("curve point %+v beats reported optimum %d", pt, best)
+		}
+	}
+}
+
+func TestOptimalGranularityValidation(t *testing.T) {
+	p := DefaultParams()
+	p.NTrans = 0
+	if _, _, err := OptimalGranularity(p); err == nil {
+		t.Fatal("invalid params accepted")
+	}
+}

@@ -1,0 +1,157 @@
+package engine
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"granulock/internal/rng"
+)
+
+// Workload drives a DB with a closed population of worker goroutines —
+// the executable analog of the simulation model's fixed transaction
+// population.
+type Workload struct {
+	// Workers is the closed population size (terminals).
+	Workers int
+	// TxnsPerWorker is how many transactions each worker commits.
+	TxnsPerWorker int
+	// TransfersPerTxn is the number of entity-pair transfers per update
+	// transaction (each contributes two ops).
+	TransfersPerTxn int
+	// ReadFraction of transactions are read-only scans of
+	// 2·TransfersPerTxn random entities instead of updates.
+	ReadFraction float64
+	// HotEntities restricts all accesses to the first HotEntities
+	// entities (0 = whole database); shrinking it raises contention.
+	HotEntities int
+	// WorkPerTxn is synthetic lock-holding computation per transaction
+	// (see Txn.Work).
+	WorkPerTxn int
+	// ZipfSkew, when positive, draws entities Zipf-distributed with this
+	// exponent instead of uniformly: the standard hot-spot model
+	// (s ≈ 1 concentrates most accesses on a few granules, raising
+	// contention the way the HotEntities knob does, but smoothly).
+	ZipfSkew float64
+	// Seed makes the generated operation stream reproducible (the
+	// interleaving still varies with scheduling).
+	Seed uint64
+}
+
+// validate checks the workload against the database.
+func (w Workload) validate(db *DB) error {
+	switch {
+	case w.Workers < 1:
+		return fmt.Errorf("engine: workers %d < 1", w.Workers)
+	case w.TxnsPerWorker < 1:
+		return fmt.Errorf("engine: txns per worker %d < 1", w.TxnsPerWorker)
+	case w.TransfersPerTxn < 1:
+		return fmt.Errorf("engine: transfers per txn %d < 1", w.TransfersPerTxn)
+	case w.ReadFraction < 0 || w.ReadFraction > 1:
+		return fmt.Errorf("engine: read fraction %v outside [0,1]", w.ReadFraction)
+	case w.HotEntities < 0 || w.HotEntities > db.cfg.DBSize:
+		return fmt.Errorf("engine: hot entities %d outside [0, dbsize=%d]", w.HotEntities, db.cfg.DBSize)
+	case w.ZipfSkew < 0:
+		return fmt.Errorf("engine: zipf skew %v < 0", w.ZipfSkew)
+	}
+	return nil
+}
+
+// Result summarizes one driven workload.
+type Result struct {
+	Committed int64
+	Elapsed   time.Duration
+	// ThroughputTPS is Committed / Elapsed in transactions per second of
+	// wall-clock time.
+	ThroughputTPS float64
+	Stats         Stats
+}
+
+// RunClosed executes the workload to completion and reports throughput.
+// Transfers preserve the total balance, so TotalBalance is invariant
+// across any RunClosed call — the consistency property locking exists to
+// protect.
+func (db *DB) RunClosed(ctx context.Context, w Workload) (Result, error) {
+	if err := w.validate(db); err != nil {
+		return Result{}, err
+	}
+	domain := w.HotEntities
+	if domain == 0 {
+		domain = db.cfg.DBSize
+	}
+	before := db.Stats()
+	root := rng.New(w.Seed)
+	errs := make([]error, w.Workers)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for i := 0; i < w.Workers; i++ {
+		i := i
+		src := root.Stream(uint64(i))
+		var zipf *rng.Zipf
+		if w.ZipfSkew > 0 {
+			zipf = rng.NewZipf(src.Stream(1), w.ZipfSkew, domain)
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for n := 0; n < w.TxnsPerWorker; n++ {
+				t := w.nextTxn(src, domain, zipf)
+				if _, err := db.Execute(ctx, t); err != nil {
+					errs[i] = err
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	for _, err := range errs {
+		if err != nil {
+			return Result{}, err
+		}
+	}
+	after := db.Stats()
+	committed := after.Committed - before.Committed
+	res := Result{
+		Committed: committed,
+		Elapsed:   elapsed,
+		Stats:     after,
+	}
+	if elapsed > 0 {
+		res.ThroughputTPS = float64(committed) / elapsed.Seconds()
+	}
+	return res, nil
+}
+
+// nextTxn draws one transaction: a read-only scan with probability
+// ReadFraction, otherwise a batch of balance-preserving transfers.
+// Entities come from zipf when hot-spot skew is configured, uniformly
+// otherwise.
+func (w Workload) nextTxn(src *rng.Source, domain int, zipf *rng.Zipf) Txn {
+	pick := func() int {
+		if zipf != nil {
+			return zipf.Next()
+		}
+		return src.Intn(domain)
+	}
+	count := 2 * w.TransfersPerTxn
+	if src.Bernoulli(w.ReadFraction) {
+		ops := make([]Op, count)
+		for i := range ops {
+			ops[i] = Op{Entity: pick()}
+		}
+		return Txn{Ops: ops, Work: w.WorkPerTxn}
+	}
+	ops := make([]Op, 0, count)
+	for i := 0; i < w.TransfersPerTxn; i++ {
+		from := pick()
+		to := pick()
+		amount := int64(src.IntRange(1, 100))
+		ops = append(ops,
+			Op{Entity: from, Delta: -amount},
+			Op{Entity: to, Delta: amount},
+		)
+	}
+	return Txn{Ops: ops, Work: w.WorkPerTxn}
+}

@@ -1,0 +1,377 @@
+package engine
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+
+	"granulock/internal/lockmgr"
+)
+
+func open(t *testing.T, cfg Config) *DB {
+	t.Helper()
+	db, err := Open(cfg)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	return db
+}
+
+func baseCfg() Config {
+	return Config{Nodes: 4, DBSize: 1000, Granules: 50, Protocol: Conservative, InitialValue: 100}
+}
+
+func TestOpenValidation(t *testing.T) {
+	bad := []Config{
+		{Nodes: 0, DBSize: 10, Granules: 1},
+		{Nodes: 1, DBSize: 0, Granules: 1},
+		{Nodes: 1, DBSize: 10, Granules: 0},
+		{Nodes: 1, DBSize: 10, Granules: 11},
+		{Nodes: 1, DBSize: 10, Granules: 5, Protocol: Protocol(9)},
+	}
+	for _, cfg := range bad {
+		if _, err := Open(cfg); err == nil {
+			t.Errorf("invalid config %+v accepted", cfg)
+		}
+	}
+}
+
+func TestInitialBalance(t *testing.T) {
+	db := open(t, baseCfg())
+	if got := db.TotalBalance(); got != 1000*100 {
+		t.Fatalf("initial balance %d, want 100000", got)
+	}
+	v, err := db.Read(0)
+	if err != nil || v != 100 {
+		t.Fatalf("Read(0) = %d, %v", v, err)
+	}
+	if _, err := db.Read(-1); err == nil {
+		t.Fatal("negative entity read accepted")
+	}
+	if _, err := db.Read(1000); err == nil {
+		t.Fatal("out-of-range read accepted")
+	}
+}
+
+func TestPartitioningRoundRobin(t *testing.T) {
+	db := open(t, Config{Nodes: 3, DBSize: 10, Granules: 5, InitialValue: 1})
+	// Entities 0..9 over 3 nodes: node 0 owns {0,3,6,9}, node 1 {1,4,7},
+	// node 2 {2,5,8}.
+	if len(db.nodes[0].values) != 4 || len(db.nodes[1].values) != 3 || len(db.nodes[2].values) != 3 {
+		t.Fatalf("partition sizes %d/%d/%d", len(db.nodes[0].values), len(db.nodes[1].values), len(db.nodes[2].values))
+	}
+	if db.nodeOf(7) != 1 || db.localIndex(7) != 2 {
+		t.Fatalf("entity 7 at node %d slot %d", db.nodeOf(7), db.localIndex(7))
+	}
+}
+
+func TestGranuleOfContiguous(t *testing.T) {
+	db := open(t, Config{Nodes: 2, DBSize: 100, Granules: 10, InitialValue: 0})
+	// Entities 0..9 in granule 0, 10..19 in granule 1, ...
+	for e := 0; e < 100; e++ {
+		want := lockmgr.Granule(e / 10)
+		if got := db.GranuleOf(e); got != want {
+			t.Fatalf("GranuleOf(%d) = %d, want %d", e, got, want)
+		}
+	}
+}
+
+func TestTransferMovesMoney(t *testing.T) {
+	db := open(t, baseCfg())
+	if _, err := db.Execute(context.Background(), Transfer(3, 7, 25)); err != nil {
+		t.Fatal(err)
+	}
+	a, _ := db.Read(3)
+	b, _ := db.Read(7)
+	if a != 75 || b != 125 {
+		t.Fatalf("balances %d/%d, want 75/125", a, b)
+	}
+	if db.TotalBalance() != 100000 {
+		t.Fatalf("conservation violated: %d", db.TotalBalance())
+	}
+}
+
+func TestReadTxnSums(t *testing.T) {
+	db := open(t, baseCfg())
+	sum, err := db.Execute(context.Background(), Txn{Ops: []Op{{Entity: 1}, {Entity: 2}, {Entity: 3}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum != 300 {
+		t.Fatalf("read sum %d, want 300", sum)
+	}
+}
+
+func TestEmptyTxn(t *testing.T) {
+	db := open(t, baseCfg())
+	sum, err := db.Execute(context.Background(), Txn{})
+	if err != nil || sum != 0 {
+		t.Fatalf("empty txn: %d, %v", sum, err)
+	}
+}
+
+func TestExecuteRejectsBadEntity(t *testing.T) {
+	db := open(t, baseCfg())
+	if _, err := db.Execute(context.Background(), Transfer(0, 5000, 1)); err == nil {
+		t.Fatal("out-of-range entity accepted")
+	}
+}
+
+func TestLockSetModes(t *testing.T) {
+	db := open(t, Config{Nodes: 2, DBSize: 100, Granules: 10, InitialValue: 0})
+	// Read entity 5 (granule 0), write entity 7 (granule 0): X wins.
+	// Read entity 15 (granule 1): S.
+	reqs, err := db.lockSet(Txn{Ops: []Op{{Entity: 5}, {Entity: 7, Delta: 1}, {Entity: 15}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reqs) != 2 {
+		t.Fatalf("%d requests, want 2", len(reqs))
+	}
+	if reqs[0].Granule != 0 || reqs[0].Mode != lockmgr.ModeExclusive {
+		t.Fatalf("granule 0 request %+v", reqs[0])
+	}
+	if reqs[1].Granule != 1 || reqs[1].Mode != lockmgr.ModeShared {
+		t.Fatalf("granule 1 request %+v", reqs[1])
+	}
+}
+
+// conservationStress hammers the database with concurrent transfers and
+// verifies the total balance is preserved — the lost-update anomaly of
+// §1 is exactly what this catches if locking is broken.
+func conservationStress(t *testing.T, protocol Protocol, granules int) {
+	t.Helper()
+	cfg := baseCfg()
+	cfg.Protocol = protocol
+	cfg.Granules = granules
+	db := open(t, cfg)
+	want := db.TotalBalance()
+
+	const workers = 8
+	const txns = 200
+	ctx := context.Background()
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < txns; i++ {
+				from := (w*31 + i*17) % 1000
+				to := (w*13 + i*7 + 1) % 1000
+				if _, err := db.Execute(ctx, Transfer(from, to, 5)); err != nil {
+					t.Errorf("transfer: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if got := db.TotalBalance(); got != want {
+		t.Fatalf("conservation violated under %v/%d granules: %d, want %d", protocol, granules, got, want)
+	}
+	if s := db.Stats(); s.Committed != workers*txns {
+		t.Fatalf("committed %d, want %d", s.Committed, workers*txns)
+	}
+}
+
+func TestConservationHierarchical(t *testing.T) {
+	for _, granules := range []int{1, 50, 1000} {
+		conservationStress(t, Hierarchical, granules)
+	}
+}
+
+func TestHierarchicalEscalation(t *testing.T) {
+	cfg := Config{
+		Nodes: 2, DBSize: 1000, Granules: 1000,
+		Protocol: Hierarchical, InitialValue: 100, EscalationThreshold: 5,
+	}
+	db := open(t, cfg)
+	// One transaction touching many granules triggers escalation to a
+	// database-level lock.
+	ops := make([]Op, 0, 20)
+	for e := 0; e < 1000; e += 100 {
+		ops = append(ops, Op{Entity: e, Delta: 1}, Op{Entity: e + 50, Delta: -1})
+	}
+	if _, err := db.Execute(context.Background(), Txn{Ops: ops}); err != nil {
+		t.Fatal(err)
+	}
+	if db.Stats().Escalations == 0 {
+		t.Fatal("no escalation despite 20 granules against threshold 5")
+	}
+	if db.TotalBalance() != 1000*100 {
+		t.Fatalf("conservation violated: %d", db.TotalBalance())
+	}
+}
+
+func TestHierarchicalMixedReadWriteTerminates(t *testing.T) {
+	// Regression test for the deadlock-retry livelock: hierarchical
+	// locking with multi-granule read/write transactions and synthetic
+	// work must terminate (victims back off instead of instantly
+	// re-grabbing their first granule).
+	cfg := Config{Nodes: 4, DBSize: 1000, Granules: 10, Protocol: Hierarchical, InitialValue: 100, EscalationThreshold: 16}
+	db := open(t, cfg)
+	done := make(chan error, 1)
+	go func() {
+		_, err := db.RunClosed(context.Background(), Workload{
+			Workers: 8, TxnsPerWorker: 50, TransfersPerTxn: 2,
+			ReadFraction: 0.2, WorkPerTxn: 20000, Seed: 1,
+		})
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(60 * time.Second):
+		t.Fatal("hierarchical mixed workload hung (deadlock-retry livelock)")
+	}
+	if db.TotalBalance() != 1000*100 {
+		t.Fatalf("conservation violated: %d", db.TotalBalance())
+	}
+}
+
+func TestHierarchicalProtocolString(t *testing.T) {
+	if Hierarchical.String() != "hierarchical" {
+		t.Fatal("protocol name")
+	}
+}
+
+func TestEscalationThresholdValidation(t *testing.T) {
+	cfg := baseCfg()
+	cfg.EscalationThreshold = -1
+	if _, err := Open(cfg); err == nil {
+		t.Fatal("negative threshold accepted")
+	}
+}
+
+func TestConservationConservativeCoarse(t *testing.T) { conservationStress(t, Conservative, 1) }
+func TestConservationConservativeMid(t *testing.T)    { conservationStress(t, Conservative, 50) }
+func TestConservationConservativeFine(t *testing.T)   { conservationStress(t, Conservative, 1000) }
+func TestConservationClaimAsNeededCoarse(t *testing.T) {
+	conservationStress(t, ClaimAsNeeded, 1)
+}
+func TestConservationClaimAsNeededMid(t *testing.T)  { conservationStress(t, ClaimAsNeeded, 50) }
+func TestConservationClaimAsNeededFine(t *testing.T) { conservationStress(t, ClaimAsNeeded, 1000) }
+
+func TestConservativeNeverDeadlocks(t *testing.T) {
+	cfg := baseCfg()
+	cfg.Granules = 10 // high collision probability
+	db := open(t, cfg)
+	ctx := context.Background()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				// Opposite lock orders on purpose.
+				a, b := (w+i)%1000, (w*7+i*3)%1000
+				t1 := Transfer(a, b, 1)
+				if w%2 == 0 {
+					t1 = Transfer(b, a, 1)
+				}
+				if _, err := db.Execute(ctx, t1); err != nil {
+					t.Errorf("execute: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if s := db.Stats(); s.Lock.Deadlocks != 0 || s.DeadlockRetries != 0 {
+		t.Fatalf("conservative protocol deadlocked: %+v", s)
+	}
+}
+
+func TestClaimAsNeededDetectsAndRetries(t *testing.T) {
+	// Two granules, opposite acquisition orders, heavy concurrency:
+	// deadlocks are essentially guaranteed and must be retried through.
+	cfg := Config{Nodes: 2, DBSize: 100, Granules: 2, Protocol: ClaimAsNeeded, InitialValue: 100}
+	db := open(t, cfg)
+	ctx := context.Background()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				var txn Txn
+				if w%2 == 0 {
+					txn = Transfer(10, 60, 1) // granule 0 then 1
+				} else {
+					txn = Transfer(60, 10, 1) // granule 1 then 0
+				}
+				if _, err := db.Execute(ctx, txn); err != nil {
+					t.Errorf("execute: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if db.TotalBalance() != 100*100 {
+		t.Fatalf("conservation violated: %d", db.TotalBalance())
+	}
+	if s := db.Stats(); s.DeadlockRetries == 0 {
+		t.Log("warning: no deadlocks observed (scheduling-dependent); invariants still verified")
+	}
+}
+
+func TestFullReadTxnSeesConsistentSnapshot(t *testing.T) {
+	// Concurrent transfers plus full-database read transactions: every
+	// isolated read must see exactly the invariant total.
+	cfg := baseCfg()
+	cfg.Granules = 20
+	db := open(t, cfg)
+	want := db.TotalBalance()
+	ctx := context.Background()
+	stop := make(chan struct{})
+	var writers sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		w := w
+		writers.Add(1)
+		go func() {
+			defer writers.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if _, err := db.Execute(ctx, Transfer((w+i)%1000, (w*3+i*11+1)%1000, 3)); err != nil {
+					t.Errorf("transfer: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	full := db.FullReadTxn()
+	for i := 0; i < 20; i++ {
+		sum, err := db.Execute(ctx, full)
+		if err != nil {
+			t.Fatalf("full read: %v", err)
+		}
+		if sum != want {
+			t.Fatalf("snapshot %d saw total %d, want %d (isolation broken)", i, sum, want)
+		}
+	}
+	close(stop)
+	writers.Wait()
+	if got := db.TotalBalance(); got != want {
+		t.Fatalf("final conservation: %d, want %d", got, want)
+	}
+}
+
+func TestProtocolString(t *testing.T) {
+	if Conservative.String() != "conservative" || ClaimAsNeeded.String() != "claim-as-needed" {
+		t.Fatal("protocol names")
+	}
+	if Protocol(9).String() == "" {
+		t.Fatal("unknown protocol name empty")
+	}
+}

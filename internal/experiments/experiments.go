@@ -1,0 +1,248 @@
+// Package experiments defines and runs the paper's evaluation: Table 1
+// and Figures 2 through 12. Each experiment is a parameter sweep over
+// the simulation model; the output is a Figure holding one or more
+// panels of labelled series, renderable as text tables, ASCII charts and
+// CSV.
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+
+	"granulock/internal/model"
+	"granulock/internal/stats"
+)
+
+// BaseParams returns the paper's Table 1 configuration (see DESIGN.md
+// for the reconstruction of the scanned table).
+func BaseParams() model.Params {
+	return model.Params{
+		DBSize:      5000,
+		Ltot:        100,
+		NTrans:      10,
+		MaxTransize: 500,
+		CPUTime:     0.05,
+		IOTime:      0.2,
+		LockCPUTime: 0.01,
+		LockIOTime:  0.2,
+		NPros:       10,
+		TMax:        1000,
+		Seed:        1,
+	}
+}
+
+// LtotSweep returns the standard granularity sweep of the figures:
+// roughly logarithmic from 1 lock to one lock per entity.
+func LtotSweep(dbsize int) []int {
+	candidates := []int{1, 2, 5, 10, 20, 50, 100, 200, 500, 1000, 2000, 5000, 10000}
+	var out []int
+	for _, c := range candidates {
+		if c < dbsize {
+			out = append(out, c)
+		}
+	}
+	return append(out, dbsize)
+}
+
+// NprosSweep is the processor-count sweep of §3.1.
+func NprosSweep() []int { return []int{1, 2, 5, 10, 20, 30} }
+
+// Options control experiment execution.
+type Options struct {
+	// TMax overrides the simulation horizon; 0 keeps the default.
+	TMax float64
+	// Seed is the base seed; replication r of a run uses Seed+r.
+	Seed uint64
+	// Replications averages each point over this many seeds (min 1).
+	Replications int
+	// Parallelism bounds concurrent simulations (0 = GOMAXPROCS).
+	Parallelism int
+}
+
+// normalize fills defaults.
+func (o Options) normalize() Options {
+	if o.Replications < 1 {
+		o.Replications = 1
+	}
+	if o.Parallelism < 1 {
+		o.Parallelism = runtime.GOMAXPROCS(0)
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	return o
+}
+
+// Point is one swept configuration and its (replication-averaged)
+// metrics.
+type Point struct {
+	X float64 // the swept quantity, e.g. ltot
+	M model.Metrics
+	// ThroughputCI is the 95% confidence half-width of the throughput
+	// across replications (0 for a single replication).
+	ThroughputCI float64
+}
+
+// Series is one labelled curve of an experiment.
+type Series struct {
+	Label  string
+	Points []Point
+}
+
+// XY projects the series through a metric accessor.
+func (s Series) XY(metric func(model.Metrics) float64) (xs, ys []float64) {
+	xs = make([]float64, len(s.Points))
+	ys = make([]float64, len(s.Points))
+	for i, p := range s.Points {
+		xs[i] = p.X
+		ys[i] = metric(p.M)
+	}
+	return xs, ys
+}
+
+// Panel is one plotted quantity of a figure.
+type Panel struct {
+	YLabel string
+	Metric func(model.Metrics) float64
+	Series []Series
+}
+
+// Figure is a fully evaluated experiment.
+type Figure struct {
+	ID     string
+	Title  string
+	XLabel string
+	Panels []Panel
+}
+
+// cell identifies one simulation of a sweep grid.
+type cell struct {
+	series int
+	point  int
+	rep    int
+	params model.Params
+}
+
+// sweep runs a grid: one Series per label, one Point per x value, with
+// mkParams producing the configuration for (series, point). Runs execute
+// on a bounded worker pool; results are deterministic because each cell
+// derives its seed from Options.Seed and the replication index only.
+func sweep(o Options, labels []string, xs []float64, mkParams func(series, point int) model.Params) ([]Series, error) {
+	o = o.normalize()
+	var cells []cell
+	for si := range labels {
+		for pi := range xs {
+			for r := 0; r < o.Replications; r++ {
+				p := mkParams(si, pi)
+				if o.TMax > 0 {
+					p.TMax = o.TMax
+				}
+				p.Seed = o.Seed + uint64(r)*1_000_003
+				if err := p.Validate(); err != nil {
+					return nil, fmt.Errorf("experiments: series %q x=%v: %w", labels[si], xs[pi], err)
+				}
+				cells = append(cells, cell{series: si, point: pi, rep: r, params: p})
+			}
+		}
+	}
+
+	type result struct {
+		cell cell
+		m    model.Metrics
+		err  error
+	}
+	results := make([]result, len(cells))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, o.Parallelism)
+	for i, c := range cells {
+		i, c := i, c
+		wg.Add(1)
+		sem <- struct{}{}
+		go func() {
+			defer wg.Done()
+			defer func() { <-sem }()
+			m, err := model.Run(c.params)
+			results[i] = result{cell: c, m: m, err: err}
+		}()
+	}
+	wg.Wait()
+
+	// Group replications per (series, point) and average.
+	type key struct{ si, pi int }
+	grouped := make(map[key][]model.Metrics)
+	for _, r := range results {
+		if r.err != nil {
+			return nil, r.err
+		}
+		k := key{r.cell.series, r.cell.point}
+		grouped[k] = append(grouped[k], r.m)
+	}
+
+	series := make([]Series, len(labels))
+	for si, label := range labels {
+		pts := make([]Point, len(xs))
+		for pi, x := range xs {
+			ms := grouped[key{si, pi}]
+			avg, ci := average(ms)
+			pts[pi] = Point{X: x, M: avg, ThroughputCI: ci}
+		}
+		series[si] = Series{Label: label, Points: pts}
+	}
+	sortSeriesPoints(series)
+	return series, nil
+}
+
+// average reduces replications to field-wise means, plus a throughput
+// confidence interval.
+func average(ms []model.Metrics) (model.Metrics, float64) {
+	if len(ms) == 1 {
+		return ms[0], 0
+	}
+	var out model.Metrics
+	var thr stats.Welford
+	n := float64(len(ms))
+	for _, m := range ms {
+		out.TotCPUs += m.TotCPUs / n
+		out.TotIOs += m.TotIOs / n
+		out.LockCPUs += m.LockCPUs / n
+		out.LockIOs += m.LockIOs / n
+		out.UsefulCPUs += m.UsefulCPUs / n
+		out.UsefulIOs += m.UsefulIOs / n
+		out.Throughput += m.Throughput / n
+		out.MeanResponse += m.MeanResponse / n
+		out.DenialRate += m.DenialRate / n
+		out.MeanActive += m.MeanActive / n
+		out.TotCom += m.TotCom
+		out.LockRequests += m.LockRequests
+		out.LockDenials += m.LockDenials
+		out.CompletedEntities += m.CompletedEntities
+		thr.Add(m.Throughput)
+	}
+	out.TotCom = int(float64(out.TotCom)/n + 0.5)
+	out.LockRequests = int(float64(out.LockRequests)/n + 0.5)
+	out.LockDenials = int(float64(out.LockDenials)/n + 0.5)
+	out.CompletedEntities = int(float64(out.CompletedEntities)/n + 0.5)
+	return out, thr.CI95()
+}
+
+// sortSeriesPoints keeps points in ascending x order (sweeps already
+// are, but renderers rely on it).
+func sortSeriesPoints(series []Series) {
+	for i := range series {
+		pts := series[i].Points
+		sort.Slice(pts, func(a, b int) bool { return pts[a].X < pts[b].X })
+	}
+}
+
+// Throughput, MeanResponse, UsefulIO, UsefulCPU and LockOverhead are the
+// metric accessors the figures plot.
+func Throughput(m model.Metrics) float64   { return m.Throughput }
+func MeanResponse(m model.Metrics) float64 { return m.MeanResponse }
+func UsefulIO(m model.Metrics) float64     { return m.UsefulIOs }
+func UsefulCPU(m model.Metrics) float64    { return m.UsefulCPUs }
+
+// LockOverhead is the total time spent on lock operations (CPU plus
+// I/O), the quantity of Figures 4 and 5.
+func LockOverhead(m model.Metrics) float64 { return m.LockCPUs + m.LockIOs }

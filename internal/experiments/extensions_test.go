@@ -1,0 +1,200 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestExtIDs(t *testing.T) {
+	ids := ExtIDs()
+	if len(ids) != 8 {
+		t.Fatalf("%d extension ids", len(ids))
+	}
+	for _, id := range ids {
+		if !strings.HasPrefix(id, "ext-") {
+			t.Fatalf("extension id %q lacks ext- prefix", id)
+		}
+	}
+	if _, err := RunExt("nope", fast()); err == nil {
+		t.Fatal("unknown extension accepted")
+	}
+}
+
+func TestRunDispatchesExtensions(t *testing.T) {
+	f, err := Run("ext-requeue", fast())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.ID != "ext-requeue" || len(f.Panels) != 1 || len(f.Panels[0].Series) != 2 {
+		t.Fatalf("structure: %+v", f.ID)
+	}
+}
+
+func TestExtSchedulingRescuesFineGranularity(t *testing.T) {
+	o := fast()
+	o.TMax = 600 // heavy load needs a longer horizon to show the effect
+	f, err := ExtScheduling(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	panel := f.Panels[0]
+	at := func(label string, x float64) float64 {
+		for _, s := range panel.Series {
+			if s.Label == label {
+				for _, pt := range s.Points {
+					if pt.X == x {
+						return panel.Metric(pt.M)
+					}
+				}
+			}
+		}
+		t.Fatalf("series %q x=%v missing", label, x)
+		return 0
+	}
+	unlimited := at("unlimited", 5000)
+	mpl2 := at("fixed MPL 2", 5000)
+	if mpl2 <= unlimited {
+		t.Fatalf("MPL 2 (%v) did not beat unlimited (%v) at entity-level locks under heavy load", mpl2, unlimited)
+	}
+	adaptive := at("adaptive AIMD", 5000)
+	if adaptive <= unlimited {
+		t.Fatalf("adaptive (%v) did not beat unlimited (%v)", adaptive, unlimited)
+	}
+}
+
+func TestExtDisciplineMarginalEffect(t *testing.T) {
+	// Ref [3]'s claim, reproduced: SJF vs FCFS moves throughput only
+	// marginally at every granularity.
+	o := fast()
+	o.TMax = 500
+	f, err := ExtDiscipline(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	panel := f.Panels[0]
+	fcfs, sjf := panel.Series[0], panel.Series[1]
+	for i := range fcfs.Points {
+		a := panel.Metric(fcfs.Points[i].M)
+		b := panel.Metric(sjf.Points[i].M)
+		hi := a
+		if b > hi {
+			hi = b
+		}
+		if hi == 0 {
+			continue
+		}
+		if diff := (a - b) / hi; diff < -0.15 || diff > 0.15 {
+			t.Fatalf("ltot=%v: FCFS %v vs SJF %v differ by more than 15%%", fcfs.Points[i].X, a, b)
+		}
+	}
+}
+
+func TestExtHotSpotLowersThroughput(t *testing.T) {
+	o := fast()
+	o.TMax = 400
+	f, err := ExtHotSpot(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	panel := f.Panels[0]
+	uniform, skewed := panel.Series[0], panel.Series[2]
+	// At moderate granularity, heavy skew must cost throughput (the
+	// effective conflict space shrinks 10x).
+	for i, pt := range uniform.Points {
+		if pt.X != 100 {
+			continue
+		}
+		u := panel.Metric(pt.M)
+		s := panel.Metric(skewed.Points[i].M)
+		if s >= u {
+			t.Fatalf("skew 0.9 (%v) not below uniform (%v) at ltot=100", s, u)
+		}
+	}
+	// At ltot=1 all variants coincide (one lock either way).
+	u0 := panel.Metric(uniform.Points[0].M)
+	s0 := panel.Metric(skewed.Points[0].M)
+	if u0 != s0 {
+		t.Fatalf("skew changed the whole-database-lock case: %v vs %v", u0, s0)
+	}
+}
+
+func TestExtResponseTail(t *testing.T) {
+	o := fast()
+	o.TMax = 400
+	f, err := ExtResponseTail(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	panel := f.Panels[0]
+	if len(panel.Series) != 2 {
+		t.Fatalf("series %d", len(panel.Series))
+	}
+	p50, p95 := panel.Series[0], panel.Series[1]
+	for i := range p50.Points {
+		lo := panel.Metric(p50.Points[i].M)
+		hi := panel.Metric(p95.Points[i].M)
+		if lo == 0 && hi == 0 {
+			continue // no completions at this extreme point
+		}
+		if hi < lo {
+			t.Fatalf("P95 (%v) below P50 (%v) at ltot=%v", hi, lo, p50.Points[i].X)
+		}
+	}
+	// At entity-level locking the tail must exceed the well-tuned tail.
+	tailAt := func(x float64) float64 {
+		for _, pt := range p95.Points {
+			if pt.X == x {
+				return panel.Metric(pt.M)
+			}
+		}
+		return 0
+	}
+	if tuned, fine := tailAt(20), tailAt(5000); fine > 0 && tuned > 0 && fine <= tuned {
+		t.Fatalf("P95 at ltot=5000 (%v) not above ltot=20 (%v)", fine, tuned)
+	}
+}
+
+func TestExtMixClass(t *testing.T) {
+	o := fast()
+	o.TMax = 500
+	f, err := ExtMixClass(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Panels) != 2 || len(f.Panels[0].Series) != 2 {
+		t.Fatalf("structure: %d panels", len(f.Panels))
+	}
+	thr := f.Panels[0]
+	small, large := thr.Series[0], thr.Series[1]
+	for i := range small.Points {
+		s := thr.Metric(small.Points[i].M)
+		l := thr.Metric(large.Points[i].M)
+		// Small transactions are 80% of arrivals and individually
+		// faster: their throughput dominates at every granularity.
+		if s <= l {
+			t.Fatalf("ltot=%v: small-class throughput %v not above large-class %v",
+				small.Points[i].X, s, l)
+		}
+	}
+	resp := f.Panels[1]
+	for i := range small.Points {
+		if s, l := resp.Metric(resp.Series[0].Points[i].M), resp.Metric(resp.Series[1].Points[i].M); s > 0 && l > 0 && s >= l {
+			t.Fatalf("ltot=%v: small-class response %v not below large-class %v",
+				small.Points[i].X, s, l)
+		}
+	}
+}
+
+func TestExtLockSharingStructure(t *testing.T) {
+	f, err := ExtLockSharing(fast())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Panels[0].Series) != 2 {
+		t.Fatalf("series count %d", len(f.Panels[0].Series))
+	}
+	text := RenderText(f)
+	if !strings.Contains(text, "dedicated lock processor") {
+		t.Fatal("render missing series label")
+	}
+}

@@ -1,0 +1,361 @@
+package experiments
+
+import (
+	"fmt"
+
+	"granulock/internal/model"
+	"granulock/internal/partition"
+	"granulock/internal/workload"
+)
+
+// floatXs converts an int sweep to float x coordinates.
+func floatXs(xs []int) []float64 {
+	out := make([]float64, len(xs))
+	for i, x := range xs {
+		out[i] = float64(x)
+	}
+	return out
+}
+
+// nprosLabels renders the npros sweep legend.
+func nprosLabels() []string {
+	labels := make([]string, len(NprosSweep()))
+	for i, n := range NprosSweep() {
+		labels[i] = fmt.Sprintf("npros=%d", n)
+	}
+	return labels
+}
+
+// ltotNprosSweep runs the ltot × npros grid shared by Figures 2–5 and 8.
+func ltotNprosSweep(o Options, mutate func(*model.Params)) ([]Series, []float64, error) {
+	base := BaseParams()
+	if mutate != nil {
+		mutate(&base)
+	}
+	ltots := LtotSweep(base.DBSize)
+	xs := floatXs(ltots)
+	npros := NprosSweep()
+	series, err := sweep(o, nprosLabels(), xs, func(si, pi int) model.Params {
+		p := base
+		p.NPros = npros[si]
+		p.Ltot = ltots[pi]
+		return p
+	})
+	return series, xs, err
+}
+
+// Figure2 reproduces "Effects of number of locks and number of
+// processors on throughput and response time" (§3.1).
+func Figure2(o Options) (Figure, error) {
+	series, _, err := ltotNprosSweep(o, nil)
+	if err != nil {
+		return Figure{}, err
+	}
+	return Figure{
+		ID:     "fig2",
+		Title:  "Figure 2: throughput and response time vs number of locks and processors",
+		XLabel: "number of locks (ltot)",
+		Panels: []Panel{
+			{YLabel: "throughput (txn/time unit)", Metric: Throughput, Series: series},
+			{YLabel: "response time (time units)", Metric: MeanResponse, Series: series},
+		},
+	}, nil
+}
+
+// Figure3 reproduces "Effects of number of locks and number of
+// processors on useful I/O time and useful CPU time" (§3.1).
+func Figure3(o Options) (Figure, error) {
+	series, _, err := ltotNprosSweep(o, nil)
+	if err != nil {
+		return Figure{}, err
+	}
+	return Figure{
+		ID:     "fig3",
+		Title:  "Figure 3: useful I/O and useful CPU time vs number of locks and processors",
+		XLabel: "number of locks (ltot)",
+		Panels: []Panel{
+			{YLabel: "useful I/O time per processor", Metric: UsefulIO, Series: series},
+			{YLabel: "useful CPU time per processor", Metric: UsefulCPU, Series: series},
+		},
+	}, nil
+}
+
+// Figure4 reproduces "Effect of number of processors and number of locks
+// on lock overhead with large transactions (maxtransize=500)" (§3.1).
+func Figure4(o Options) (Figure, error) {
+	series, _, err := ltotNprosSweep(o, nil) // base already has maxtransize=500
+	if err != nil {
+		return Figure{}, err
+	}
+	return Figure{
+		ID:     "fig4",
+		Title:  "Figure 4: lock overhead vs number of locks and processors (maxtransize=500)",
+		XLabel: "number of locks (ltot)",
+		Panels: []Panel{
+			{YLabel: "lock overhead (CPU+I/O time units)", Metric: LockOverhead, Series: series},
+		},
+	}, nil
+}
+
+// Figure5 is Figure 4 with small transactions (maxtransize=50).
+func Figure5(o Options) (Figure, error) {
+	series, _, err := ltotNprosSweep(o, func(p *model.Params) { p.MaxTransize = 50 })
+	if err != nil {
+		return Figure{}, err
+	}
+	return Figure{
+		ID:     "fig5",
+		Title:  "Figure 5: lock overhead vs number of locks and processors (maxtransize=50)",
+		XLabel: "number of locks (ltot)",
+		Panels: []Panel{
+			{YLabel: "lock overhead (CPU+I/O time units)", Metric: LockOverhead, Series: series},
+		},
+	}, nil
+}
+
+// Figure6 reproduces "Effects of number of locks and transaction size on
+// throughput and response time (npros=10)" (§3.2).
+func Figure6(o Options) (Figure, error) {
+	base := BaseParams()
+	sizes := []int{50, 100, 500, 2500, 5000}
+	labels := make([]string, len(sizes))
+	for i, s := range sizes {
+		labels[i] = fmt.Sprintf("maxtransize=%d", s)
+	}
+	ltots := LtotSweep(base.DBSize)
+	series, err := sweep(o, labels, floatXs(ltots), func(si, pi int) model.Params {
+		p := base
+		p.MaxTransize = sizes[si]
+		p.Ltot = ltots[pi]
+		return p
+	})
+	if err != nil {
+		return Figure{}, err
+	}
+	return Figure{
+		ID:     "fig6",
+		Title:  "Figure 6: throughput and response time vs number of locks and transaction size (npros=10)",
+		XLabel: "number of locks (ltot)",
+		Panels: []Panel{
+			{YLabel: "throughput (txn/time unit)", Metric: Throughput, Series: series},
+			{YLabel: "response time (time units)", Metric: MeanResponse, Series: series},
+		},
+	}, nil
+}
+
+// Figure7 reproduces "Effects of number of locks and lock I/O time on
+// throughput (npros=10)" (§3.3); liotime=0 models a main-memory lock
+// table.
+func Figure7(o Options) (Figure, error) {
+	base := BaseParams()
+	liotimes := []float64{0.2, 0.1, 0}
+	labels := []string{"lock I/O time = I/O time (0.2)", "lock I/O time = 0.1", "lock I/O time = 0 (in-memory)"}
+	ltots := LtotSweep(base.DBSize)
+	series, err := sweep(o, labels, floatXs(ltots), func(si, pi int) model.Params {
+		p := base
+		p.LockIOTime = liotimes[si]
+		p.Ltot = ltots[pi]
+		return p
+	})
+	if err != nil {
+		return Figure{}, err
+	}
+	return Figure{
+		ID:     "fig7",
+		Title:  "Figure 7: throughput vs number of locks and lock I/O time (npros=10)",
+		XLabel: "number of locks (ltot)",
+		Panels: []Panel{
+			{YLabel: "throughput (txn/time unit)", Metric: Throughput, Series: series},
+		},
+	}, nil
+}
+
+// Figure8 reproduces Figure 2's throughput panel under random
+// partitioning (§3.4).
+func Figure8(o Options) (Figure, error) {
+	series, _, err := ltotNprosSweep(o, func(p *model.Params) { p.Partitioning = partition.Random })
+	if err != nil {
+		return Figure{}, err
+	}
+	return Figure{
+		ID:     "fig8",
+		Title:  "Figure 8: throughput vs number of locks and processors (random partitioning)",
+		XLabel: "number of locks (ltot)",
+		Panels: []Panel{
+			{YLabel: "throughput (txn/time unit)", Metric: Throughput, Series: series},
+		},
+	}, nil
+}
+
+// placementSweep runs the ltot × (placement × npros) grid of Figures
+// 9–12.
+func placementSweep(o Options, mutate func(*model.Params), npros []int) ([]Series, error) {
+	base := BaseParams()
+	if mutate != nil {
+		mutate(&base)
+	}
+	placements := []workload.Placement{workload.PlacementBest, workload.PlacementRandom, workload.PlacementWorst}
+	type combo struct {
+		placement workload.Placement
+		npros     int
+	}
+	var combos []combo
+	var labels []string
+	for _, pl := range placements {
+		for _, n := range npros {
+			combos = append(combos, combo{pl, n})
+			if len(npros) > 1 {
+				labels = append(labels, fmt.Sprintf("%s placement, npros=%d", pl, n))
+			} else {
+				labels = append(labels, fmt.Sprintf("%s placement", pl))
+			}
+		}
+	}
+	ltots := LtotSweep(base.DBSize)
+	return sweep(o, labels, floatXs(ltots), func(si, pi int) model.Params {
+		p := base
+		p.Placement = combos[si].placement
+		p.NPros = combos[si].npros
+		p.Ltot = ltots[pi]
+		return p
+	})
+}
+
+// Figure9 reproduces "Effects of number of locks and granule placement
+// on throughput with large transactions (maxtransize=500)" (§3.5).
+func Figure9(o Options) (Figure, error) {
+	series, err := placementSweep(o, nil, []int{1, 30})
+	if err != nil {
+		return Figure{}, err
+	}
+	return Figure{
+		ID:     "fig9",
+		Title:  "Figure 9: throughput vs number of locks and granule placement (maxtransize=500)",
+		XLabel: "number of locks (ltot)",
+		Panels: []Panel{
+			{YLabel: "throughput (txn/time unit)", Metric: Throughput, Series: series},
+		},
+	}, nil
+}
+
+// Figure10 is Figure 9 with small transactions (maxtransize=50).
+func Figure10(o Options) (Figure, error) {
+	series, err := placementSweep(o, func(p *model.Params) { p.MaxTransize = 50 }, []int{1, 30})
+	if err != nil {
+		return Figure{}, err
+	}
+	return Figure{
+		ID:     "fig10",
+		Title:  "Figure 10: throughput vs number of locks and granule placement (maxtransize=50)",
+		XLabel: "number of locks (ltot)",
+		Panels: []Panel{
+			{YLabel: "throughput (txn/time unit)", Metric: Throughput, Series: series},
+		},
+	}, nil
+}
+
+// Figure11 reproduces the mixed workload of §3.6: 80% small
+// (maxtransize=50), 20% large (maxtransize=500) transactions, npros=30.
+func Figure11(o Options) (Figure, error) {
+	series, err := placementSweep(o, func(p *model.Params) {
+		p.Classes = workload.SmallLargeMix(50, 500, 0.8)
+		p.NPros = 30
+	}, []int{30})
+	if err != nil {
+		return Figure{}, err
+	}
+	return Figure{
+		ID:     "fig11",
+		Title:  "Figure 11: throughput vs number of locks and placement, 80% small / 20% large mix (npros=30)",
+		XLabel: "number of locks (ltot)",
+		Panels: []Panel{
+			{YLabel: "throughput (txn/time unit)", Metric: Throughput, Series: series},
+		},
+	}, nil
+}
+
+// Figure12 reproduces the heavy-load experiment of §3.7: ntrans=200,
+// npros=20, maxtransize=500.
+func Figure12(o Options) (Figure, error) {
+	series, err := placementSweep(o, func(p *model.Params) {
+		p.NTrans = 200
+		p.NPros = 20
+	}, []int{20})
+	if err != nil {
+		return Figure{}, err
+	}
+	return Figure{
+		ID:     "fig12",
+		Title:  "Figure 12: throughput vs number of locks and placement, heavy load (ntrans=200, npros=20)",
+		XLabel: "number of locks (ltot)",
+		Panels: []Panel{
+			{YLabel: "throughput (txn/time unit)", Metric: Throughput, Series: series},
+		},
+	}, nil
+}
+
+// Table1 renders the input-parameter table.
+func Table1() string {
+	p := BaseParams()
+	return fmt.Sprintf(`Table 1: input parameters used in the simulation experiments
+
+  dbsize       %6d    accessible entities in the database
+  ltot         1..%d  number of locks (swept per figure)
+  ntrans       %6d    transactions in the closed system
+  maxtransize  %6d    maximum transaction size (mean ~ %d)
+  cputime      %6.2f    CPU time units per entity
+  iotime       %6.2f    I/O time units per entity
+  lcputime     %6.2f    CPU time units per lock
+  liotime      %6.2f    I/O time units per lock
+  npros        1..30    number of processors (swept per figure)
+  tmax         %6.0f    simulated time units
+`, p.DBSize, p.DBSize, p.NTrans, p.MaxTransize, p.MaxTransize/2,
+		p.CPUTime, p.IOTime, p.LockCPUTime, p.LockIOTime, p.TMax)
+}
+
+// runner executes one experiment by id.
+type runner func(Options) (Figure, error)
+
+// registry maps experiment ids to their runners, in paper order.
+var registry = []struct {
+	id  string
+	run runner
+}{
+	{"fig2", Figure2},
+	{"fig3", Figure3},
+	{"fig4", Figure4},
+	{"fig5", Figure5},
+	{"fig6", Figure6},
+	{"fig7", Figure7},
+	{"fig8", Figure8},
+	{"fig9", Figure9},
+	{"fig10", Figure10},
+	{"fig11", Figure11},
+	{"fig12", Figure12},
+}
+
+// IDs returns every figure id in paper order (Table 1 is rendered
+// separately by Table1).
+func IDs() []string {
+	out := make([]string, len(registry))
+	for i, r := range registry {
+		out[i] = r.id
+	}
+	return out
+}
+
+// Run executes one experiment by id — a paper figure ("fig2".."fig12")
+// or an extension ("ext-...", see ExtIDs).
+func Run(id string, o Options) (Figure, error) {
+	for _, r := range registry {
+		if r.id == id {
+			return r.run(o)
+		}
+	}
+	for _, r := range extRegistry {
+		if r.id == id {
+			return r.run(o)
+		}
+	}
+	return Figure{}, fmt.Errorf("experiments: unknown experiment %q (known: %v and %v)", id, IDs(), ExtIDs())
+}

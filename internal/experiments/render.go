@@ -1,0 +1,107 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"granulock/internal/plot"
+)
+
+// RenderText formats a figure as aligned tables (one per panel) followed
+// by an ASCII chart per panel, mirroring the paper's presentation.
+func RenderText(f Figure) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n%s\n\n", f.Title, strings.Repeat("=", len(f.Title)))
+	for _, panel := range f.Panels {
+		b.WriteString(renderPanelTable(f, panel))
+		b.WriteString("\n")
+		b.WriteString(renderPanelChart(f, panel))
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// renderPanelTable writes rows = x values, columns = series.
+func renderPanelTable(f Figure, p Panel) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", p.YLabel)
+
+	const xw = 8
+	colWidths := make([]int, len(p.Series))
+	for i, s := range p.Series {
+		colWidths[i] = len(s.Label)
+		if colWidths[i] < 10 {
+			colWidths[i] = 10
+		}
+	}
+	fmt.Fprintf(&b, "%*s", xw, "ltot")
+	for i, s := range p.Series {
+		fmt.Fprintf(&b, "  %*s", colWidths[i], s.Label)
+	}
+	b.WriteString("\n")
+
+	if len(p.Series) > 0 {
+		for pi := range p.Series[0].Points {
+			fmt.Fprintf(&b, "%*.0f", xw, p.Series[0].Points[pi].X)
+			for i, s := range p.Series {
+				fmt.Fprintf(&b, "  %*s", colWidths[i], formatValue(p.Metric(s.Points[pi].M)))
+			}
+			b.WriteString("\n")
+		}
+	}
+	return b.String()
+}
+
+// formatValue picks a compact representation across magnitudes.
+func formatValue(v float64) string {
+	switch {
+	case v == 0:
+		return "0"
+	case v < 0.01:
+		return fmt.Sprintf("%.2e", v)
+	case v < 10:
+		return fmt.Sprintf("%.4f", v)
+	case v < 1000:
+		return fmt.Sprintf("%.2f", v)
+	default:
+		return fmt.Sprintf("%.0f", v)
+	}
+}
+
+// renderPanelChart draws the panel as a log-x ASCII chart.
+func renderPanelChart(f Figure, p Panel) string {
+	chart := plot.Chart{
+		XLabel: f.XLabel + " (log scale)",
+		YLabel: p.YLabel,
+		LogX:   true,
+	}
+	for _, s := range p.Series {
+		xs, ys := s.XY(p.Metric)
+		chart.Series = append(chart.Series, plot.Series{Label: s.Label, X: xs, Y: ys})
+	}
+	return chart.Render()
+}
+
+// RenderCSV formats every panel of a figure as CSV rows:
+// figure,panel,series,x,y.
+func RenderCSV(f Figure) string {
+	var b strings.Builder
+	b.WriteString("figure,panel,series,x,y\n")
+	for _, panel := range f.Panels {
+		for _, s := range panel.Series {
+			xs, ys := s.XY(panel.Metric)
+			for i := range xs {
+				fmt.Fprintf(&b, "%s,%s,%s,%g,%g\n", f.ID, csvEscape(panel.YLabel), csvEscape(s.Label), xs[i], ys[i])
+			}
+		}
+	}
+	return b.String()
+}
+
+// csvEscape quotes fields containing commas or quotes.
+func csvEscape(s string) string {
+	if !strings.ContainsAny(s, ",\"\n") {
+		return s
+	}
+	return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+}

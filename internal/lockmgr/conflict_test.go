@@ -1,0 +1,157 @@
+package lockmgr
+
+import (
+	"math"
+	"testing"
+
+	"granulock/internal/rng"
+)
+
+func TestNewConflictModelValidation(t *testing.T) {
+	if _, err := NewConflictModel(0, rng.New(1)); err == nil {
+		t.Fatal("ltot=0 accepted")
+	}
+	if _, err := NewConflictModel(-3, rng.New(1)); err == nil {
+		t.Fatal("negative ltot accepted")
+	}
+	if _, err := NewConflictModel(5, nil); err == nil {
+		t.Fatal("nil source accepted")
+	}
+	m, err := NewConflictModel(5, rng.New(1))
+	if err != nil || m.Ltot() != 5 {
+		t.Fatalf("valid model rejected: %v", err)
+	}
+}
+
+func TestDecideNoHolders(t *testing.T) {
+	m, _ := NewConflictModel(10, rng.New(1))
+	if _, blocked := m.Decide(nil); blocked {
+		t.Fatal("blocked with no holders")
+	}
+	if _, blocked := m.Decide([]Holder{}); blocked {
+		t.Fatal("blocked with empty holders")
+	}
+}
+
+func TestDecideFullCoverageAlwaysBlocks(t *testing.T) {
+	// A holder owning every lock blocks every request — the ltot=1 case
+	// of the paper where "only one transaction can access the database".
+	m, _ := NewConflictModel(1, rng.New(2))
+	for i := 0; i < 1000; i++ {
+		blocker, blocked := m.Decide([]Holder{{ID: 7, Locks: 1}})
+		if !blocked || blocker != 7 {
+			t.Fatalf("draw %d: not blocked by sole full holder", i)
+		}
+	}
+}
+
+func TestDecideZeroLockHoldersIgnored(t *testing.T) {
+	m, _ := NewConflictModel(10, rng.New(3))
+	for i := 0; i < 1000; i++ {
+		if _, blocked := m.Decide([]Holder{{ID: 1, Locks: 0}, {ID: 2, Locks: -5}}); blocked {
+			t.Fatal("blocked by holders with no locks")
+		}
+	}
+}
+
+func TestDecideBlockingFrequencyMatchesTheory(t *testing.T) {
+	// With holders covering 30% of the lock space the empirical blocking
+	// rate must approach 0.3.
+	m, _ := NewConflictModel(100, rng.New(4))
+	holders := []Holder{{ID: 1, Locks: 10}, {ID: 2, Locks: 20}}
+	const n = 200000
+	blockedCount := 0
+	for i := 0; i < n; i++ {
+		if _, blocked := m.Decide(holders); blocked {
+			blockedCount++
+		}
+	}
+	got := float64(blockedCount) / n
+	if math.Abs(got-0.3) > 0.005 {
+		t.Fatalf("blocking rate %v, want about 0.3", got)
+	}
+}
+
+func TestDecideBlockerAttributionProportional(t *testing.T) {
+	// Given a block, the blocker is Tj with probability Lj / sum(L).
+	m, _ := NewConflictModel(100, rng.New(5))
+	holders := []Holder{{ID: 1, Locks: 10}, {ID: 2, Locks: 40}}
+	counts := map[int]int{}
+	const n = 200000
+	for i := 0; i < n; i++ {
+		if blocker, blocked := m.Decide(holders); blocked {
+			counts[blocker]++
+		}
+	}
+	total := counts[1] + counts[2]
+	if total == 0 {
+		t.Fatal("never blocked")
+	}
+	share := float64(counts[1]) / float64(total)
+	if math.Abs(share-0.2) > 0.01 {
+		t.Fatalf("blocker 1 share %v, want about 0.2", share)
+	}
+}
+
+func TestDecideOversubscribedAlwaysBlocks(t *testing.T) {
+	// Holders jointly exceeding the lock space: the remainder partition
+	// is empty, so every draw blocks.
+	m, _ := NewConflictModel(10, rng.New(6))
+	holders := []Holder{{ID: 1, Locks: 7}, {ID: 2, Locks: 8}}
+	for i := 0; i < 1000; i++ {
+		if _, blocked := m.Decide(holders); !blocked {
+			t.Fatal("proceeded despite oversubscribed lock space")
+		}
+	}
+}
+
+func TestBlockProbability(t *testing.T) {
+	m, _ := NewConflictModel(100, rng.New(7))
+	cases := []struct {
+		holders []Holder
+		want    float64
+	}{
+		{nil, 0},
+		{[]Holder{{ID: 1, Locks: 25}}, 0.25},
+		{[]Holder{{ID: 1, Locks: 60}, {ID: 2, Locks: 60}}, 1},
+		{[]Holder{{ID: 1, Locks: -10}, {ID: 2, Locks: 10}}, 0.1},
+	}
+	for _, c := range cases {
+		if got := m.BlockProbability(c.holders); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("BlockProbability(%v) = %v, want %v", c.holders, got, c.want)
+		}
+	}
+}
+
+func TestDecideDeterministicForSeed(t *testing.T) {
+	mk := func() []int {
+		m, _ := NewConflictModel(50, rng.New(99))
+		holders := []Holder{{ID: 1, Locks: 10}, {ID: 2, Locks: 15}}
+		var out []int
+		for i := 0; i < 100; i++ {
+			b, blocked := m.Decide(holders)
+			if !blocked {
+				b = -1
+			}
+			out = append(out, b)
+		}
+		return out
+	}
+	a, b := mk(), mk()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("conflict decisions diverged at %d", i)
+		}
+	}
+}
+
+func BenchmarkDecide(b *testing.B) {
+	m, _ := NewConflictModel(5000, rng.New(1))
+	holders := make([]Holder, 10)
+	for i := range holders {
+		holders[i] = Holder{ID: i, Locks: 25}
+	}
+	for i := 0; i < b.N; i++ {
+		m.Decide(holders)
+	}
+}

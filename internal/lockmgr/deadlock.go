@@ -1,0 +1,83 @@
+package lockmgr
+
+// Detector maintains a transaction waits-for graph and answers cycle
+// queries. Each waiting transaction has at most one *reason* to wait (one
+// granule) but possibly several blockers (edges), e.g. multiple shared
+// holders blocking a writer.
+//
+// Detector is not itself synchronized; Table calls it under its own
+// mutex. It is exported because the hierarchical table and the engine's
+// tests use it directly.
+type Detector struct {
+	out map[TxnID]map[TxnID]struct{}
+}
+
+// NewDetector returns an empty waits-for graph.
+func NewDetector() *Detector {
+	return &Detector{out: make(map[TxnID]map[TxnID]struct{})}
+}
+
+// AddEdge records that waiter waits for holder. Self-edges are ignored.
+func (d *Detector) AddEdge(waiter, holder TxnID) {
+	if waiter == holder {
+		return
+	}
+	m := d.out[waiter]
+	if m == nil {
+		m = make(map[TxnID]struct{}, 2)
+		d.out[waiter] = m
+	}
+	m[holder] = struct{}{}
+}
+
+// RemoveWaiter removes every outgoing edge of txn (it stopped waiting).
+func (d *Detector) RemoveWaiter(txn TxnID) {
+	delete(d.out, txn)
+}
+
+// RemoveTxn removes txn entirely: its outgoing edges and every edge
+// pointing at it (it released its locks or terminated).
+func (d *Detector) RemoveTxn(txn TxnID) {
+	delete(d.out, txn)
+	for _, m := range d.out {
+		delete(m, txn)
+	}
+}
+
+// Edges returns the number of edges in the graph (diagnostics).
+func (d *Detector) Edges() int {
+	n := 0
+	for _, m := range d.out {
+		n += len(m)
+	}
+	return n
+}
+
+// InCycle reports whether txn can reach itself through waits-for edges,
+// i.e. whether txn participates in a deadlock.
+func (d *Detector) InCycle(txn TxnID) bool {
+	if len(d.out[txn]) == 0 {
+		return false
+	}
+	// Iterative DFS from txn looking for a path back to txn.
+	visited := make(map[TxnID]struct{}, 8)
+	stack := make([]TxnID, 0, 8)
+	for next := range d.out[txn] {
+		stack = append(stack, next)
+	}
+	for len(stack) > 0 {
+		cur := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if cur == txn {
+			return true
+		}
+		if _, seen := visited[cur]; seen {
+			continue
+		}
+		visited[cur] = struct{}{}
+		for next := range d.out[cur] {
+			stack = append(stack, next)
+		}
+	}
+	return false
+}

@@ -1,0 +1,174 @@
+package lockmgr
+
+import (
+	"context"
+	"fmt"
+	"testing"
+	"time"
+)
+
+func TestAbsorbs(t *testing.T) {
+	cases := []struct {
+		held, want GMode
+		ok         bool
+	}{
+		{GModeX, GModeX, true},
+		{GModeX, GModeS, true},
+		{GModeX, GModeIX, true},
+		{GModeS, GModeS, true},
+		{GModeS, GModeIS, true},
+		{GModeS, GModeX, false},
+		{GModeSIX, GModeS, true},
+		{GModeSIX, GModeX, false},
+		{GModeIS, GModeS, false},
+		{GModeIX, GModeX, false},
+	}
+	for _, c := range cases {
+		if got := absorbs(c.held, c.want); got != c.ok {
+			t.Errorf("absorbs(%v, %v) = %v, want %v", c.held, c.want, got, c.ok)
+		}
+	}
+}
+
+func TestEscalationTriggersAtThreshold(t *testing.T) {
+	h := NewHierTable(WithEscalation(3))
+	ctx := context.Background()
+	for i := 0; i < 3; i++ {
+		p := path("db", "rel", fmt.Sprintf("g%d", i))
+		if err := h.Lock(ctx, 1, p, GModeX); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if h.Escalations() != 1 {
+		t.Fatalf("escalations %d, want 1", h.Escalations())
+	}
+	// Writers under IX escalate the parent to X.
+	if m, ok := h.Held(1, "rel"); !ok || m != GModeX {
+		t.Fatalf("relation mode %v/%v after escalation, want X", m, ok)
+	}
+}
+
+func TestEscalationAbsorbsFurtherChildren(t *testing.T) {
+	h := NewHierTable(WithEscalation(2))
+	ctx := context.Background()
+	for i := 0; i < 2; i++ {
+		if err := h.Lock(ctx, 1, path("db", "rel", fmt.Sprintf("g%d", i)), GModeX); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if h.Escalations() != 1 {
+		t.Fatalf("escalations %d", h.Escalations())
+	}
+	// The next child lock is absorbed: no per-child holder appears.
+	if err := h.Lock(ctx, 1, path("db", "rel", "g99"), GModeX); err != nil {
+		t.Fatal(err)
+	}
+	if _, held := h.Held(1, "g99"); held {
+		t.Fatal("absorbed child still took its own lock")
+	}
+}
+
+func TestEscalationReaderGetsS(t *testing.T) {
+	h := NewHierTable(WithEscalation(2))
+	ctx := context.Background()
+	for i := 0; i < 2; i++ {
+		if err := h.Lock(ctx, 1, path("db", "rel", fmt.Sprintf("g%d", i)), GModeS); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if m, ok := h.Held(1, "rel"); !ok || m != GModeS {
+		t.Fatalf("relation mode %v/%v, want S", m, ok)
+	}
+	// Another reader of a different granule is still compatible.
+	if err := h.Lock(ctx, 2, path("db", "rel", "g5"), GModeS); err != nil {
+		t.Fatal(err)
+	}
+	// But a writer now blocks on the whole relation.
+	done := make(chan error, 1)
+	go func() { done <- h.Lock(ctx, 3, path("db", "rel", "g9"), GModeX) }()
+	select {
+	case <-done:
+		t.Fatal("writer not blocked by escalated S")
+	case <-time.After(20 * time.Millisecond):
+	}
+	h.ReleaseAll(1)
+	h.ReleaseAll(2)
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEscalationSkippedWhenIncompatible(t *testing.T) {
+	h := NewHierTable(WithEscalation(2))
+	ctx := context.Background()
+	// Txn 2 writes one granule: its IX on "rel" blocks an S escalation
+	// and its granule would conflict with an X escalation.
+	if err := h.Lock(ctx, 2, path("db", "rel", "gz"), GModeX); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		if err := h.Lock(ctx, 1, path("db", "rel", fmt.Sprintf("g%d", i)), GModeS); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if h.Escalations() != 0 {
+		t.Fatalf("escalated against an incompatible holder (%d)", h.Escalations())
+	}
+	if m, _ := h.Held(1, "rel"); m != GModeIS {
+		t.Fatalf("relation mode %v, want IS (no escalation)", m)
+	}
+}
+
+func TestEscalationDisabledByDefault(t *testing.T) {
+	h := NewHierTable()
+	ctx := context.Background()
+	for i := 0; i < 10; i++ {
+		if err := h.Lock(ctx, 1, path("db", "rel", fmt.Sprintf("g%d", i)), GModeX); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if h.Escalations() != 0 {
+		t.Fatal("escalation fired without opt-in")
+	}
+	if m, _ := h.Held(1, "rel"); m != GModeIX {
+		t.Fatalf("relation mode %v, want IX", m)
+	}
+}
+
+func TestEscalationStateClearedOnRelease(t *testing.T) {
+	h := NewHierTable(WithEscalation(3))
+	ctx := context.Background()
+	for i := 0; i < 2; i++ {
+		if err := h.Lock(ctx, 1, path("db", "rel", fmt.Sprintf("g%d", i)), GModeX); err != nil {
+			t.Fatal(err)
+		}
+	}
+	h.ReleaseAll(1)
+	// A fresh transaction (same ID) must start counting from zero.
+	if err := h.Lock(ctx, 1, path("db", "rel", "g9"), GModeX); err != nil {
+		t.Fatal(err)
+	}
+	if h.Escalations() != 0 {
+		t.Fatal("stale child counts survived release")
+	}
+	h.ReleaseAll(1)
+}
+
+func TestEscalationOnlyOncePerParent(t *testing.T) {
+	h := NewHierTable(WithEscalation(2))
+	ctx := context.Background()
+	for i := 0; i < 2; i++ {
+		if err := h.Lock(ctx, 1, path("db", "rel", fmt.Sprintf("g%d", i)), GModeX); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Further absorbed locks must not re-escalate.
+	for i := 10; i < 20; i++ {
+		if err := h.Lock(ctx, 1, path("db", "rel", fmt.Sprintf("g%d", i)), GModeX); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if h.Escalations() != 1 {
+		t.Fatalf("escalations %d, want 1", h.Escalations())
+	}
+}

@@ -1,0 +1,372 @@
+package lockmgr
+
+import (
+	"context"
+	"fmt"
+	"sync"
+)
+
+// GMode is a multi-granularity lock mode (Gray's hierarchical locking
+// protocol). The paper's conclusions point at exactly this mechanism:
+// "providing granularity at the block level and at the file level, as is
+// done in the Gamma database machine, may be adequate".
+type GMode int8
+
+const (
+	// GModeIS signals intent to lock descendants in shared mode.
+	GModeIS GMode = iota
+	// GModeIX signals intent to lock descendants in exclusive mode.
+	GModeIX
+	// GModeS locks the whole subtree for reading.
+	GModeS
+	// GModeSIX locks the subtree for reading with intent to write parts.
+	GModeSIX
+	// GModeX locks the whole subtree for writing.
+	GModeX
+)
+
+var gModeNames = [...]string{"IS", "IX", "S", "SIX", "X"}
+
+// String returns the conventional mode name.
+func (m GMode) String() string {
+	if m < 0 || int(m) >= len(gModeNames) {
+		return fmt.Sprintf("GMode(%d)", int8(m))
+	}
+	return gModeNames[m]
+}
+
+// gCompat is Gray's compatibility matrix, indexed [requested][held].
+var gCompat = [5][5]bool{
+	GModeIS:  {GModeIS: true, GModeIX: true, GModeS: true, GModeSIX: true, GModeX: false},
+	GModeIX:  {GModeIS: true, GModeIX: true, GModeS: false, GModeSIX: false, GModeX: false},
+	GModeS:   {GModeIS: true, GModeIX: false, GModeS: true, GModeSIX: false, GModeX: false},
+	GModeSIX: {GModeIS: true, GModeIX: false, GModeS: false, GModeSIX: false, GModeX: false},
+	GModeX:   {GModeIS: false, GModeIX: false, GModeS: false, GModeSIX: false, GModeX: false},
+}
+
+// GCompatible reports whether a requested mode is compatible with a held
+// mode owned by a different transaction.
+func GCompatible(requested, held GMode) bool {
+	return gCompat[requested][held]
+}
+
+// combine returns the effective mode of a transaction holding both a and
+// b on the same node: S+IX (in either order) strengthens to SIX; other
+// pairs resolve to the stronger mode under IS < IX < SIX < X and
+// IS < S < SIX < X.
+func combine(a, b GMode) GMode {
+	if a == b {
+		return a
+	}
+	if (a == GModeS && b == GModeIX) || (a == GModeIX && b == GModeS) {
+		return GModeSIX
+	}
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// IntentionFor returns the intention mode ancestors must carry so that a
+// descendant may be locked in mode m: IS for read modes, IX for modes
+// that can write.
+func IntentionFor(m GMode) GMode {
+	switch m {
+	case GModeIS, GModeS:
+		return GModeIS
+	default:
+		return GModeIX
+	}
+}
+
+// NodeID names one node of the lock hierarchy, e.g. "db", "db/accounts",
+// "db/accounts/g17". The table treats IDs as opaque; the caller supplies
+// root-to-target paths.
+type NodeID string
+
+// HierTable is a blocking multi-granularity lock table over an arbitrary
+// hierarchy. Transactions lock a node by locking the path from the root:
+// intention modes on ancestors, the requested mode on the target.
+// Waiting requests participate in deadlock detection; victims receive
+// ErrDeadlock and should ReleaseAll and retry.
+type HierTable struct {
+	mu       sync.Mutex
+	nodes    map[NodeID]*hierNode
+	held     map[TxnID]map[NodeID]GMode
+	detector *Detector
+	waiters  map[*hierWait]struct{}
+	stats    Stats
+	escAt    int // escalation threshold; 0 = off
+	escCount int64
+	// children tracks, per transaction and parent node, the distinct
+	// child nodes currently locked — the escalation trigger.
+	children map[TxnID]map[NodeID]map[NodeID]struct{}
+}
+
+type hierNode struct {
+	holders map[TxnID]GMode
+}
+
+// hierWait is one parked hierarchical request (on one node).
+type hierWait struct {
+	txn  TxnID
+	node NodeID
+	mode GMode
+	ch   chan error
+}
+
+// HierOption configures a HierTable.
+type HierOption func(*HierTable)
+
+// WithEscalation enables lock escalation: when a transaction holds
+// threshold or more distinct child locks under one parent, the table
+// opportunistically converts them to a single coarse lock on the parent
+// (S under IS, X under IX/SIX). Escalation is best-effort — it is
+// skipped, never waited for, when other holders make the coarse lock
+// incompatible — so it cannot introduce deadlocks. Once escalated,
+// further descendant requests under that parent are absorbed without
+// taking new locks: exactly the granularity adaptation the paper's
+// conclusions recommend ("providing granularity at the block level and
+// at the file level ... may be adequate").
+func WithEscalation(threshold int) HierOption {
+	return func(h *HierTable) { h.escAt = threshold }
+}
+
+// NewHierTable returns an empty hierarchical lock table.
+func NewHierTable(opts ...HierOption) *HierTable {
+	h := &HierTable{
+		nodes:    make(map[NodeID]*hierNode),
+		held:     make(map[TxnID]map[NodeID]GMode),
+		detector: NewDetector(),
+		waiters:  make(map[*hierWait]struct{}),
+		children: make(map[TxnID]map[NodeID]map[NodeID]struct{}),
+	}
+	for _, o := range opts {
+		o(h)
+	}
+	return h
+}
+
+// Escalations returns the number of successful lock escalations.
+func (h *HierTable) Escalations() int64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.escCount
+}
+
+// absorbs reports whether holding `held` on an ancestor makes a request
+// for `want` on a descendant redundant: X covers everything, S and SIX
+// cover reads.
+func absorbs(held, want GMode) bool {
+	switch held {
+	case GModeX:
+		return true
+	case GModeS, GModeSIX:
+		return want == GModeS || want == GModeIS
+	default:
+		return false
+	}
+}
+
+// Stats returns a snapshot of the activity counters.
+func (h *HierTable) Stats() Stats {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.stats
+}
+
+// Held returns the effective mode txn holds on node, if any.
+func (h *HierTable) Held(txn TxnID, node NodeID) (GMode, bool) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	m, ok := h.held[txn][node]
+	return m, ok
+}
+
+// Lock acquires mode on the last node of path, taking the appropriate
+// intention mode on every ancestor first (top-down, the hierarchical
+// protocol's required order). On deadlock the requester is the victim and
+// receives ErrDeadlock with its already-acquired locks still held; the
+// caller should ReleaseAll.
+func (h *HierTable) Lock(ctx context.Context, txn TxnID, path []NodeID, mode GMode) error {
+	if len(path) == 0 {
+		return fmt.Errorf("lockmgr: empty lock path")
+	}
+	for i, node := range path {
+		want := mode
+		if i < len(path)-1 {
+			want = IntentionFor(mode)
+		}
+		// A coarse lock already held on this ancestor (directly or via
+		// escalation) absorbs the rest of the path.
+		h.mu.Lock()
+		if held, ok := h.held[txn][node]; ok && absorbs(held, mode) {
+			h.mu.Unlock()
+			return nil
+		}
+		h.mu.Unlock()
+		if err := h.lockNode(ctx, txn, node, want); err != nil {
+			return err
+		}
+		if i > 0 {
+			h.noteChild(txn, path[i-1], node)
+		}
+	}
+	return nil
+}
+
+// noteChild records that txn holds a lock on child under parent and
+// triggers best-effort escalation at the threshold.
+func (h *HierTable) noteChild(txn TxnID, parent, child NodeID) {
+	if h.escAt <= 0 {
+		return
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	perTxn := h.children[txn]
+	if perTxn == nil {
+		perTxn = make(map[NodeID]map[NodeID]struct{})
+		h.children[txn] = perTxn
+	}
+	set := perTxn[parent]
+	if set == nil {
+		set = make(map[NodeID]struct{})
+		perTxn[parent] = set
+	}
+	set[child] = struct{}{}
+	if len(set) < h.escAt {
+		return
+	}
+	// Escalate: the parent's intention mode says what the children may
+	// do — IX or SIX means writes, so the coarse lock must be X;
+	// IS means reads, so S suffices.
+	parentHeld, ok := h.held[txn][parent]
+	if ok && absorbs(parentHeld, GModeX) {
+		return // already escalated
+	}
+	target := GModeS
+	if parentHeld == GModeIX || parentHeld == GModeSIX {
+		target = GModeX
+	}
+	n := h.nodes[parent]
+	if n == nil || !h.nodeCompatible(n, txn, target) {
+		return // best-effort: skip rather than wait
+	}
+	h.grantNode(n, txn, parent, target)
+	h.escCount++
+	delete(perTxn, parent)
+}
+
+// lockNode acquires one mode on one node, waiting as needed.
+func (h *HierTable) lockNode(ctx context.Context, txn TxnID, node NodeID, mode GMode) error {
+	h.mu.Lock()
+	for {
+		n := h.nodes[node]
+		if n == nil {
+			n = &hierNode{holders: make(map[TxnID]GMode, 1)}
+			h.nodes[node] = n
+		}
+		if have, ok := n.holders[txn]; ok && combine(have, mode) == have {
+			h.mu.Unlock()
+			return nil // already held strongly enough
+		}
+		if h.nodeCompatible(n, txn, mode) {
+			h.grantNode(n, txn, node, mode)
+			h.stats.Grants++
+			h.mu.Unlock()
+			return nil
+		}
+		// Park: record waits-for edges to incompatible holders, check for
+		// a cycle (requester is victim), then wait for any release.
+		w := &hierWait{txn: txn, node: node, mode: mode, ch: make(chan error, 1)}
+		h.detector.RemoveWaiter(txn)
+		for holder, held := range n.holders {
+			if holder != txn && !GCompatible(mode, held) {
+				h.detector.AddEdge(txn, holder)
+			}
+		}
+		if h.detector.InCycle(txn) {
+			h.detector.RemoveWaiter(txn)
+			h.stats.Deadlocks++
+			h.mu.Unlock()
+			return ErrDeadlock
+		}
+		h.waiters[w] = struct{}{}
+		h.stats.Blocks++
+		h.mu.Unlock()
+
+		select {
+		case <-w.ch:
+			// A release happened; re-evaluate from scratch.
+		case <-ctx.Done():
+			h.mu.Lock()
+			delete(h.waiters, w)
+			h.detector.RemoveWaiter(txn)
+			h.mu.Unlock()
+			return ctx.Err()
+		}
+		h.mu.Lock()
+		delete(h.waiters, w)
+		h.detector.RemoveWaiter(txn)
+	}
+}
+
+// nodeCompatible reports whether txn may take mode on n now. Caller
+// holds h.mu.
+func (h *HierTable) nodeCompatible(n *hierNode, txn TxnID, mode GMode) bool {
+	for holder, held := range n.holders {
+		if holder == txn {
+			continue
+		}
+		if !GCompatible(mode, held) {
+			return false
+		}
+	}
+	return true
+}
+
+// grantNode records the grant and wakes parked requests so their
+// waits-for edges track the changed holder set (a grant can add a
+// blocker for an existing waiter, e.g. a reader joining while a writer
+// waits). Caller holds h.mu.
+func (h *HierTable) grantNode(n *hierNode, txn TxnID, node NodeID, mode GMode) {
+	if have, ok := n.holders[txn]; ok {
+		mode = combine(have, mode)
+	}
+	n.holders[txn] = mode
+	hm := h.held[txn]
+	if hm == nil {
+		hm = make(map[NodeID]GMode, 4)
+		h.held[txn] = hm
+	}
+	hm[node] = mode
+	for w := range h.waiters {
+		select {
+		case w.ch <- nil:
+		default:
+		}
+	}
+}
+
+// ReleaseAll releases every node held by txn and wakes all parked
+// requests so they can re-evaluate.
+func (h *HierTable) ReleaseAll(txn TxnID) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	for node := range h.held[txn] {
+		n := h.nodes[node]
+		delete(n.holders, txn)
+		if len(n.holders) == 0 {
+			delete(h.nodes, node)
+		}
+	}
+	delete(h.held, txn)
+	delete(h.children, txn)
+	h.detector.RemoveTxn(txn)
+	for w := range h.waiters {
+		select {
+		case w.ch <- nil:
+		default: // already signalled
+		}
+	}
+}

@@ -1,0 +1,283 @@
+package lockmgr
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestGCompatibilityMatrix(t *testing.T) {
+	// Gray's matrix, row = requested, column = held.
+	compat := map[[2]GMode]bool{
+		{GModeIS, GModeIS}: true, {GModeIS, GModeIX}: true, {GModeIS, GModeS}: true, {GModeIS, GModeSIX}: true, {GModeIS, GModeX}: false,
+		{GModeIX, GModeIS}: true, {GModeIX, GModeIX}: true, {GModeIX, GModeS}: false, {GModeIX, GModeSIX}: false, {GModeIX, GModeX}: false,
+		{GModeS, GModeIS}: true, {GModeS, GModeIX}: false, {GModeS, GModeS}: true, {GModeS, GModeSIX}: false, {GModeS, GModeX}: false,
+		{GModeSIX, GModeIS}: true, {GModeSIX, GModeIX}: false, {GModeSIX, GModeS}: false, {GModeSIX, GModeSIX}: false, {GModeSIX, GModeX}: false,
+		{GModeX, GModeIS}: false, {GModeX, GModeIX}: false, {GModeX, GModeS}: false, {GModeX, GModeSIX}: false, {GModeX, GModeX}: false,
+	}
+	for pair, want := range compat {
+		if got := GCompatible(pair[0], pair[1]); got != want {
+			t.Errorf("GCompatible(%v, %v) = %v, want %v", pair[0], pair[1], got, want)
+		}
+	}
+}
+
+func TestGCompatibilitySymmetry(t *testing.T) {
+	// Lock compatibility is symmetric.
+	for a := GModeIS; a <= GModeX; a++ {
+		for b := GModeIS; b <= GModeX; b++ {
+			if GCompatible(a, b) != GCompatible(b, a) {
+				t.Errorf("asymmetric compatibility: %v vs %v", a, b)
+			}
+		}
+	}
+}
+
+func TestCombine(t *testing.T) {
+	cases := []struct{ a, b, want GMode }{
+		{GModeS, GModeIX, GModeSIX},
+		{GModeIX, GModeS, GModeSIX},
+		{GModeIS, GModeIX, GModeIX},
+		{GModeIS, GModeS, GModeS},
+		{GModeS, GModeX, GModeX},
+		{GModeSIX, GModeIS, GModeSIX},
+		{GModeX, GModeX, GModeX},
+	}
+	for _, c := range cases {
+		if got := combine(c.a, c.b); got != c.want {
+			t.Errorf("combine(%v,%v) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestIntentionFor(t *testing.T) {
+	if IntentionFor(GModeS) != GModeIS || IntentionFor(GModeIS) != GModeIS {
+		t.Fatal("read modes need IS intention")
+	}
+	for _, m := range []GMode{GModeX, GModeIX, GModeSIX} {
+		if IntentionFor(m) != GModeIX {
+			t.Fatalf("write mode %v needs IX intention", m)
+		}
+	}
+}
+
+func TestGModeString(t *testing.T) {
+	names := map[GMode]string{GModeIS: "IS", GModeIX: "IX", GModeS: "S", GModeSIX: "SIX", GModeX: "X"}
+	for m, want := range names {
+		if m.String() != want {
+			t.Errorf("GMode %d String = %q, want %q", m, m.String(), want)
+		}
+	}
+	if GMode(99).String() == "" {
+		t.Fatal("unknown GMode String empty")
+	}
+}
+
+func path(ids ...string) []NodeID {
+	out := make([]NodeID, len(ids))
+	for i, s := range ids {
+		out[i] = NodeID(s)
+	}
+	return out
+}
+
+func TestHierLockSetsIntentions(t *testing.T) {
+	h := NewHierTable()
+	ctx := context.Background()
+	if err := h.Lock(ctx, 1, path("db", "rel", "g1"), GModeX); err != nil {
+		t.Fatal(err)
+	}
+	if m, ok := h.Held(1, "db"); !ok || m != GModeIX {
+		t.Fatalf("root mode %v/%v, want IX", m, ok)
+	}
+	if m, ok := h.Held(1, "rel"); !ok || m != GModeIX {
+		t.Fatalf("relation mode %v/%v, want IX", m, ok)
+	}
+	if m, ok := h.Held(1, "g1"); !ok || m != GModeX {
+		t.Fatalf("granule mode %v/%v, want X", m, ok)
+	}
+}
+
+func TestHierFineGrainedConcurrency(t *testing.T) {
+	// Two writers on different granules of the same relation coexist via
+	// intention locks — the whole point of multigranularity locking.
+	h := NewHierTable()
+	ctx := context.Background()
+	if err := h.Lock(ctx, 1, path("db", "rel", "g1"), GModeX); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Lock(ctx, 2, path("db", "rel", "g2"), GModeX); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHierCoarseLockExcludesFine(t *testing.T) {
+	// An S lock on the relation blocks a writer on any of its granules.
+	h := NewHierTable()
+	ctx := context.Background()
+	if err := h.Lock(ctx, 1, path("db", "rel"), GModeS); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- h.Lock(ctx, 2, path("db", "rel", "g1"), GModeX) }()
+	select {
+	case <-done:
+		t.Fatal("granule writer not blocked by relation S lock")
+	case <-time.After(20 * time.Millisecond):
+	}
+	h.ReleaseAll(1)
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHierReadersShareRelation(t *testing.T) {
+	h := NewHierTable()
+	ctx := context.Background()
+	for txn := TxnID(1); txn <= 5; txn++ {
+		if err := h.Lock(ctx, txn, path("db", "rel"), GModeS); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestHierSIXComposition(t *testing.T) {
+	// Holding S then IX on the same node strengthens to SIX.
+	h := NewHierTable()
+	ctx := context.Background()
+	if err := h.Lock(ctx, 1, path("db", "rel"), GModeS); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Lock(ctx, 1, path("db", "rel", "g1"), GModeX); err != nil {
+		t.Fatal(err)
+	}
+	if m, _ := h.Held(1, "rel"); m != GModeSIX {
+		t.Fatalf("relation mode %v, want SIX", m)
+	}
+	// Another reader of the relation must now wait (SIX vs S).
+	done := make(chan error, 1)
+	go func() { done <- h.Lock(ctx, 2, path("db", "rel"), GModeS) }()
+	select {
+	case <-done:
+		t.Fatal("S granted against SIX")
+	case <-time.After(20 * time.Millisecond):
+	}
+	h.ReleaseAll(1)
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHierDeadlockDetected(t *testing.T) {
+	h := NewHierTable()
+	ctx := context.Background()
+	if err := h.Lock(ctx, 1, path("db", "r1"), GModeX); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Lock(ctx, 2, path("db", "r2"), GModeX); err != nil {
+		t.Fatal(err)
+	}
+	step := make(chan error, 1)
+	go func() { step <- h.Lock(ctx, 1, path("db", "r2"), GModeX) }()
+	time.Sleep(20 * time.Millisecond)
+	err := h.Lock(ctx, 2, path("db", "r1"), GModeX)
+	if !errors.Is(err, ErrDeadlock) {
+		t.Fatalf("err = %v, want ErrDeadlock", err)
+	}
+	h.ReleaseAll(2)
+	if err := <-step; err != nil {
+		t.Fatal(err)
+	}
+	h.ReleaseAll(1)
+}
+
+func TestHierContextCancel(t *testing.T) {
+	h := NewHierTable()
+	if err := h.Lock(context.Background(), 1, path("db"), GModeX); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- h.Lock(ctx, 2, path("db"), GModeS) }()
+	time.Sleep(10 * time.Millisecond)
+	cancel()
+	if err := <-done; !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	h.ReleaseAll(1)
+}
+
+func TestHierEmptyPath(t *testing.T) {
+	h := NewHierTable()
+	if err := h.Lock(context.Background(), 1, nil, GModeS); err == nil {
+		t.Fatal("empty path accepted")
+	}
+}
+
+func TestHierConcurrentStress(t *testing.T) {
+	// Mixed readers/writers over a two-level hierarchy with retry on
+	// deadlock: must terminate with exclusive access honored per granule.
+	h := NewHierTable()
+	const workers = 12
+	const iters = 100
+	var critical [4]atomic.Int32
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				txn := TxnID(1 + w + workers*(i+1))
+				g := (w + i) % 4
+				p := path("db", "rel", string(rune('a'+g)))
+				mode := GModeS
+				if (w+i)%3 == 0 {
+					mode = GModeX
+				}
+				for {
+					err := h.Lock(context.Background(), txn, p, mode)
+					if err == nil {
+						break
+					}
+					if errors.Is(err, ErrDeadlock) {
+						h.ReleaseAll(txn)
+						continue
+					}
+					t.Errorf("lock: %v", err)
+					return
+				}
+				if mode == GModeX {
+					if critical[g].Add(1) != 1 {
+						t.Errorf("X not exclusive on granule %d", g)
+					}
+					critical[g].Add(-1)
+				}
+				h.ReleaseAll(txn)
+			}
+		}()
+	}
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("hierarchical stress hung")
+	}
+}
+
+func BenchmarkHierLockRelease(b *testing.B) {
+	h := NewHierTable()
+	ctx := context.Background()
+	p := path("db", "rel", "g1")
+	for i := 0; i < b.N; i++ {
+		txn := TxnID(i + 1)
+		if err := h.Lock(ctx, txn, p, GModeS); err != nil {
+			b.Fatal(err)
+		}
+		h.ReleaseAll(txn)
+	}
+}

@@ -1,0 +1,476 @@
+package lockmgr
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// Mode is a granule lock mode for the flat lock table.
+type Mode int8
+
+const (
+	// ModeShared permits concurrent readers.
+	ModeShared Mode = iota
+	// ModeExclusive permits a single writer.
+	ModeExclusive
+)
+
+// String returns the conventional one-letter mode name.
+func (m Mode) String() string {
+	switch m {
+	case ModeShared:
+		return "S"
+	case ModeExclusive:
+		return "X"
+	default:
+		return fmt.Sprintf("Mode(%d)", int8(m))
+	}
+}
+
+// Compatible reports whether two flat modes may be held simultaneously by
+// different transactions.
+func Compatible(a, b Mode) bool {
+	return a == ModeShared && b == ModeShared
+}
+
+// TxnID identifies a transaction to the lock managers.
+type TxnID int64
+
+// Granule identifies a lockable unit.
+type Granule int64
+
+// Request names one granule and the mode in which it is wanted.
+type Request struct {
+	Granule Granule
+	Mode    Mode
+}
+
+// ErrDeadlock is returned to the victim of a detected deadlock under the
+// claim-as-needed protocol. The victim's locks remain held; the caller
+// should ReleaseAll and retry.
+var ErrDeadlock = errors.New("lockmgr: deadlock detected, transaction chosen as victim")
+
+// Stats are monotonically increasing counters of lock-table activity.
+type Stats struct {
+	Grants    int64 // acquire calls satisfied (immediately or after waiting)
+	Blocks    int64 // acquire calls that had to wait
+	Deadlocks int64 // claim-as-needed waits aborted as deadlock victims
+}
+
+// Table is a granule lock table supporting both conservative
+// (all-or-nothing preclaim, deadlock-free) and incremental
+// (claim-as-needed, deadlock-detected) acquisition. All methods are safe
+// for concurrent use.
+type Table struct {
+	mu       sync.Mutex
+	granules map[Granule]*granuleState
+	held     map[TxnID]map[Granule]Mode
+	claimQ   []*claimWaiter // FIFO queue of conservative preclaims
+	strict   bool
+	detector *Detector
+	stats    Stats
+}
+
+// granuleState tracks the holders and incremental waiters of one granule.
+type granuleState struct {
+	holders map[TxnID]Mode
+	waiters []*stepWaiter // FIFO
+}
+
+// claimWaiter is a parked conservative AcquireAll request.
+type claimWaiter struct {
+	txn  TxnID
+	reqs []Request
+	ch   chan error
+}
+
+// stepWaiter is a parked incremental Acquire request.
+type stepWaiter struct {
+	txn     TxnID
+	granule Granule
+	mode    Mode
+	ch      chan error
+}
+
+// Option configures a Table.
+type Option func(*Table)
+
+// StrictFIFO makes conservative preclaim grants strictly first-come,
+// first-served: a parked claim blocks every claim behind it, trading
+// concurrency for starvation freedom. The default allows compatible later
+// claims to overtake.
+func StrictFIFO() Option { return func(t *Table) { t.strict = true } }
+
+// NewTable returns an empty lock table.
+func NewTable(opts ...Option) *Table {
+	t := &Table{
+		granules: make(map[Granule]*granuleState),
+		held:     make(map[TxnID]map[Granule]Mode),
+		detector: NewDetector(),
+	}
+	for _, o := range opts {
+		o(t)
+	}
+	return t
+}
+
+// Stats returns a snapshot of the activity counters.
+func (t *Table) Stats() Stats {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.stats
+}
+
+// HeldBy returns the number of granules txn currently holds.
+func (t *Table) HeldBy(txn TxnID) int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.held[txn])
+}
+
+// HoldsAtLeast reports whether txn holds granule g in mode want or
+// stronger.
+func (t *Table) HoldsAtLeast(txn TxnID, g Granule, want Mode) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	have, ok := t.held[txn][g]
+	return ok && have >= want
+}
+
+// coalesce deduplicates requests, keeping the strongest mode per granule.
+func coalesce(reqs []Request) []Request {
+	strongest := make(map[Granule]Mode, len(reqs))
+	order := make([]Granule, 0, len(reqs))
+	for _, r := range reqs {
+		if have, ok := strongest[r.Granule]; !ok {
+			strongest[r.Granule] = r.Mode
+			order = append(order, r.Granule)
+		} else if r.Mode > have {
+			strongest[r.Granule] = r.Mode
+		}
+	}
+	out := make([]Request, len(order))
+	for i, g := range order {
+		out[i] = Request{Granule: g, Mode: strongest[g]}
+	}
+	return out
+}
+
+// AcquireAll atomically acquires every requested granule, or parks the
+// whole claim until it can: the conservative protocol of the paper, under
+// which deadlock is impossible because a transaction holds nothing while
+// it waits. Duplicate granules are coalesced to their strongest mode.
+// AcquireAll returns early with ctx.Err() if the context is cancelled
+// while parked.
+func (t *Table) AcquireAll(ctx context.Context, txn TxnID, reqs []Request) error {
+	reqs = coalesce(reqs)
+	t.mu.Lock()
+	if len(t.held[txn]) != 0 {
+		t.mu.Unlock()
+		return fmt.Errorf("lockmgr: transaction %d already holds locks; conservative claims must be the first acquisition", txn)
+	}
+	if t.grantable(txn, reqs) {
+		t.grantAll(txn, reqs)
+		t.stats.Grants++
+		t.mu.Unlock()
+		return nil
+	}
+	w := &claimWaiter{txn: txn, reqs: reqs, ch: make(chan error, 1)}
+	t.claimQ = append(t.claimQ, w)
+	t.stats.Blocks++
+	t.mu.Unlock()
+
+	select {
+	case err := <-w.ch:
+		return err
+	case <-ctx.Done():
+		t.mu.Lock()
+		removed := t.removeClaim(w)
+		t.mu.Unlock()
+		if !removed {
+			// The grant raced the cancellation: the claim was granted
+			// before we could withdraw it, so report success.
+			return <-w.ch
+		}
+		return ctx.Err()
+	}
+}
+
+// grantable reports whether every request is compatible with current
+// holders other than txn itself.
+func (t *Table) grantable(txn TxnID, reqs []Request) bool {
+	for _, r := range reqs {
+		gs := t.granules[r.Granule]
+		if gs == nil {
+			continue
+		}
+		for holder, mode := range gs.holders {
+			if holder == txn {
+				continue
+			}
+			if !Compatible(r.Mode, mode) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// grantAll records txn as holder of every request. Caller holds t.mu.
+func (t *Table) grantAll(txn TxnID, reqs []Request) {
+	hm := t.held[txn]
+	if hm == nil {
+		hm = make(map[Granule]Mode, len(reqs))
+		t.held[txn] = hm
+	}
+	for _, r := range reqs {
+		gs := t.granules[r.Granule]
+		if gs == nil {
+			gs = &granuleState{holders: make(map[TxnID]Mode, 1)}
+			t.granules[r.Granule] = gs
+		}
+		if have, ok := gs.holders[txn]; !ok || r.Mode > have {
+			gs.holders[txn] = r.Mode
+		}
+		if have, ok := hm[r.Granule]; !ok || r.Mode > have {
+			hm[r.Granule] = r.Mode
+		}
+	}
+}
+
+// removeClaim withdraws a parked claim; it reports whether the claim was
+// still parked. Caller holds t.mu.
+func (t *Table) removeClaim(w *claimWaiter) bool {
+	for i, c := range t.claimQ {
+		if c == w {
+			t.claimQ = append(t.claimQ[:i], t.claimQ[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+// Acquire incrementally acquires one granule (the claim-as-needed
+// protocol). It may wait; if the wait would close a cycle in the
+// waits-for graph the request fails with ErrDeadlock and the caller is
+// the victim. Lock upgrades (S held, X requested) are supported and wait
+// for concurrent readers to drain.
+func (t *Table) Acquire(ctx context.Context, txn TxnID, g Granule, mode Mode) error {
+	t.mu.Lock()
+	gs := t.granules[g]
+	if gs == nil {
+		gs = &granuleState{holders: make(map[TxnID]Mode, 1)}
+		t.granules[g] = gs
+	}
+	if have, ok := gs.holders[txn]; ok && have >= mode {
+		t.mu.Unlock()
+		return nil // already held strongly enough
+	}
+	if t.stepGrantable(gs, txn, mode) {
+		t.grantStep(gs, txn, g, mode)
+		t.stats.Grants++
+		// An upgrade strengthens the holder set without a release; the
+		// waits-for edges of parked requests must track the change.
+		t.syncWaiterEdges(gs)
+		t.mu.Unlock()
+		return nil
+	}
+	w := &stepWaiter{txn: txn, granule: g, mode: mode, ch: make(chan error, 1)}
+	gs.waiters = append(gs.waiters, w)
+	t.stats.Blocks++
+	t.refreshEdges(gs, w, len(gs.waiters)-1)
+	if t.detector.InCycle(txn) {
+		// The newest edge closed a cycle: this requester is the victim.
+		t.dropWaiter(gs, w)
+		t.detector.RemoveWaiter(txn)
+		t.stats.Deadlocks++
+		t.mu.Unlock()
+		return ErrDeadlock
+	}
+	t.mu.Unlock()
+
+	select {
+	case err := <-w.ch:
+		return err
+	case <-ctx.Done():
+		t.mu.Lock()
+		if t.dropWaiter(gs, w) {
+			t.detector.RemoveWaiter(txn)
+			// Waiters queued behind w held an ahead-edge to it; refresh
+			// so the withdrawn wait cannot fabricate a cycle.
+			t.syncWaiterEdges(gs)
+			t.mu.Unlock()
+			return ctx.Err()
+		}
+		t.mu.Unlock()
+		return <-w.ch
+	}
+}
+
+// stepGrantable reports whether txn may take g in mode now. Caller holds
+// t.mu. FIFO fairness: a request must also not overtake earlier waiters
+// unless it is compatible with them too (readers may join readers even if
+// a writer waits only when they precede the writer; we keep it simple and
+// strict to avoid writer starvation).
+func (t *Table) stepGrantable(gs *granuleState, txn TxnID, mode Mode) bool {
+	for holder, held := range gs.holders {
+		if holder == txn {
+			continue // upgrade: only other holders matter
+		}
+		if !Compatible(mode, held) {
+			return false
+		}
+	}
+	// No overtaking: if others are already parked on this granule, queue
+	// behind them (except pure upgrades, which take priority to drain).
+	if _, upgrading := gs.holders[txn]; !upgrading && len(gs.waiters) > 0 {
+		return false
+	}
+	return true
+}
+
+// grantStep records txn as holder of g. Caller holds t.mu.
+func (t *Table) grantStep(gs *granuleState, txn TxnID, g Granule, mode Mode) {
+	if have, ok := gs.holders[txn]; !ok || mode > have {
+		gs.holders[txn] = mode
+	}
+	hm := t.held[txn]
+	if hm == nil {
+		hm = make(map[Granule]Mode, 4)
+		t.held[txn] = hm
+	}
+	if have, ok := hm[g]; !ok || mode > have {
+		hm[g] = mode
+	}
+}
+
+// dropWaiter removes w from its granule's wait queue; reports whether it
+// was still parked. Caller holds t.mu.
+func (t *Table) dropWaiter(gs *granuleState, w *stepWaiter) bool {
+	for i, x := range gs.waiters {
+		if x == w {
+			gs.waiters = append(gs.waiters[:i], gs.waiters[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+// refreshEdges points w's waits-for edges at the current incompatible
+// holders of its granule and at every waiter queued ahead of it (the
+// no-overtaking rule makes those real blockers too). idx is w's position
+// in gs.waiters. Caller holds t.mu.
+func (t *Table) refreshEdges(gs *granuleState, w *stepWaiter, idx int) {
+	t.detector.RemoveWaiter(w.txn)
+	for holder, held := range gs.holders {
+		if holder != w.txn && !Compatible(w.mode, held) {
+			t.detector.AddEdge(w.txn, holder)
+		}
+	}
+	for i := 0; i < idx && i < len(gs.waiters); i++ {
+		t.detector.AddEdge(w.txn, gs.waiters[i].txn)
+	}
+}
+
+// syncWaiterEdges refreshes the edges of every waiter of gs and aborts
+// any whose refreshed edges close a cycle. Caller holds t.mu.
+func (t *Table) syncWaiterEdges(gs *granuleState) {
+	remaining := append([]*stepWaiter(nil), gs.waiters...)
+	for _, w := range remaining {
+		idx := -1
+		for i, x := range gs.waiters {
+			if x == w {
+				idx = i
+				break
+			}
+		}
+		if idx < 0 {
+			continue // aborted by an earlier iteration
+		}
+		t.refreshEdges(gs, w, idx)
+		if t.detector.InCycle(w.txn) {
+			t.dropWaiter(gs, w)
+			t.detector.RemoveWaiter(w.txn)
+			t.stats.Deadlocks++
+			w.ch <- ErrDeadlock
+		}
+	}
+}
+
+// ReleaseAll releases every granule held by txn, wakes whatever can now
+// run, and clears txn from the waits-for graph.
+func (t *Table) ReleaseAll(txn TxnID) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	touched := make([]Granule, 0, len(t.held[txn]))
+	for g := range t.held[txn] {
+		gs := t.granules[g]
+		delete(gs.holders, txn)
+		touched = append(touched, g)
+	}
+	delete(t.held, txn)
+	t.detector.RemoveTxn(txn)
+
+	for _, g := range touched {
+		t.wakeStepWaiters(g)
+	}
+	t.wakeClaims()
+	// Garbage-collect empty granule entries so long-running tables do not
+	// accumulate one record per granule ever touched.
+	for _, g := range touched {
+		if gs := t.granules[g]; gs != nil && len(gs.holders) == 0 && len(gs.waiters) == 0 {
+			delete(t.granules, g)
+		}
+	}
+}
+
+// wakeStepWaiters grants incremental waiters of g in FIFO order while
+// compatible, refreshing the waits-for edges of those still blocked and
+// aborting any whose refreshed edges close a cycle. Caller holds t.mu.
+func (t *Table) wakeStepWaiters(g Granule) {
+	gs := t.granules[g]
+	if gs == nil {
+		return
+	}
+	for len(gs.waiters) > 0 {
+		w := gs.waiters[0]
+		granted := true
+		for holder, held := range gs.holders {
+			if holder != w.txn && !Compatible(w.mode, held) {
+				granted = false
+				break
+			}
+		}
+		if !granted {
+			break
+		}
+		gs.waiters = gs.waiters[1:]
+		t.grantStep(gs, w.txn, g, w.mode)
+		t.detector.RemoveWaiter(w.txn)
+		t.stats.Grants++
+		w.ch <- nil
+	}
+	// Refresh edges of those still waiting: their blockers changed.
+	t.syncWaiterEdges(gs)
+}
+
+// wakeClaims grants parked conservative claims that are now fully
+// compatible. Caller holds t.mu.
+func (t *Table) wakeClaims() {
+	for i := 0; i < len(t.claimQ); {
+		w := t.claimQ[i]
+		if t.grantable(w.txn, w.reqs) {
+			t.grantAll(w.txn, w.reqs)
+			t.claimQ = append(t.claimQ[:i], t.claimQ[i+1:]...)
+			t.stats.Grants++
+			w.ch <- nil
+			continue // re-examine the claim now at index i
+		}
+		if t.strict {
+			return // strict FIFO: nothing may overtake a blocked claim
+		}
+		i++
+	}
+}

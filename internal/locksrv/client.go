@@ -1,0 +1,92 @@
+package locksrv
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"net"
+
+	"granulock/internal/lockmgr"
+)
+
+// Client is one lock-manager session. A Client serializes its requests
+// (one in flight at a time) and belongs to one worker, mirroring a
+// database session; open one Client per concurrent worker. Methods are
+// not safe for concurrent use on the same Client.
+type Client struct {
+	conn net.Conn
+	dec  *json.Decoder
+	enc  *json.Encoder
+}
+
+// Dial connects to a lock server.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("locksrv: dial: %w", err)
+	}
+	return &Client{
+		conn: conn,
+		dec:  json.NewDecoder(bufio.NewReader(conn)),
+		enc:  json.NewEncoder(conn),
+	}, nil
+}
+
+// roundTrip sends one request and reads its response.
+func (c *Client) roundTrip(req Request) (Response, error) {
+	if err := c.enc.Encode(req); err != nil {
+		return Response{}, fmt.Errorf("locksrv: send: %w", err)
+	}
+	var resp Response
+	if err := c.dec.Decode(&resp); err != nil {
+		return Response{}, fmt.Errorf("locksrv: receive: %w", err)
+	}
+	return resp, nil
+}
+
+// AcquireAll conservatively claims the lock set for txn, blocking until
+// granted. Mirrors lockmgr.Table.AcquireAll across the wire.
+func (c *Client) AcquireAll(txn int64, reqs []lockmgr.Request) error {
+	granules := make([]int64, len(reqs))
+	exclusive := make([]bool, len(reqs))
+	for i, r := range reqs {
+		granules[i] = int64(r.Granule)
+		exclusive[i] = r.Mode == lockmgr.ModeExclusive
+	}
+	resp, err := c.roundTrip(Request{Op: "acquire", Txn: txn, Granules: granules, Exclusive: exclusive})
+	if err != nil {
+		return err
+	}
+	if !resp.OK {
+		return fmt.Errorf("locksrv: acquire: %s", resp.Err)
+	}
+	return nil
+}
+
+// ReleaseAll releases everything txn holds.
+func (c *Client) ReleaseAll(txn int64) error {
+	resp, err := c.roundTrip(Request{Op: "release", Txn: txn})
+	if err != nil {
+		return err
+	}
+	if !resp.OK {
+		return fmt.Errorf("locksrv: release: %s", resp.Err)
+	}
+	return nil
+}
+
+// Stats fetches the server's lock-table counters.
+func (c *Client) Stats() (lockmgr.Stats, error) {
+	resp, err := c.roundTrip(Request{Op: "stats"})
+	if err != nil {
+		return lockmgr.Stats{}, err
+	}
+	if !resp.OK || resp.Stats == nil {
+		return lockmgr.Stats{}, fmt.Errorf("locksrv: stats: %s", resp.Err)
+	}
+	return *resp.Stats, nil
+}
+
+// Close ends the session; the server releases any locks its
+// transactions still hold.
+func (c *Client) Close() error { return c.conn.Close() }

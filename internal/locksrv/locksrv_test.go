@@ -1,0 +1,239 @@
+package locksrv
+
+import (
+	"encoding/json"
+	"net"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"granulock/internal/lockmgr"
+)
+
+// startServer launches a server on an ephemeral port and returns its
+// address plus a cleanup.
+func startServer(t *testing.T) (string, *Server) {
+	t.Helper()
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewServer(lis, nil)
+	go func() {
+		if err := srv.Serve(); err != nil {
+			t.Errorf("serve: %v", err)
+		}
+	}()
+	t.Cleanup(func() { srv.Close() })
+	return lis.Addr().String(), srv
+}
+
+func dial(t *testing.T, addr string) *Client {
+	t.Helper()
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return c
+}
+
+func xreq(granules ...int64) []lockmgr.Request {
+	out := make([]lockmgr.Request, len(granules))
+	for i, g := range granules {
+		out[i] = lockmgr.Request{Granule: lockmgr.Granule(g), Mode: lockmgr.ModeExclusive}
+	}
+	return out
+}
+
+func TestAcquireReleaseRoundTrip(t *testing.T) {
+	addr, _ := startServer(t)
+	c := dial(t, addr)
+	if err := c.AcquireAll(1, xreq(10, 11)); err != nil {
+		t.Fatal(err)
+	}
+	stats, err := c.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Grants != 1 {
+		t.Fatalf("grants %d", stats.Grants)
+	}
+	if err := c.ReleaseAll(1); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConflictBlocksAcrossConnections(t *testing.T) {
+	addr, _ := startServer(t)
+	holder := dial(t, addr)
+	waiter := dial(t, addr)
+	if err := holder.AcquireAll(1, xreq(5)); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- waiter.AcquireAll(2, xreq(5)) }()
+	select {
+	case err := <-done:
+		t.Fatalf("conflicting claim granted remotely: %v", err)
+	case <-time.After(30 * time.Millisecond):
+	}
+	if err := holder.ReleaseAll(1); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("remote waiter never granted after release")
+	}
+}
+
+func TestSharedLocksCoexistRemotely(t *testing.T) {
+	addr, _ := startServer(t)
+	a := dial(t, addr)
+	b := dial(t, addr)
+	sreq := []lockmgr.Request{{Granule: 7, Mode: lockmgr.ModeShared}}
+	if err := a.AcquireAll(1, sreq); err != nil {
+		t.Fatal(err)
+	}
+	granted := make(chan error, 1)
+	go func() { granted <- b.AcquireAll(2, sreq) }()
+	select {
+	case err := <-granted:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("shared lock blocked remotely")
+	}
+}
+
+func TestDisconnectReleasesLocks(t *testing.T) {
+	addr, _ := startServer(t)
+	holder := dial(t, addr)
+	if err := holder.AcquireAll(1, xreq(3)); err != nil {
+		t.Fatal(err)
+	}
+	waiter := dial(t, addr)
+	done := make(chan error, 1)
+	go func() { done <- waiter.AcquireAll(2, xreq(3)) }()
+	time.Sleep(30 * time.Millisecond)
+	holder.Close() // crash the holder's session
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("waiter after holder crash: %v", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("holder crash did not release its locks")
+	}
+}
+
+func TestServerCloseUnblocksWaiters(t *testing.T) {
+	addr, srv := startServer(t)
+	holder := dial(t, addr)
+	if err := holder.AcquireAll(1, xreq(9)); err != nil {
+		t.Fatal(err)
+	}
+	waiter := dial(t, addr)
+	done := make(chan error, 1)
+	go func() { done <- waiter.AcquireAll(2, xreq(9)) }()
+	time.Sleep(30 * time.Millisecond)
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Shutdown ordering races are fine (the waiter may be granted just
+	// as the holder's teardown releases its locks, or see an error);
+	// what must never happen is the waiter hanging forever.
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("server close left waiter hanging")
+	}
+}
+
+func TestProtocolErrors(t *testing.T) {
+	addr, _ := startServer(t)
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	enc := json.NewEncoder(conn)
+	dec := json.NewDecoder(conn)
+
+	check := func(req Request, wantErr string) {
+		t.Helper()
+		if err := enc.Encode(req); err != nil {
+			t.Fatal(err)
+		}
+		var resp Response
+		if err := dec.Decode(&resp); err != nil {
+			t.Fatal(err)
+		}
+		if resp.OK || !strings.Contains(resp.Err, wantErr) {
+			t.Fatalf("response %+v, want error containing %q", resp, wantErr)
+		}
+	}
+	check(Request{Op: "acquire", Txn: 1}, "without granules")
+	check(Request{Op: "acquire", Txn: 1, Granules: []int64{1}, Exclusive: []bool{true, false}}, "lengths differ")
+	check(Request{Op: "frobnicate"}, "unknown op")
+}
+
+func TestDistributedConservationStress(t *testing.T) {
+	// Many client sessions in this process behave like shared-nothing
+	// workers: exclusive claims must still be mutually exclusive across
+	// the wire.
+	addr, _ := startServer(t)
+	var inCritical [4]atomic.Int32
+	var txnSeq atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c, err := Dial(addr)
+			if err != nil {
+				t.Errorf("dial: %v", err)
+				return
+			}
+			defer c.Close()
+			for i := 0; i < 50; i++ {
+				txn := txnSeq.Add(1)
+				g := int64((w + i) % 4)
+				if err := c.AcquireAll(txn, xreq(g)); err != nil {
+					t.Errorf("acquire: %v", err)
+					return
+				}
+				if inCritical[g].Add(1) != 1 {
+					t.Errorf("mutual exclusion violated on granule %d", g)
+				}
+				inCritical[g].Add(-1)
+				if err := c.ReleaseAll(txn); err != nil {
+					t.Errorf("release: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func TestServerDoubleCloseAndAddr(t *testing.T) {
+	addr, srv := startServer(t)
+	if srv.Addr().String() != addr {
+		t.Fatal("addr mismatch")
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatal("double close errored")
+	}
+}

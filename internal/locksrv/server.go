@@ -1,0 +1,189 @@
+// Package locksrv exposes the granule lock table over TCP: a central
+// lock manager for shared-nothing clusters whose nodes are separate
+// processes. The paper's systems (Tandem, Teradata, Gamma) distribute
+// lock management; this package supplies the network substrate for the
+// same experiments to run across process boundaries — conservative
+// all-or-nothing claims, blocking grants, and release, with the same
+// semantics as calling internal/lockmgr in-process.
+//
+// The wire protocol is newline-delimited JSON, one request and one
+// response per line, processed in order per connection. Blocking
+// acquisitions block the connection's request loop (a connection is a
+// session, like one database worker); concurrency comes from multiple
+// connections. A dropped connection releases every lock its
+// transactions still hold, so client crashes cannot strand granules.
+package locksrv
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+
+	"granulock/internal/lockmgr"
+)
+
+// Request is one wire request.
+type Request struct {
+	// Op selects the operation: "acquire", "release" or "stats".
+	Op string `json:"op"`
+	// Txn identifies the transaction for acquire/release.
+	Txn int64 `json:"txn,omitempty"`
+	// Granules and Exclusive describe the lock set for acquire:
+	// Exclusive[i] selects X (true) or S (false) for Granules[i].
+	Granules  []int64 `json:"granules,omitempty"`
+	Exclusive []bool  `json:"exclusive,omitempty"`
+}
+
+// Response is one wire response.
+type Response struct {
+	OK    bool           `json:"ok"`
+	Err   string         `json:"err,omitempty"`
+	Stats *lockmgr.Stats `json:"stats,omitempty"`
+}
+
+// Server serves a lock table over a listener. Create with NewServer,
+// start with Serve (blocking) or in a goroutine, stop with Close.
+type Server struct {
+	table *lockmgr.Table
+	lis   net.Listener
+
+	mu     sync.Mutex
+	conns  map[net.Conn]struct{}
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// NewServer returns a Server around table (a fresh table if nil)
+// accepting on lis.
+func NewServer(lis net.Listener, table *lockmgr.Table) *Server {
+	if table == nil {
+		table = lockmgr.NewTable()
+	}
+	return &Server{table: table, lis: lis, conns: make(map[net.Conn]struct{})}
+}
+
+// Addr returns the listening address.
+func (s *Server) Addr() net.Addr { return s.lis.Addr() }
+
+// Serve accepts connections until the listener closes. It returns nil
+// after Close.
+func (s *Server) Serve() error {
+	for {
+		conn, err := s.lis.Accept()
+		if err != nil {
+			s.mu.Lock()
+			closed := s.closed
+			s.mu.Unlock()
+			if closed {
+				s.wg.Wait()
+				return nil
+			}
+			return fmt.Errorf("locksrv: accept: %w", err)
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			continue
+		}
+		s.conns[conn] = struct{}{}
+		s.wg.Add(1)
+		s.mu.Unlock()
+		go s.handle(conn)
+	}
+}
+
+// Close stops accepting, disconnects every session (releasing their
+// locks) and waits for the handlers to drain.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	for conn := range s.conns {
+		conn.Close()
+	}
+	s.mu.Unlock()
+	err := s.lis.Close()
+	s.wg.Wait()
+	return err
+}
+
+// handle runs one session: read a request, execute, write the
+// response, repeat. Transactions granted on this session are tracked
+// and force-released when it ends.
+func (s *Server) handle(conn net.Conn) {
+	defer s.wg.Done()
+	// ctx cancels blocking acquisitions when the connection dies.
+	ctx, cancel := context.WithCancel(context.Background())
+	owned := make(map[lockmgr.TxnID]struct{})
+	defer func() {
+		cancel()
+		for txn := range owned {
+			s.table.ReleaseAll(txn)
+		}
+		conn.Close()
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+	}()
+
+	dec := json.NewDecoder(bufio.NewReader(conn))
+	enc := json.NewEncoder(conn)
+	for {
+		var req Request
+		if err := dec.Decode(&req); err != nil {
+			return // EOF, closed, or garbage: end the session
+		}
+		resp := s.execute(ctx, &req, owned)
+		if err := enc.Encode(resp); err != nil {
+			return
+		}
+	}
+}
+
+// execute performs one request against the table.
+func (s *Server) execute(ctx context.Context, req *Request, owned map[lockmgr.TxnID]struct{}) Response {
+	switch req.Op {
+	case "acquire":
+		if len(req.Granules) == 0 {
+			return Response{Err: "acquire without granules"}
+		}
+		if len(req.Exclusive) != len(req.Granules) {
+			return Response{Err: "granules and exclusive lengths differ"}
+		}
+		reqs := make([]lockmgr.Request, len(req.Granules))
+		for i, g := range req.Granules {
+			mode := lockmgr.ModeShared
+			if req.Exclusive[i] {
+				mode = lockmgr.ModeExclusive
+			}
+			reqs[i] = lockmgr.Request{Granule: lockmgr.Granule(g), Mode: mode}
+		}
+		txn := lockmgr.TxnID(req.Txn)
+		if err := s.table.AcquireAll(ctx, txn, reqs); err != nil {
+			if errors.Is(err, context.Canceled) {
+				return Response{Err: "session closed"}
+			}
+			return Response{Err: err.Error()}
+		}
+		owned[txn] = struct{}{}
+		return Response{OK: true}
+	case "release":
+		txn := lockmgr.TxnID(req.Txn)
+		s.table.ReleaseAll(txn)
+		delete(owned, txn)
+		return Response{OK: true}
+	case "stats":
+		stats := s.table.Stats()
+		return Response{OK: true, Stats: &stats}
+	default:
+		return Response{Err: fmt.Sprintf("unknown op %q", req.Op)}
+	}
+}

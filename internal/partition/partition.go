@@ -1,0 +1,90 @@
+// Package partition models how the database is declustered across the
+// shared-nothing system's disks, which determines how many
+// sub-transactions a transaction splits into and where they run
+// (paper §2 and §3.4).
+package partition
+
+import (
+	"fmt"
+
+	"granulock/internal/rng"
+)
+
+// Strategy is a data partitioning method.
+type Strategy int
+
+const (
+	// Horizontal partitions every relation round-robin over all disks,
+	// so every transaction splits into npros sub-transactions, one per
+	// processor (PUᵢ = npros).
+	Horizontal Strategy = iota
+	// Random partitions relations over random disk subsets, so a
+	// transaction splits into PUᵢ ~ U(1, npros) sub-transactions on a
+	// uniformly chosen processor subset.
+	Random
+)
+
+var strategyNames = [...]string{"horizontal", "random"}
+
+// String returns the strategy name.
+func (s Strategy) String() string {
+	if s < 0 || int(s) >= len(strategyNames) {
+		return fmt.Sprintf("Strategy(%d)", int(s))
+	}
+	return strategyNames[s]
+}
+
+// ParseStrategy converts a name produced by String back to a Strategy.
+func ParseStrategy(name string) (Strategy, error) {
+	for i, n := range strategyNames {
+		if n == name {
+			return Strategy(i), nil
+		}
+	}
+	return 0, fmt.Errorf("partition: unknown strategy %q", name)
+}
+
+// Assign returns the distinct processors a transaction's work is spread
+// over. Horizontal returns all processors in index order; Random returns
+// a uniform subset of uniform size ≥ 1 in random order. npros must be
+// ≥ 1. src is only consulted for Random.
+func Assign(s Strategy, npros int, src *rng.Source) []int {
+	if npros < 1 {
+		panic(fmt.Sprintf("partition: npros %d < 1", npros))
+	}
+	switch s {
+	case Horizontal:
+		all := make([]int, npros)
+		for i := range all {
+			all[i] = i
+		}
+		return all
+	case Random:
+		k := src.IntRange(1, npros)
+		return src.Subset(k, npros)
+	default:
+		panic(fmt.Sprintf("partition: unknown strategy %d", int(s)))
+	}
+}
+
+// SpreadEntities distributes nu entities over k processors as evenly as
+// possible ("any given relation is equally partitioned among all the
+// disk drives"). The result has length k, sums to nu, and no two shares
+// differ by more than one; shares may be zero when nu < k.
+func SpreadEntities(nu, k int) []int {
+	if k < 1 {
+		panic(fmt.Sprintf("partition: k %d < 1", k))
+	}
+	if nu < 0 {
+		panic(fmt.Sprintf("partition: nu %d < 0", nu))
+	}
+	out := make([]int, k)
+	base, extra := nu/k, nu%k
+	for i := range out {
+		out[i] = base
+		if i < extra {
+			out[i]++
+		}
+	}
+	return out
+}

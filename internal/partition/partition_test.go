@@ -1,0 +1,162 @@
+package partition
+
+import (
+	"testing"
+	"testing/quick"
+
+	"granulock/internal/rng"
+)
+
+func TestHorizontalAssignsAllProcessors(t *testing.T) {
+	for _, npros := range []int{1, 2, 5, 10, 30} {
+		got := Assign(Horizontal, npros, rng.New(1))
+		if len(got) != npros {
+			t.Fatalf("npros=%d: %d processors assigned", npros, len(got))
+		}
+		for i, p := range got {
+			if p != i {
+				t.Fatalf("npros=%d: assignment %v not identity", npros, got)
+			}
+		}
+	}
+}
+
+func TestRandomAssignSubsetProperties(t *testing.T) {
+	src := rng.New(2)
+	for i := 0; i < 5000; i++ {
+		got := Assign(Random, 10, src)
+		if len(got) < 1 || len(got) > 10 {
+			t.Fatalf("subset size %d outside [1,10]", len(got))
+		}
+		seen := map[int]bool{}
+		for _, p := range got {
+			if p < 0 || p >= 10 || seen[p] {
+				t.Fatalf("invalid subset %v", got)
+			}
+			seen[p] = true
+		}
+	}
+}
+
+func TestRandomAssignSizeDistribution(t *testing.T) {
+	// PUi ~ U(1, npros): each size equally likely.
+	src := rng.New(3)
+	const npros, draws = 5, 100000
+	counts := make([]int, npros+1)
+	for i := 0; i < draws; i++ {
+		counts[len(Assign(Random, npros, src))]++
+	}
+	want := draws / npros
+	for size := 1; size <= npros; size++ {
+		if counts[size] < want*9/10 || counts[size] > want*11/10 {
+			t.Fatalf("size %d count %d, want about %d", size, counts[size], want)
+		}
+	}
+}
+
+func TestRandomAssignCoversAllProcessors(t *testing.T) {
+	src := rng.New(4)
+	seen := map[int]bool{}
+	for i := 0; i < 2000; i++ {
+		for _, p := range Assign(Random, 7, src) {
+			seen[p] = true
+		}
+	}
+	for p := 0; p < 7; p++ {
+		if !seen[p] {
+			t.Fatalf("processor %d never assigned", p)
+		}
+	}
+}
+
+func TestAssignSingleProcessor(t *testing.T) {
+	for _, s := range []Strategy{Horizontal, Random} {
+		got := Assign(s, 1, rng.New(5))
+		if len(got) != 1 || got[0] != 0 {
+			t.Fatalf("%v with npros=1: %v", s, got)
+		}
+	}
+}
+
+func TestAssignPanicsOnBadNpros(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("npros=0 did not panic")
+		}
+	}()
+	Assign(Horizontal, 0, rng.New(1))
+}
+
+func TestSpreadEntitiesExact(t *testing.T) {
+	cases := []struct {
+		nu, k int
+		want  []int
+	}{
+		{10, 5, []int{2, 2, 2, 2, 2}},
+		{11, 5, []int{3, 2, 2, 2, 2}},
+		{3, 5, []int{1, 1, 1, 0, 0}},
+		{0, 3, []int{0, 0, 0}},
+		{7, 1, []int{7}},
+	}
+	for _, c := range cases {
+		got := SpreadEntities(c.nu, c.k)
+		if len(got) != len(c.want) {
+			t.Fatalf("SpreadEntities(%d,%d) = %v", c.nu, c.k, got)
+		}
+		for i := range got {
+			if got[i] != c.want[i] {
+				t.Fatalf("SpreadEntities(%d,%d) = %v, want %v", c.nu, c.k, got, c.want)
+			}
+		}
+	}
+}
+
+func TestSpreadEntitiesProperties(t *testing.T) {
+	f := func(nuRaw uint16, kRaw uint8) bool {
+		nu := int(nuRaw)
+		k := int(kRaw)%64 + 1
+		got := SpreadEntities(nu, k)
+		sum, lo, hi := 0, 1<<30, 0
+		for _, v := range got {
+			sum += v
+			if v < lo {
+				lo = v
+			}
+			if v > hi {
+				hi = v
+			}
+		}
+		return len(got) == k && sum == nu && hi-lo <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSpreadEntitiesPanics(t *testing.T) {
+	for _, c := range []struct{ nu, k int }{{5, 0}, {-1, 3}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("SpreadEntities(%d,%d) did not panic", c.nu, c.k)
+				}
+			}()
+			SpreadEntities(c.nu, c.k)
+		}()
+	}
+}
+
+func TestStrategyStrings(t *testing.T) {
+	for _, s := range []Strategy{Horizontal, Random} {
+		got, err := ParseStrategy(s.String())
+		if err != nil || got != s {
+			t.Errorf("round-trip of %v failed", s)
+		}
+	}
+	if _, err := ParseStrategy("bogus"); err == nil {
+		t.Fatal("bogus strategy parsed")
+	}
+	if Strategy(9).String() == "" {
+		t.Fatal("unknown strategy String empty")
+	}
+}

@@ -1,0 +1,184 @@
+// Package plot renders small ASCII line charts, enough to reproduce the
+// look of the paper's figures (throughput vs number of locks on a log-x
+// axis) directly in a terminal or a text report.
+package plot
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Series is one plotted curve.
+type Series struct {
+	Label string
+	X     []float64
+	Y     []float64
+}
+
+// Chart is a renderable ASCII chart. Zero Width/Height get sensible
+// defaults.
+type Chart struct {
+	Title  string
+	XLabel string
+	YLabel string
+	Series []Series
+	// LogX plots x on a log10 scale, as the paper's figures do
+	// (number of locks from 1 to 10000).
+	LogX   bool
+	Width  int // plot-area columns
+	Height int // plot-area rows
+}
+
+// markers distinguish series, cycling if there are many.
+var markers = []byte{'o', '+', 'x', '*', '#', '@', '%', '&'}
+
+// Render draws the chart. Series with mismatched X/Y lengths or no
+// points are skipped; an empty chart still renders its frame.
+func (c *Chart) Render() string {
+	width, height := c.Width, c.Height
+	if width <= 0 {
+		width = 64
+	}
+	if height <= 0 {
+		height = 16
+	}
+
+	xmin, xmax, ymin, ymax := c.bounds()
+	grid := make([][]byte, height)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", width))
+	}
+
+	for si, s := range c.Series {
+		if len(s.X) != len(s.Y) || len(s.X) == 0 {
+			continue
+		}
+		m := markers[si%len(markers)]
+		for i := range s.X {
+			col := c.colFor(s.X[i], xmin, xmax, width)
+			row := rowFor(s.Y[i], ymin, ymax, height)
+			if col >= 0 && col < width && row >= 0 && row < height {
+				grid[row][col] = m
+			}
+		}
+	}
+
+	var b strings.Builder
+	if c.Title != "" {
+		fmt.Fprintf(&b, "  %s\n", c.Title)
+	}
+	if c.YLabel != "" {
+		fmt.Fprintf(&b, "  %s\n", c.YLabel)
+	}
+	yTop := fmt.Sprintf("%.4g", ymax)
+	yBot := fmt.Sprintf("%.4g", ymin)
+	margin := len(yTop)
+	if len(yBot) > margin {
+		margin = len(yBot)
+	}
+	for r := 0; r < height; r++ {
+		label := strings.Repeat(" ", margin)
+		if r == 0 {
+			label = pad(yTop, margin)
+		} else if r == height-1 {
+			label = pad(yBot, margin)
+		}
+		fmt.Fprintf(&b, "%s |%s\n", label, string(grid[r]))
+	}
+	fmt.Fprintf(&b, "%s +%s\n", strings.Repeat(" ", margin), strings.Repeat("-", width))
+	xAxis := c.xAxisLine(xmin, xmax, width)
+	fmt.Fprintf(&b, "%s  %s\n", strings.Repeat(" ", margin), xAxis)
+	if c.XLabel != "" {
+		fmt.Fprintf(&b, "%s  %s\n", strings.Repeat(" ", margin), center(c.XLabel, width))
+	}
+	for si, s := range c.Series {
+		fmt.Fprintf(&b, "  %c %s\n", markers[si%len(markers)], s.Label)
+	}
+	return b.String()
+}
+
+// bounds computes the data envelope, defaulting to the unit box when
+// there is nothing to plot, and padding a degenerate y-range.
+func (c *Chart) bounds() (xmin, xmax, ymin, ymax float64) {
+	xmin, ymin = math.Inf(1), math.Inf(1)
+	xmax, ymax = math.Inf(-1), math.Inf(-1)
+	for _, s := range c.Series {
+		if len(s.X) != len(s.Y) {
+			continue
+		}
+		for i := range s.X {
+			xmin = math.Min(xmin, s.X[i])
+			xmax = math.Max(xmax, s.X[i])
+			ymin = math.Min(ymin, s.Y[i])
+			ymax = math.Max(ymax, s.Y[i])
+		}
+	}
+	if math.IsInf(xmin, 1) {
+		return 0, 1, 0, 1
+	}
+	if xmin == xmax {
+		xmax = xmin + 1
+	}
+	if ymin == ymax {
+		ymax = ymin + 1
+		if ymin != 0 {
+			ymin -= math.Abs(ymin) * 0.05
+		}
+	}
+	return xmin, xmax, ymin, ymax
+}
+
+// colFor maps x to a plot column, on a log scale when requested (x ≤ 0
+// clamps to the left edge).
+func (c *Chart) colFor(x, xmin, xmax float64, width int) int {
+	var frac float64
+	if c.LogX {
+		if x <= 0 || xmin <= 0 {
+			if x <= 0 {
+				return 0
+			}
+			xmin = math.SmallestNonzeroFloat64
+		}
+		lo, hi := math.Log10(xmin), math.Log10(xmax)
+		if hi == lo {
+			hi = lo + 1
+		}
+		frac = (math.Log10(x) - lo) / (hi - lo)
+	} else {
+		frac = (x - xmin) / (xmax - xmin)
+	}
+	return int(math.Round(frac * float64(width-1)))
+}
+
+// rowFor maps y to a plot row, row 0 at the top.
+func rowFor(y, ymin, ymax float64, height int) int {
+	frac := (y - ymin) / (ymax - ymin)
+	return int(math.Round((1 - frac) * float64(height-1)))
+}
+
+// xAxisLine writes the min and max x values under the axis.
+func (c *Chart) xAxisLine(xmin, xmax float64, width int) string {
+	left := fmt.Sprintf("%.4g", xmin)
+	right := fmt.Sprintf("%.4g", xmax)
+	gap := width - len(left) - len(right)
+	if gap < 1 {
+		gap = 1
+	}
+	return left + strings.Repeat(" ", gap) + right
+}
+
+func pad(s string, n int) string {
+	if len(s) >= n {
+		return s
+	}
+	return strings.Repeat(" ", n-len(s)) + s
+}
+
+func center(s string, width int) string {
+	if len(s) >= width {
+		return s
+	}
+	left := (width - len(s)) / 2
+	return strings.Repeat(" ", left) + s
+}

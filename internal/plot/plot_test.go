@@ -1,0 +1,121 @@
+package plot
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRenderContainsLabelsAndLegend(t *testing.T) {
+	c := Chart{
+		Title:  "Throughput vs locks",
+		XLabel: "number of locks",
+		YLabel: "throughput",
+		Series: []Series{
+			{Label: "npros=1", X: []float64{1, 10, 100}, Y: []float64{0.1, 0.2, 0.15}},
+			{Label: "npros=30", X: []float64{1, 10, 100}, Y: []float64{0.2, 0.9, 0.7}},
+		},
+		LogX: true,
+	}
+	out := c.Render()
+	for _, want := range []string{"Throughput vs locks", "number of locks", "throughput", "npros=1", "npros=30"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	if !strings.Contains(out, "o") || !strings.Contains(out, "+") {
+		t.Errorf("series markers missing:\n%s", out)
+	}
+}
+
+func TestRenderEmptyChart(t *testing.T) {
+	c := Chart{Title: "empty"}
+	out := c.Render()
+	if !strings.Contains(out, "empty") || !strings.Contains(out, "+---") {
+		t.Fatalf("empty chart frame broken:\n%s", out)
+	}
+}
+
+func TestRenderSkipsMismatchedSeries(t *testing.T) {
+	c := Chart{Series: []Series{{Label: "bad", X: []float64{1, 2}, Y: []float64{1}}}}
+	out := c.Render() // must not panic
+	if out == "" {
+		t.Fatal("no output")
+	}
+}
+
+func TestHigherValuesPlotHigher(t *testing.T) {
+	c := Chart{
+		Series: []Series{{Label: "s", X: []float64{0, 1}, Y: []float64{0, 10}}},
+		Width:  20, Height: 10,
+	}
+	out := c.Render()
+	lines := strings.Split(out, "\n")
+	var firstRow, lastRow int = -1, -1
+	for i, ln := range lines {
+		if strings.Contains(ln, "o") {
+			if firstRow == -1 {
+				firstRow = i
+			}
+			lastRow = i
+		}
+	}
+	if firstRow == -1 || firstRow == lastRow {
+		t.Fatalf("expected two marker rows:\n%s", out)
+	}
+	// The y=10 point (at x=1, right side) must be on an earlier line than
+	// the y=0 point (at x=0, left side), and further right within it.
+	topCol := strings.Index(lines[firstRow], "o")
+	botCol := strings.Index(lines[lastRow], "o")
+	if topCol <= botCol {
+		t.Fatalf("orientation wrong (top marker at col %d, bottom at %d):\n%s", topCol, botCol, out)
+	}
+}
+
+func TestLogXSpacing(t *testing.T) {
+	// On a log axis, 1, 10, 100 must be evenly spaced columns.
+	c := Chart{
+		Series: []Series{{Label: "s", X: []float64{1, 10, 100}, Y: []float64{1, 1, 1}}},
+		LogX:   true, Width: 21, Height: 3,
+	}
+	xmin, xmax, _, _ := c.bounds()
+	c0 := c.colFor(1, xmin, xmax, 21)
+	c1 := c.colFor(10, xmin, xmax, 21)
+	c2 := c.colFor(100, xmin, xmax, 21)
+	if c0 != 0 || c2 != 20 || c1 != 10 {
+		t.Fatalf("log columns %d/%d/%d, want 0/10/20", c0, c1, c2)
+	}
+}
+
+func TestLinearXSpacing(t *testing.T) {
+	c := Chart{Width: 11}
+	if got := c.colFor(5, 0, 10, 11); got != 5 {
+		t.Fatalf("linear midpoint column %d, want 5", got)
+	}
+}
+
+func TestLogXNonPositiveClamps(t *testing.T) {
+	c := Chart{LogX: true}
+	if got := c.colFor(0, 1, 100, 10); got != 0 {
+		t.Fatalf("x=0 column %d, want 0", got)
+	}
+	if got := c.colFor(-5, 1, 100, 10); got != 0 {
+		t.Fatalf("x=-5 column %d, want 0", got)
+	}
+}
+
+func TestBoundsDegenerate(t *testing.T) {
+	c := Chart{Series: []Series{{Label: "s", X: []float64{5}, Y: []float64{3}}}}
+	xmin, xmax, ymin, ymax := c.bounds()
+	if xmin >= xmax || ymin >= ymax {
+		t.Fatalf("degenerate bounds not widened: [%v,%v]x[%v,%v]", xmin, xmax, ymin, ymax)
+	}
+}
+
+func TestManySeriesMarkerCycle(t *testing.T) {
+	var series []Series
+	for i := 0; i < 10; i++ {
+		series = append(series, Series{Label: "s", X: []float64{1}, Y: []float64{1}})
+	}
+	c := Chart{Series: series}
+	_ = c.Render() // no panic on marker cycling
+}

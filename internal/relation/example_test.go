@@ -1,0 +1,81 @@
+package relation_test
+
+import (
+	"context"
+	"fmt"
+
+	"granulock/internal/relation"
+)
+
+// Example runs a tiny banking schema through the relational layer:
+// insert, point update, range scan and an aggregate, all under
+// multigranularity two-phase locking.
+func Example() {
+	ctx := context.Background()
+	db := relation.NewDB("bank")
+	accounts, _ := db.CreateTable("accounts", relation.Schema{Columns: []relation.Column{
+		{Name: "owner", Type: relation.String},
+		{Name: "balance", Type: relation.Int},
+	}}, 2 /* partitions */, 4 /* tuples per granule */)
+
+	_ = db.Exec(ctx, func(txn *relation.Txn) error {
+		for i := 0; i < 8; i++ {
+			if _, err := txn.Insert(accounts, relation.Tuple{
+				relation.StrDatum(fmt.Sprintf("acct%d", i)),
+				relation.IntDatum(100),
+			}); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+
+	_ = db.Exec(ctx, func(txn *relation.Txn) error {
+		// A transfer: two point updates (two granule X locks at most).
+		if err := txn.Update(accounts, 0, "balance", relation.IntDatum(75)); err != nil {
+			return err
+		}
+		return txn.Update(accounts, 7, "balance", relation.IntDatum(125))
+	})
+
+	_ = db.Exec(ctx, func(txn *relation.Txn) error {
+		rows, err := txn.RangeScan(accounts, 0, 4) // one granule lock
+		if err != nil {
+			return err
+		}
+		fmt.Println("first granule holds", len(rows), "accounts")
+		total, err := txn.SumInt(accounts, "balance") // one table lock
+		if err != nil {
+			return err
+		}
+		fmt.Println("total balance:", total)
+		return nil
+	})
+	// Output:
+	// first granule holds 4 accounts
+	// total balance: 800
+}
+
+// ExampleTxn_Abort shows undo: an aborted transaction leaves no trace.
+func ExampleTxn_Abort() {
+	ctx := context.Background()
+	db := relation.NewDB("d")
+	t, _ := db.CreateTable("t", relation.Schema{Columns: []relation.Column{
+		{Name: "v", Type: relation.Int},
+	}}, 1, 1)
+	_ = db.Exec(ctx, func(txn *relation.Txn) error {
+		_, err := txn.Insert(t, relation.Tuple{relation.IntDatum(1)})
+		return err
+	})
+
+	txn := db.Begin(ctx)
+	_ = txn.Update(t, 0, "v", relation.IntDatum(999))
+	_ = txn.Abort()
+
+	check := db.Begin(ctx)
+	defer check.Commit()
+	tup, _ := check.Get(t, 0)
+	fmt.Println("value after abort:", tup[0].Int)
+	// Output:
+	// value after abort: 1
+}

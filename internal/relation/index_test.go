@@ -1,0 +1,246 @@
+package relation
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// openIndexed creates accounts with an index on owner; every 10th
+// account shares owner "shared".
+func openIndexed(t *testing.T, n int) (*DB, *Table, *Index) {
+	t.Helper()
+	db := NewDB("bank")
+	tbl, err := db.CreateTable("accounts", accountsSchema(), 3, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	txn := db.Begin(context.Background())
+	for i := 0; i < n; i++ {
+		owner := fmt.Sprintf("acct%d", i)
+		if i%10 == 0 {
+			owner = "shared"
+		}
+		if _, err := txn.Insert(tbl, Tuple{StrDatum(owner), IntDatum(100)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := txn.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	idx, err := db.CreateIndex(tbl, "owner")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return db, tbl, idx
+}
+
+func TestCreateIndexValidation(t *testing.T) {
+	db := NewDB("d")
+	tbl, _ := db.CreateTable("t", accountsSchema(), 1, 1)
+	if _, err := db.CreateIndex(tbl, "nope"); err == nil {
+		t.Fatal("index on missing column accepted")
+	}
+	idx, err := db.CreateIndex(tbl, "owner")
+	if err != nil || idx.Column() != "owner" {
+		t.Fatalf("index create: %v", err)
+	}
+}
+
+func TestIndexBuildFromExistingRows(t *testing.T) {
+	db, _, idx := openIndexed(t, 30)
+	txn := db.Begin(context.Background())
+	defer txn.Commit()
+	shared, err := txn.Lookup(idx, StrDatum("shared"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(shared) != 3 { // ids 0, 10, 20
+		t.Fatalf("lookup returned %d tuples, want 3", len(shared))
+	}
+	one, err := txn.Lookup(idx, StrDatum("acct7"))
+	if err != nil || len(one) != 1 || one[0][1].Int != 100 {
+		t.Fatalf("point lookup: %v %v", one, err)
+	}
+	none, err := txn.Lookup(idx, StrDatum("missing"))
+	if err != nil || len(none) != 0 {
+		t.Fatalf("missing lookup: %v %v", none, err)
+	}
+}
+
+func TestIndexTypeChecked(t *testing.T) {
+	db, _, idx := openIndexed(t, 5)
+	txn := db.Begin(context.Background())
+	defer txn.Abort()
+	if _, err := txn.Lookup(idx, IntDatum(5)); err == nil {
+		t.Fatal("wrong-typed probe accepted")
+	}
+}
+
+func TestIndexMaintainedByInsert(t *testing.T) {
+	db, tbl, idx := openIndexed(t, 5)
+	ctx := context.Background()
+	if err := db.Exec(ctx, func(txn *Txn) error {
+		_, err := txn.Insert(tbl, Tuple{StrDatum("newbie"), IntDatum(1)})
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	txn := db.Begin(ctx)
+	defer txn.Commit()
+	got, err := txn.Lookup(idx, StrDatum("newbie"))
+	if err != nil || len(got) != 1 {
+		t.Fatalf("insert not indexed: %v %v", got, err)
+	}
+}
+
+func TestIndexMaintainedByUpdate(t *testing.T) {
+	db, tbl, idx := openIndexed(t, 5)
+	ctx := context.Background()
+	if err := db.Exec(ctx, func(txn *Txn) error {
+		return txn.Update(tbl, 2, "owner", StrDatum("renamed"))
+	}); err != nil {
+		t.Fatal(err)
+	}
+	txn := db.Begin(ctx)
+	defer txn.Commit()
+	if got, _ := txn.Lookup(idx, StrDatum("acct2")); len(got) != 0 {
+		t.Fatalf("stale index entry survived update: %v", got)
+	}
+	if got, _ := txn.Lookup(idx, StrDatum("renamed")); len(got) != 1 {
+		t.Fatalf("new value not indexed: %v", got)
+	}
+}
+
+func TestIndexMaintainedByDelete(t *testing.T) {
+	db, tbl, idx := openIndexed(t, 5)
+	ctx := context.Background()
+	if err := db.Exec(ctx, func(txn *Txn) error {
+		return txn.Delete(tbl, 3)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	txn := db.Begin(ctx)
+	defer txn.Commit()
+	if got, _ := txn.Lookup(idx, StrDatum("acct3")); len(got) != 0 {
+		t.Fatalf("deleted tuple still indexed: %v", got)
+	}
+}
+
+func TestIndexRestoredByAbort(t *testing.T) {
+	db, tbl, idx := openIndexed(t, 5)
+	ctx := context.Background()
+	txn := db.Begin(ctx)
+	if err := txn.Update(tbl, 1, "owner", StrDatum("temp")); err != nil {
+		t.Fatal(err)
+	}
+	if err := txn.Delete(tbl, 2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := txn.Insert(tbl, Tuple{StrDatum("ghost"), IntDatum(1)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := txn.Abort(); err != nil {
+		t.Fatal(err)
+	}
+	check := db.Begin(ctx)
+	defer check.Commit()
+	if got, _ := check.Lookup(idx, StrDatum("acct1")); len(got) != 1 {
+		t.Fatalf("aborted update left index wrong: %v", got)
+	}
+	if got, _ := check.Lookup(idx, StrDatum("temp")); len(got) != 0 {
+		t.Fatalf("aborted value indexed: %v", got)
+	}
+	if got, _ := check.Lookup(idx, StrDatum("acct2")); len(got) != 1 {
+		t.Fatalf("aborted delete left index wrong: %v", got)
+	}
+	if got, _ := check.Lookup(idx, StrDatum("ghost")); len(got) != 0 {
+		t.Fatalf("aborted insert indexed: %v", got)
+	}
+}
+
+func TestIndexCardinality(t *testing.T) {
+	_, _, idx := openIndexed(t, 30)
+	// 27 unique owners + "shared".
+	if got := idx.Cardinality(); got != 28 {
+		t.Fatalf("cardinality %d, want 28", got)
+	}
+}
+
+func TestSumInt(t *testing.T) {
+	db, tbl, _ := openIndexed(t, 20)
+	ctx := context.Background()
+	txn := db.Begin(ctx)
+	defer txn.Commit()
+	sum, err := txn.SumInt(tbl, "balance")
+	if err != nil || sum != 2000 {
+		t.Fatalf("sum %d, %v", sum, err)
+	}
+	if _, err := txn.SumInt(tbl, "owner"); err == nil {
+		t.Fatal("sum over string column accepted")
+	}
+	if _, err := txn.SumInt(tbl, "nope"); err == nil {
+		t.Fatal("sum over missing column accepted")
+	}
+}
+
+func TestIndexUnderConcurrentWriters(t *testing.T) {
+	// Writers flip ownership between two values; index probes must
+	// always return internally consistent results (every returned tuple
+	// really has the probed owner), and the final state must match a
+	// full scan.
+	db, tbl, idx := openIndexed(t, 40)
+	ctx := context.Background()
+	var wg sync.WaitGroup
+	for w := 0; w < 6; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				id := int64((w*3 + i*7) % 40)
+				owner := "red"
+				if (w+i)%2 == 0 {
+					owner = "blue"
+				}
+				if err := db.Exec(ctx, func(txn *Txn) error {
+					return txn.Update(tbl, id, "owner", StrDatum(owner))
+				}); err != nil {
+					t.Errorf("update: %v", err)
+					return
+				}
+				if err := db.Exec(ctx, func(txn *Txn) error {
+					got, err := txn.Lookup(idx, StrDatum("red"))
+					if err != nil {
+						return err
+					}
+					for _, tup := range got {
+						if tup[0].Str != "red" {
+							t.Errorf("lookup returned wrong owner %q", tup[0].Str)
+						}
+					}
+					return nil
+				}); err != nil {
+					t.Errorf("probe: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	// Final cross-check: index contents equal a scan's truth.
+	txn := db.Begin(ctx)
+	defer txn.Commit()
+	scanned, err := txn.Scan(tbl, func(tup Tuple) bool { return tup[0].Str == "red" })
+	if err != nil {
+		t.Fatal(err)
+	}
+	probed, err := txn.Lookup(idx, StrDatum("red"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(scanned) != len(probed) {
+		t.Fatalf("index (%d) and scan (%d) disagree", len(probed), len(scanned))
+	}
+}

@@ -1,0 +1,144 @@
+package relation
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+// openOrdered creates accounts with an ordered index on balance;
+// balances are 10·i.
+func openOrdered(t *testing.T, n int) (*DB, *Table, *OrderedIndex) {
+	t.Helper()
+	db := NewDB("bank")
+	tbl, err := db.CreateTable("accounts", accountsSchema(), 3, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	txn := db.Begin(context.Background())
+	for i := 0; i < n; i++ {
+		if _, err := txn.Insert(tbl, Tuple{StrDatum("x"), IntDatum(int64(10 * i))}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := txn.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	oidx, err := db.CreateOrderedIndex(tbl, "balance")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return db, tbl, oidx
+}
+
+func TestCreateOrderedIndexValidation(t *testing.T) {
+	db := NewDB("d")
+	tbl, _ := db.CreateTable("t", accountsSchema(), 1, 1)
+	if _, err := db.CreateOrderedIndex(tbl, "nope"); err == nil {
+		t.Fatal("missing column accepted")
+	}
+	if _, err := db.CreateOrderedIndex(tbl, "owner"); err == nil {
+		t.Fatal("string column accepted")
+	}
+	oidx, err := db.CreateOrderedIndex(tbl, "balance")
+	if err != nil || oidx.Column() != "balance" {
+		t.Fatal(err)
+	}
+}
+
+func TestRangeLookupOrderAndBounds(t *testing.T) {
+	db, _, oidx := openOrdered(t, 20) // balances 0..190
+	txn := db.Begin(context.Background())
+	defer txn.Commit()
+	got, err := txn.RangeLookup(oidx, 50, 120)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int64{50, 60, 70, 80, 90, 100, 110}
+	if len(got) != len(want) {
+		t.Fatalf("range returned %d tuples, want %d", len(got), len(want))
+	}
+	for i, tup := range got {
+		if tup[1].Int != want[i] {
+			t.Fatalf("position %d: balance %d, want %d (order broken?)", i, tup[1].Int, want[i])
+		}
+	}
+	empty, err := txn.RangeLookup(oidx, 1000, 2000)
+	if err != nil || len(empty) != 0 {
+		t.Fatalf("out-of-range lookup: %v %v", empty, err)
+	}
+}
+
+func TestOrderedIndexMaintained(t *testing.T) {
+	db, tbl, oidx := openOrdered(t, 10)
+	ctx := context.Background()
+	if err := db.Exec(ctx, func(txn *Txn) error {
+		if err := txn.Update(tbl, 0, "balance", IntDatum(9999)); err != nil {
+			return err
+		}
+		return txn.Delete(tbl, 5) // balance 50
+	}); err != nil {
+		t.Fatal(err)
+	}
+	txn := db.Begin(ctx)
+	defer txn.Commit()
+	if got, _ := txn.RangeLookup(oidx, 0, 5); len(got) != 0 {
+		t.Fatalf("stale entry for updated tuple: %v", got)
+	}
+	if got, _ := txn.RangeLookup(oidx, 9999, 10000); len(got) != 1 {
+		t.Fatalf("updated value not indexed: %v", got)
+	}
+	if got, _ := txn.RangeLookup(oidx, 50, 51); len(got) != 0 {
+		t.Fatalf("deleted tuple still indexed: %v", got)
+	}
+	if oidx.Len() != 9 {
+		t.Fatalf("index size %d, want 9", oidx.Len())
+	}
+}
+
+func TestOrderedIndexAbortRestores(t *testing.T) {
+	db, tbl, oidx := openOrdered(t, 5)
+	ctx := context.Background()
+	txn := db.Begin(ctx)
+	if err := txn.Update(tbl, 2, "balance", IntDatum(777)); err != nil {
+		t.Fatal(err)
+	}
+	if err := txn.Abort(); err != nil {
+		t.Fatal(err)
+	}
+	check := db.Begin(ctx)
+	defer check.Commit()
+	if got, _ := check.RangeLookup(oidx, 777, 778); len(got) != 0 {
+		t.Fatalf("aborted value indexed: %v", got)
+	}
+	if got, _ := check.RangeLookup(oidx, 20, 21); len(got) != 1 {
+		t.Fatalf("original value lost: %v", got)
+	}
+}
+
+func TestRangeLookupTakesLocks(t *testing.T) {
+	db, tbl, oidx := openOrdered(t, 20)
+	ctx := context.Background()
+	reader := db.Begin(ctx)
+	if _, err := reader.RangeLookup(oidx, 0, 50); err != nil { // ids 0..4
+		t.Fatal(err)
+	}
+	// A writer of a looked-up tuple must block on its granule lock.
+	done := make(chan error, 1)
+	go func() {
+		done <- db.Exec(ctx, func(w *Txn) error {
+			return w.Update(tbl, 2, "balance", IntDatum(1))
+		})
+	}()
+	select {
+	case <-done:
+		t.Fatal("writer not blocked by range-lookup locks")
+	case <-time.After(20 * time.Millisecond):
+	}
+	if err := reader.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,199 @@
+package relation
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"granulock/internal/rng"
+)
+
+// refDB is a naive single-threaded reference implementation of the
+// relational layer's semantics: a map of live tuples plus an undo list.
+// Random operation sequences are applied to both implementations and
+// every observable result is compared — classic model-based testing.
+type refDB struct {
+	rows    map[int64][]Datum
+	deleted map[int64]bool
+	nextID  int64
+	undo    []func()
+}
+
+func newRefDB() *refDB {
+	return &refDB{rows: map[int64][]Datum{}, deleted: map[int64]bool{}}
+}
+
+func (r *refDB) insert(tup Tuple) int64 {
+	id := r.nextID
+	r.nextID++
+	cp := append([]Datum(nil), tup...)
+	r.rows[id] = cp
+	r.undo = append(r.undo, func() { r.deleted[id] = true })
+	r.deleted[id] = false
+	return id
+}
+
+func (r *refDB) get(id int64) ([]Datum, bool) {
+	tup, ok := r.rows[id]
+	if !ok || r.deleted[id] {
+		return nil, false
+	}
+	return tup, true
+}
+
+func (r *refDB) update(id int64, col int, d Datum) bool {
+	if _, live := r.get(id); !live {
+		return false
+	}
+	old := r.rows[id][col]
+	r.rows[id][col] = d
+	r.undo = append(r.undo, func() { r.rows[id][col] = old })
+	return true
+}
+
+func (r *refDB) del(id int64) bool {
+	if _, live := r.get(id); !live {
+		return false
+	}
+	r.deleted[id] = true
+	r.undo = append(r.undo, func() { r.deleted[id] = false })
+	return true
+}
+
+func (r *refDB) commit() { r.undo = nil }
+
+func (r *refDB) abort() {
+	for i := len(r.undo) - 1; i >= 0; i-- {
+		r.undo[i]()
+	}
+	r.undo = nil
+}
+
+func (r *refDB) liveCount() int {
+	n := 0
+	for id := range r.rows {
+		if !r.deleted[id] {
+			n++
+		}
+	}
+	return n
+}
+
+// TestAgainstReferenceModel drives both implementations with the same
+// random single-threaded operation stream and compares observations
+// after every step and at every transaction boundary.
+func TestAgainstReferenceModel(t *testing.T) {
+	for seed := uint64(1); seed <= 5; seed++ {
+		src := rng.New(seed)
+		db := NewDB("ref")
+		tbl, err := db.CreateTable("t", Schema{Columns: []Column{
+			{Name: "a", Type: Int},
+			{Name: "b", Type: String},
+		}}, 3, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ref := newRefDB()
+		ctx := context.Background()
+		txn := db.Begin(ctx)
+
+		for step := 0; step < 800; step++ {
+			switch src.Intn(7) {
+			case 0, 1: // insert
+				tup := Tuple{IntDatum(int64(src.Intn(1000))), StrDatum("s")}
+				id, err := txn.Insert(tbl, tup)
+				if err != nil {
+					t.Fatalf("seed %d step %d: insert: %v", seed, step, err)
+				}
+				refID := ref.insert(tup)
+				if id != refID {
+					t.Fatalf("seed %d step %d: id %d vs ref %d", seed, step, id, refID)
+				}
+			case 2, 3: // get a random (possibly missing) id
+				if ref.nextID == 0 {
+					continue
+				}
+				id := int64(src.Intn(int(ref.nextID) + 2))
+				got, err := txn.Get(tbl, id)
+				want, live := ref.get(id)
+				if live {
+					if err != nil {
+						t.Fatalf("seed %d step %d: get(%d): %v", seed, step, id, err)
+					}
+					if got[0].Int != want[0].Int || got[1].Str != want[1].Str {
+						t.Fatalf("seed %d step %d: get(%d) = %v, want %v", seed, step, id, got, want)
+					}
+				} else if !errors.Is(err, ErrNotFound) {
+					t.Fatalf("seed %d step %d: get(%d) of dead tuple: %v, %v", seed, step, id, got, err)
+				}
+			case 4: // update
+				if ref.nextID == 0 {
+					continue
+				}
+				id := int64(src.Intn(int(ref.nextID)))
+				d := IntDatum(int64(src.Intn(1000)))
+				err := txn.Update(tbl, id, "a", d)
+				if ref.update(id, 0, d) {
+					if err != nil {
+						t.Fatalf("seed %d step %d: update(%d): %v", seed, step, id, err)
+					}
+				} else if !errors.Is(err, ErrNotFound) {
+					t.Fatalf("seed %d step %d: update of dead tuple: %v", seed, step, err)
+				}
+			case 5: // delete
+				if ref.nextID == 0 {
+					continue
+				}
+				id := int64(src.Intn(int(ref.nextID)))
+				err := txn.Delete(tbl, id)
+				if ref.del(id) {
+					if err != nil {
+						t.Fatalf("seed %d step %d: delete(%d): %v", seed, step, id, err)
+					}
+				} else if !errors.Is(err, ErrNotFound) {
+					t.Fatalf("seed %d step %d: delete of dead tuple: %v", seed, step, err)
+				}
+			case 6: // transaction boundary: commit or abort, then compare scans
+				if src.Bernoulli(0.5) {
+					if err := txn.Commit(); err != nil {
+						t.Fatal(err)
+					}
+					ref.commit()
+				} else {
+					if err := txn.Abort(); err != nil {
+						t.Fatal(err)
+					}
+					ref.abort()
+				}
+				check := db.Begin(ctx)
+				all, err := check.Scan(tbl, nil)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if len(all) != ref.liveCount() {
+					t.Fatalf("seed %d step %d: scan %d rows, ref %d", seed, step, len(all), ref.liveCount())
+				}
+				if err := check.Commit(); err != nil {
+					t.Fatal(err)
+				}
+				txn = db.Begin(ctx)
+			}
+		}
+		_ = txn.Commit()
+		ref.commit()
+
+		// Final deep comparison of every tuple id ever allocated.
+		final := db.Begin(ctx)
+		for id := int64(0); id < ref.nextID; id++ {
+			got, err := final.Get(tbl, id)
+			want, live := ref.get(id)
+			if live != (err == nil) {
+				t.Fatalf("seed %d: liveness of %d diverged (ref %v, err %v)", seed, id, live, err)
+			}
+			if live && (got[0].Int != want[0].Int || got[1].Str != want[1].Str) {
+				t.Fatalf("seed %d: tuple %d diverged: %v vs %v", seed, id, got, want)
+			}
+		}
+		_ = final.Commit()
+	}
+}

@@ -1,0 +1,62 @@
+package rng
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Zipf draws integers from [0, n) with P(k) ∝ 1/(k+1)^s — the standard
+// skewed-access model for database hot spots (s=0 degenerates to
+// uniform; s≈1 is the classic "80/20"-ish skew). The sampler
+// precomputes the CDF once and draws by binary search, so it is exact
+// and O(log n) per draw.
+type Zipf struct {
+	src *Source
+	cdf []float64
+}
+
+// NewZipf returns a sampler over [0, n) with exponent s ≥ 0. It panics
+// for n < 1 or negative s (static misconfiguration).
+func NewZipf(src *Source, s float64, n int) *Zipf {
+	if n < 1 {
+		panic(fmt.Sprintf("rng: Zipf domain %d < 1", n))
+	}
+	if s < 0 || math.IsNaN(s) {
+		panic(fmt.Sprintf("rng: Zipf exponent %v < 0", s))
+	}
+	if src == nil {
+		panic("rng: Zipf with nil source")
+	}
+	cdf := make([]float64, n)
+	total := 0.0
+	for k := 0; k < n; k++ {
+		total += math.Pow(float64(k+1), -s)
+		cdf[k] = total
+	}
+	for k := range cdf {
+		cdf[k] /= total
+	}
+	cdf[n-1] = 1 // guard against rounding
+	return &Zipf{src: src, cdf: cdf}
+}
+
+// Next draws one value.
+func (z *Zipf) Next() int {
+	p := z.src.Float64OC()
+	return sort.SearchFloat64s(z.cdf, p)
+}
+
+// N returns the domain size.
+func (z *Zipf) N() int { return len(z.cdf) }
+
+// Prob returns the exact probability of value k (diagnostics/tests).
+func (z *Zipf) Prob(k int) float64 {
+	if k < 0 || k >= len(z.cdf) {
+		return 0
+	}
+	if k == 0 {
+		return z.cdf[0]
+	}
+	return z.cdf[k] - z.cdf[k-1]
+}

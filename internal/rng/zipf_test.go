@@ -1,0 +1,127 @@
+package rng
+
+import (
+	"math"
+	"testing"
+)
+
+func TestZipfValidation(t *testing.T) {
+	for _, c := range []struct {
+		s float64
+		n int
+	}{{-1, 10}, {1, 0}, {math.NaN(), 10}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Zipf(s=%v, n=%d) did not panic", c.s, c.n)
+				}
+			}()
+			NewZipf(New(1), c.s, c.n)
+		}()
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("nil source accepted")
+			}
+		}()
+		NewZipf(nil, 1, 10)
+	}()
+}
+
+func TestZipfRangeAndCoverage(t *testing.T) {
+	z := NewZipf(New(2), 1.0, 20)
+	if z.N() != 20 {
+		t.Fatalf("N = %d", z.N())
+	}
+	seen := map[int]bool{}
+	for i := 0; i < 50000; i++ {
+		v := z.Next()
+		if v < 0 || v >= 20 {
+			t.Fatalf("value %d out of range", v)
+		}
+		seen[v] = true
+	}
+	for k := 0; k < 20; k++ {
+		if !seen[k] {
+			t.Fatalf("value %d never drawn", k)
+		}
+	}
+}
+
+func TestZipfZeroExponentIsUniform(t *testing.T) {
+	z := NewZipf(New(3), 0, 10)
+	counts := make([]int, 10)
+	const n = 100000
+	for i := 0; i < n; i++ {
+		counts[z.Next()]++
+	}
+	for k, c := range counts {
+		if math.Abs(float64(c)-n/10) > 5*math.Sqrt(n/10) {
+			t.Fatalf("s=0 not uniform at %d: %d", k, c)
+		}
+	}
+}
+
+func TestZipfSkewConcentratesMass(t *testing.T) {
+	z := NewZipf(New(4), 1.2, 100)
+	const n = 100000
+	top := 0
+	for i := 0; i < n; i++ {
+		if z.Next() < 5 {
+			top++
+		}
+	}
+	frac := float64(top) / n
+	// With s=1.2 over 100 values, the top 5 carry well over half the
+	// mass.
+	if frac < 0.55 {
+		t.Fatalf("top-5 mass %v, want > 0.55", frac)
+	}
+}
+
+func TestZipfEmpiricalMatchesProb(t *testing.T) {
+	z := NewZipf(New(5), 0.8, 8)
+	const n = 200000
+	counts := make([]int, 8)
+	for i := 0; i < n; i++ {
+		counts[z.Next()]++
+	}
+	for k := 0; k < 8; k++ {
+		want := z.Prob(k)
+		got := float64(counts[k]) / n
+		if math.Abs(got-want) > 0.01 {
+			t.Fatalf("P(%d): empirical %v vs exact %v", k, got, want)
+		}
+	}
+}
+
+func TestZipfProbSumsToOne(t *testing.T) {
+	z := NewZipf(New(6), 1.5, 50)
+	sum := 0.0
+	for k := 0; k < 50; k++ {
+		sum += z.Prob(k)
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("probabilities sum to %v", sum)
+	}
+	if z.Prob(-1) != 0 || z.Prob(50) != 0 {
+		t.Fatal("out-of-range Prob nonzero")
+	}
+}
+
+func TestZipfMonotoneDecreasingProb(t *testing.T) {
+	z := NewZipf(New(7), 1.0, 30)
+	for k := 1; k < 30; k++ {
+		if z.Prob(k) > z.Prob(k-1)+1e-15 {
+			t.Fatalf("P(%d)=%v > P(%d)=%v", k, z.Prob(k), k-1, z.Prob(k-1))
+		}
+	}
+}
+
+func BenchmarkZipfNext(b *testing.B) {
+	z := NewZipf(New(1), 1.0, 10000)
+	for i := 0; i < b.N; i++ {
+		_ = z.Next()
+	}
+}

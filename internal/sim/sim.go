@@ -1,0 +1,158 @@
+// Package sim implements a minimal discrete-event simulation engine.
+//
+// Events are closures scheduled at absolute simulated times and executed
+// in time order; simultaneous events run in scheduling (FIFO) order, which
+// keeps runs deterministic for a fixed seed. Time is a float64 number of
+// abstract "time units", matching the unit system of the paper's model
+// (e.g. iotime = 0.2 time units per entity).
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+)
+
+// Time is a point in simulated time, in abstract time units.
+type Time = float64
+
+// Event is a scheduled closure. The zero value is not useful; obtain
+// events from Engine.At or Engine.After. An Event may be cancelled until
+// it fires.
+type Event struct {
+	t     Time
+	seq   uint64 // tie-break: FIFO among simultaneous events
+	fn    func()
+	index int // heap index; -1 when not queued
+}
+
+// Time returns the time the event is (or was) scheduled to fire.
+func (e *Event) Time() Time { return e.t }
+
+// Pending reports whether the event is still queued.
+func (e *Event) Pending() bool { return e.index >= 0 }
+
+// Engine is a discrete-event simulator. The zero value is ready to use.
+// Engine is not safe for concurrent use; a simulation runs on one
+// goroutine (the model's parallelism is simulated, not real).
+type Engine struct {
+	now   Time
+	seq   uint64
+	queue eventQueue
+	steps uint64
+}
+
+// Now returns the current simulated time.
+func (e *Engine) Now() Time { return e.now }
+
+// Steps returns the number of events executed so far.
+func (e *Engine) Steps() uint64 { return e.steps }
+
+// Pending returns the number of events currently queued.
+func (e *Engine) Pending() int { return len(e.queue) }
+
+// At schedules fn to run at absolute time t. Scheduling in the past
+// (before Now) panics: it would silently reorder causality.
+func (e *Engine) At(t Time, fn func()) *Event {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, e.now))
+	}
+	if math.IsNaN(t) {
+		panic("sim: scheduling event at NaN time")
+	}
+	ev := &Event{t: t, seq: e.seq, fn: fn}
+	e.seq++
+	heap.Push(&e.queue, ev)
+	return ev
+}
+
+// After schedules fn to run delay time units from now.
+func (e *Engine) After(delay Time, fn func()) *Event {
+	if delay < 0 {
+		panic(fmt.Sprintf("sim: negative delay %v", delay))
+	}
+	return e.At(e.now+delay, fn)
+}
+
+// Cancel removes a pending event from the queue. Cancelling an event that
+// already fired or was already cancelled is a no-op.
+func (e *Engine) Cancel(ev *Event) {
+	if ev == nil || ev.index < 0 {
+		return
+	}
+	heap.Remove(&e.queue, ev.index)
+	ev.fn = nil
+}
+
+// Step executes the single earliest pending event, advancing the clock to
+// its time. It reports whether an event was executed.
+func (e *Engine) Step() bool {
+	if len(e.queue) == 0 {
+		return false
+	}
+	ev := heap.Pop(&e.queue).(*Event)
+	e.now = ev.t
+	e.steps++
+	fn := ev.fn
+	ev.fn = nil
+	fn()
+	return true
+}
+
+// RunUntil executes events in order until the queue is exhausted or the
+// next event is strictly after horizon. The clock finishes at exactly
+// horizon (events at the horizon itself do run). It returns the number of
+// events executed.
+func (e *Engine) RunUntil(horizon Time) uint64 {
+	start := e.steps
+	for len(e.queue) > 0 && e.queue[0].t <= horizon {
+		e.Step()
+	}
+	if e.now < horizon {
+		e.now = horizon
+	}
+	return e.steps - start
+}
+
+// Run executes events until the queue is empty and returns the number of
+// events executed. Use RunUntil for models that generate work forever.
+func (e *Engine) Run() uint64 {
+	start := e.steps
+	for e.Step() {
+	}
+	return e.steps - start
+}
+
+// eventQueue is a binary min-heap ordered by (time, seq).
+type eventQueue []*Event
+
+func (q eventQueue) Len() int { return len(q) }
+
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].t != q[j].t {
+		return q[i].t < q[j].t
+	}
+	return q[i].seq < q[j].seq
+}
+
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].index = i
+	q[j].index = j
+}
+
+func (q *eventQueue) Push(x any) {
+	ev := x.(*Event)
+	ev.index = len(*q)
+	*q = append(*q, ev)
+}
+
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.index = -1
+	*q = old[:n-1]
+	return ev
+}

@@ -1,0 +1,177 @@
+// Package skiplist implements an ordered map from (key, value) pairs of
+// int64s to presence — the memtable-style ordered index structure the
+// relational layer uses for range predicates over integer columns.
+// Duplicate keys are supported; the composite (key, value) is unique.
+//
+// Operations are O(log n) expected. The list is not synchronized;
+// internal/relation guards it with the owning index's mutex.
+package skiplist
+
+import (
+	"fmt"
+
+	"granulock/internal/rng"
+)
+
+const maxLevel = 24
+
+// List is a skip list of (key, value) pairs ordered by key, then value.
+type List struct {
+	head  *node
+	level int // highest level in use, 1-based
+	size  int
+	src   *rng.Source
+}
+
+type node struct {
+	key, val int64
+	next     []*node
+}
+
+// New returns an empty list. The seed drives tower-height coin flips
+// only; any seed gives the same contents, just different shapes.
+func New(seed uint64) *List {
+	return &List{
+		head:  &node{next: make([]*node, maxLevel)},
+		level: 1,
+		src:   rng.New(seed),
+	}
+}
+
+// Len returns the number of pairs stored.
+func (l *List) Len() int { return l.size }
+
+// less orders by key then value.
+func less(k1, v1, k2, v2 int64) bool {
+	if k1 != k2 {
+		return k1 < k2
+	}
+	return v1 < v2
+}
+
+// findPredecessors fills update with the rightmost node before
+// (key, val) at every level.
+func (l *List) findPredecessors(key, val int64, update []*node) {
+	x := l.head
+	for i := l.level - 1; i >= 0; i-- {
+		for x.next[i] != nil && less(x.next[i].key, x.next[i].val, key, val) {
+			x = x.next[i]
+		}
+		update[i] = x
+	}
+}
+
+// randomLevel draws a tower height with P(h ≥ k) = 2^-(k-1).
+func (l *List) randomLevel() int {
+	h := 1
+	for h < maxLevel && l.src.Bernoulli(0.5) {
+		h++
+	}
+	return h
+}
+
+// Insert adds (key, val); it reports false if the pair already exists.
+func (l *List) Insert(key, val int64) bool {
+	var update [maxLevel]*node
+	l.findPredecessors(key, val, update[:])
+	if next := update[0].next[0]; next != nil && next.key == key && next.val == val {
+		return false
+	}
+	h := l.randomLevel()
+	if h > l.level {
+		for i := l.level; i < h; i++ {
+			update[i] = l.head
+		}
+		l.level = h
+	}
+	n := &node{key: key, val: val, next: make([]*node, h)}
+	for i := 0; i < h; i++ {
+		n.next[i] = update[i].next[i]
+		update[i].next[i] = n
+	}
+	l.size++
+	return true
+}
+
+// Delete removes (key, val); it reports whether the pair was present.
+func (l *List) Delete(key, val int64) bool {
+	var update [maxLevel]*node
+	l.findPredecessors(key, val, update[:])
+	target := update[0].next[0]
+	if target == nil || target.key != key || target.val != val {
+		return false
+	}
+	for i := 0; i < len(target.next); i++ {
+		if update[i].next[i] == target {
+			update[i].next[i] = target.next[i]
+		}
+	}
+	for l.level > 1 && l.head.next[l.level-1] == nil {
+		l.level--
+	}
+	l.size--
+	return true
+}
+
+// Contains reports whether (key, val) is present.
+func (l *List) Contains(key, val int64) bool {
+	var update [maxLevel]*node
+	l.findPredecessors(key, val, update[:])
+	next := update[0].next[0]
+	return next != nil && next.key == key && next.val == val
+}
+
+// Range visits every pair with key in [from, to) in ascending (key,
+// value) order, stopping early if fn returns false.
+func (l *List) Range(from, to int64, fn func(key, val int64) bool) {
+	if to <= from {
+		return
+	}
+	var update [maxLevel]*node
+	// Seek to the first pair with key >= from (value = MinInt64 floor).
+	l.findPredecessors(from, -1<<63, update[:])
+	for x := update[0].next[0]; x != nil && x.key < to; x = x.next[0] {
+		if !fn(x.key, x.val) {
+			return
+		}
+	}
+}
+
+// All visits every pair in order.
+func (l *List) All(fn func(key, val int64) bool) {
+	for x := l.head.next[0]; x != nil; x = x.next[0] {
+		if !fn(x.key, x.val) {
+			return
+		}
+	}
+}
+
+// check validates internal invariants (test hook): ordering at level 0
+// and that every higher level is a subsequence of level 0.
+func (l *List) check() error {
+	var prev *node
+	count := 0
+	present := make(map[*node]bool)
+	for x := l.head.next[0]; x != nil; x = x.next[0] {
+		if prev != nil && !less(prev.key, prev.val, x.key, x.val) {
+			return fmt.Errorf("skiplist: order violated at (%d,%d)", x.key, x.val)
+		}
+		present[x] = true
+		prev = x
+		count++
+	}
+	if count != l.size {
+		return fmt.Errorf("skiplist: size %d, counted %d", l.size, count)
+	}
+	for i := 1; i < l.level; i++ {
+		for x := l.head.next[i]; x != nil; x = x.next[i] {
+			if !present[x] {
+				return fmt.Errorf("skiplist: level %d references node absent from level 0", i)
+			}
+			if len(x.next) <= i {
+				return fmt.Errorf("skiplist: tower too short at level %d", i)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,201 @@
+package skiplist
+
+import (
+	"sort"
+	"testing"
+
+	"granulock/internal/rng"
+)
+
+func TestEmptyList(t *testing.T) {
+	l := New(1)
+	if l.Len() != 0 {
+		t.Fatal("empty list nonzero length")
+	}
+	if l.Contains(1, 1) {
+		t.Fatal("phantom element")
+	}
+	if l.Delete(1, 1) {
+		t.Fatal("deleted from empty list")
+	}
+	l.Range(0, 100, func(int64, int64) bool { t.Fatal("range on empty"); return true })
+	if err := l.check(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInsertContainsDelete(t *testing.T) {
+	l := New(2)
+	if !l.Insert(5, 1) {
+		t.Fatal("insert failed")
+	}
+	if l.Insert(5, 1) {
+		t.Fatal("duplicate insert accepted")
+	}
+	if !l.Insert(5, 2) {
+		t.Fatal("same key different value rejected")
+	}
+	if !l.Contains(5, 1) || !l.Contains(5, 2) || l.Contains(5, 3) {
+		t.Fatal("contains wrong")
+	}
+	if l.Len() != 2 {
+		t.Fatalf("len %d", l.Len())
+	}
+	if !l.Delete(5, 1) {
+		t.Fatal("delete failed")
+	}
+	if l.Delete(5, 1) {
+		t.Fatal("double delete accepted")
+	}
+	if l.Contains(5, 1) || !l.Contains(5, 2) {
+		t.Fatal("wrong pair deleted")
+	}
+	if err := l.check(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOrderedIteration(t *testing.T) {
+	l := New(3)
+	for _, k := range []int64{5, 1, 9, 3, 7, 3} {
+		l.Insert(k, k*10)
+	}
+	var got []int64
+	l.All(func(k, v int64) bool { got = append(got, k); return true })
+	if !sort.SliceIsSorted(got, func(i, j int) bool { return got[i] < got[j] }) {
+		t.Fatalf("iteration out of order: %v", got)
+	}
+}
+
+func TestRangeSemantics(t *testing.T) {
+	l := New(4)
+	for k := int64(0); k < 20; k += 2 {
+		l.Insert(k, 0)
+	}
+	var got []int64
+	l.Range(4, 12, func(k, v int64) bool { got = append(got, k); return true })
+	want := []int64{4, 6, 8, 10}
+	if len(got) != len(want) {
+		t.Fatalf("range [4,12) = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("range [4,12) = %v, want %v", got, want)
+		}
+	}
+	// Empty and inverted ranges.
+	l.Range(5, 5, func(int64, int64) bool { t.Fatal("empty range visited"); return true })
+	l.Range(9, 3, func(int64, int64) bool { t.Fatal("inverted range visited"); return true })
+	// Early stop.
+	visits := 0
+	l.Range(0, 100, func(int64, int64) bool { visits++; return visits < 3 })
+	if visits != 3 {
+		t.Fatalf("early stop visited %d", visits)
+	}
+}
+
+func TestAgainstSortedReference(t *testing.T) {
+	// Random operation stream against a map reference; full-state
+	// comparison after every batch.
+	src := rng.New(7)
+	l := New(8)
+	type pair struct{ k, v int64 }
+	ref := map[pair]bool{}
+
+	for batch := 0; batch < 50; batch++ {
+		for op := 0; op < 100; op++ {
+			p := pair{int64(src.Intn(50)), int64(src.Intn(4))}
+			if src.Bernoulli(0.6) {
+				if l.Insert(p.k, p.v) == ref[p] {
+					t.Fatalf("insert(%v) disagreed with reference", p)
+				}
+				ref[p] = true
+			} else {
+				if l.Delete(p.k, p.v) != ref[p] {
+					t.Fatalf("delete(%v) disagreed with reference", p)
+				}
+				delete(ref, p)
+			}
+		}
+		if l.Len() != len(ref) {
+			t.Fatalf("len %d, ref %d", l.Len(), len(ref))
+		}
+		if err := l.check(); err != nil {
+			t.Fatal(err)
+		}
+		// Compare full ordered contents.
+		var want []pair
+		for p := range ref {
+			want = append(want, p)
+		}
+		sort.Slice(want, func(i, j int) bool {
+			if want[i].k != want[j].k {
+				return want[i].k < want[j].k
+			}
+			return want[i].v < want[j].v
+		})
+		var got []pair
+		l.All(func(k, v int64) bool { got = append(got, pair{k, v}); return true })
+		if len(got) != len(want) {
+			t.Fatalf("contents %d, want %d", len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("batch %d: position %d: %v, want %v", batch, i, got[i], want[i])
+			}
+		}
+		// Random range query cross-check.
+		from := int64(src.Intn(50))
+		to := from + int64(src.Intn(20))
+		wantN := 0
+		for p := range ref {
+			if p.k >= from && p.k < to {
+				wantN++
+			}
+		}
+		gotN := 0
+		l.Range(from, to, func(int64, int64) bool { gotN++; return true })
+		if gotN != wantN {
+			t.Fatalf("range [%d,%d): %d, want %d", from, to, gotN, wantN)
+		}
+	}
+}
+
+func TestNegativeKeysAndExtremes(t *testing.T) {
+	l := New(9)
+	keys := []int64{-1 << 62, -5, 0, 5, 1 << 62}
+	for _, k := range keys {
+		l.Insert(k, 0)
+	}
+	var got []int64
+	l.All(func(k, v int64) bool { got = append(got, k); return true })
+	for i := range keys {
+		if got[i] != keys[i] {
+			t.Fatalf("order %v", got)
+		}
+	}
+	count := 0
+	l.Range(-10, 10, func(int64, int64) bool { count++; return true })
+	if count != 3 {
+		t.Fatalf("range over negatives counted %d", count)
+	}
+}
+
+func BenchmarkInsert(b *testing.B) {
+	l := New(1)
+	for i := 0; i < b.N; i++ {
+		l.Insert(int64(i%100000), int64(i))
+	}
+}
+
+func BenchmarkRange(b *testing.B) {
+	l := New(1)
+	for i := int64(0); i < 100000; i++ {
+		l.Insert(i, 0)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n := 0
+		l.Range(50000, 50100, func(int64, int64) bool { n++; return true })
+	}
+}

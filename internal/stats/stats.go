@@ -1,0 +1,193 @@
+// Package stats provides the summary statistics the experiment harness
+// reports: running mean/variance (Welford), Student-t confidence
+// intervals over independent replications, and simple histograms.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Welford accumulates a running mean and variance in one pass with good
+// numerical behaviour. The zero value is ready to use.
+type Welford struct {
+	n    int
+	mean float64
+	m2   float64
+}
+
+// Add incorporates one observation.
+func (w *Welford) Add(x float64) {
+	w.n++
+	delta := x - w.mean
+	w.mean += delta / float64(w.n)
+	w.m2 += delta * (x - w.mean)
+}
+
+// N returns the number of observations.
+func (w *Welford) N() int { return w.n }
+
+// Mean returns the sample mean (0 with no observations).
+func (w *Welford) Mean() float64 { return w.mean }
+
+// Variance returns the unbiased sample variance (0 with fewer than two
+// observations).
+func (w *Welford) Variance() float64 {
+	if w.n < 2 {
+		return 0
+	}
+	return w.m2 / float64(w.n-1)
+}
+
+// StdDev returns the sample standard deviation.
+func (w *Welford) StdDev() float64 { return math.Sqrt(w.Variance()) }
+
+// StdErr returns the standard error of the mean.
+func (w *Welford) StdErr() float64 {
+	if w.n == 0 {
+		return 0
+	}
+	return w.StdDev() / math.Sqrt(float64(w.n))
+}
+
+// tTable95 holds two-sided 95% Student-t critical values by degrees of
+// freedom; beyond the table the normal value 1.96 is a fine
+// approximation.
+var tTable95 = []float64{
+	0,                                                             // df=0 unused
+	12.706,                                                        // 1
+	4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228, // 2..10
+	2.201, 2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086, // 11..20
+	2.080, 2.074, 2.069, 2.064, 2.060, 2.056, 2.052, 2.048, 2.045, 2.042, // 21..30
+}
+
+// TCritical95 returns the two-sided 95% Student-t critical value for the
+// given degrees of freedom.
+func TCritical95(df int) float64 {
+	if df <= 0 {
+		return math.NaN()
+	}
+	if df < len(tTable95) {
+		return tTable95[df]
+	}
+	return 1.96
+}
+
+// CI95 returns the half-width of the 95% confidence interval of the mean
+// (0 with fewer than two observations).
+func (w *Welford) CI95() float64 {
+	if w.n < 2 {
+		return 0
+	}
+	return TCritical95(w.n-1) * w.StdErr()
+}
+
+// String formats the estimate as "mean ± ci95".
+func (w *Welford) String() string {
+	return fmt.Sprintf("%.4g ± %.2g", w.Mean(), w.CI95())
+}
+
+// Summary is a frozen estimate: mean with a 95% confidence half-width.
+type Summary struct {
+	N    int
+	Mean float64
+	CI95 float64
+}
+
+// Summarize freezes the accumulator.
+func (w *Welford) Summarize() Summary {
+	return Summary{N: w.n, Mean: w.Mean(), CI95: w.CI95()}
+}
+
+// Quantile returns the q-quantile (0 ≤ q ≤ 1) of xs by linear
+// interpolation on the sorted sample. It returns NaN for an empty sample
+// or out-of-range q. xs is not modified.
+func Quantile(xs []float64, q float64) float64 {
+	if len(xs) == 0 || q < 0 || q > 1 || math.IsNaN(q) {
+		return math.NaN()
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	if len(sorted) == 1 {
+		return sorted[0]
+	}
+	pos := q * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// BatchMeans estimates the mean of a (possibly autocorrelated) series of
+// within-run observations with a confidence interval, using the method
+// of non-overlapping batch means: the series is split into `batches`
+// equal batches whose means are treated as approximately independent
+// observations. At least 2 batches and one observation per batch are
+// required; leftover observations at the tail are dropped. This is the
+// standard way to get honest intervals from a single simulation run,
+// where successive response times are correlated.
+func BatchMeans(xs []float64, batches int) (Summary, error) {
+	if batches < 2 {
+		return Summary{}, fmt.Errorf("stats: batch count %d < 2", batches)
+	}
+	size := len(xs) / batches
+	if size < 1 {
+		return Summary{}, fmt.Errorf("stats: %d observations cannot fill %d batches", len(xs), batches)
+	}
+	var w Welford
+	for b := 0; b < batches; b++ {
+		sum := 0.0
+		for _, x := range xs[b*size : (b+1)*size] {
+			sum += x
+		}
+		w.Add(sum / float64(size))
+	}
+	return w.Summarize(), nil
+}
+
+// Histogram is a fixed-width bucket histogram over [Lo, Hi); samples
+// outside the range land in the clamped edge buckets.
+type Histogram struct {
+	Lo, Hi  float64
+	Buckets []int
+	count   int
+}
+
+// NewHistogram returns a histogram with n buckets over [lo, hi).
+func NewHistogram(lo, hi float64, n int) (*Histogram, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("stats: bucket count %d < 1", n)
+	}
+	if !(hi > lo) {
+		return nil, fmt.Errorf("stats: histogram range [%v, %v) empty", lo, hi)
+	}
+	return &Histogram{Lo: lo, Hi: hi, Buckets: make([]int, n)}, nil
+}
+
+// Add places one sample.
+func (h *Histogram) Add(x float64) {
+	idx := int(float64(len(h.Buckets)) * (x - h.Lo) / (h.Hi - h.Lo))
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(h.Buckets) {
+		idx = len(h.Buckets) - 1
+	}
+	h.Buckets[idx]++
+	h.count++
+}
+
+// Count returns the number of samples added.
+func (h *Histogram) Count() int { return h.count }
+
+// Fraction returns the fraction of samples in bucket i.
+func (h *Histogram) Fraction(i int) float64 {
+	if h.count == 0 {
+		return 0
+	}
+	return float64(h.Buckets[i]) / float64(h.count)
+}

@@ -1,0 +1,161 @@
+// Package trace turns the simulation model's Observer events into a
+// structured JSON-lines stream, one event per line — loadable into any
+// analysis tool. It also provides a parser for the stream, so traces
+// can be written, stored and re-analyzed programmatically.
+package trace
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+)
+
+// EventKind labels trace records.
+type EventKind string
+
+// The event kinds, mirroring model.Observer's callbacks.
+const (
+	EventArrive   EventKind = "arrive"
+	EventRequest  EventKind = "request"
+	EventGrant    EventKind = "grant"
+	EventDeny     EventKind = "deny"
+	EventComplete EventKind = "complete"
+)
+
+// Event is one trace record. Fields are populated per kind: Entities
+// and Locks for arrivals, Blocker for denials, Response for
+// completions.
+type Event struct {
+	Kind     EventKind `json:"kind"`
+	At       float64   `json:"at"`
+	Txn      int       `json:"txn"`
+	Entities int       `json:"entities,omitempty"`
+	Locks    int       `json:"locks,omitempty"`
+	Blocker  int       `json:"blocker,omitempty"`
+	Response float64   `json:"response,omitempty"`
+}
+
+// Writer is a model.Observer that streams events as JSON lines. Errors
+// are sticky: the first write error is kept and reported by Close, so
+// the simulation hot path never has to check them. Writer serializes
+// internally and may be shared (though the model calls it from one
+// goroutine).
+type Writer struct {
+	mu  sync.Mutex
+	w   *bufio.Writer
+	enc *json.Encoder
+	err error
+	n   int
+}
+
+// NewWriter returns a Writer streaming to w.
+func NewWriter(w io.Writer) *Writer {
+	bw := bufio.NewWriter(w)
+	return &Writer{w: bw, enc: json.NewEncoder(bw)}
+}
+
+// emit writes one event.
+func (t *Writer) emit(e Event) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.err != nil {
+		return
+	}
+	if err := t.enc.Encode(e); err != nil {
+		t.err = err
+		return
+	}
+	t.n++
+}
+
+// TxnArrived implements model.Observer.
+func (t *Writer) TxnArrived(id, entities, locks int, at float64) {
+	t.emit(Event{Kind: EventArrive, At: at, Txn: id, Entities: entities, Locks: locks})
+}
+
+// LockRequested implements model.Observer.
+func (t *Writer) LockRequested(id int, at float64) {
+	t.emit(Event{Kind: EventRequest, At: at, Txn: id})
+}
+
+// LockGranted implements model.Observer.
+func (t *Writer) LockGranted(id int, at float64) {
+	t.emit(Event{Kind: EventGrant, At: at, Txn: id})
+}
+
+// LockDenied implements model.Observer.
+func (t *Writer) LockDenied(id, blockerID int, at float64) {
+	t.emit(Event{Kind: EventDeny, At: at, Txn: id, Blocker: blockerID})
+}
+
+// TxnCompleted implements model.Observer.
+func (t *Writer) TxnCompleted(id int, response, at float64) {
+	t.emit(Event{Kind: EventComplete, At: at, Txn: id, Response: response})
+}
+
+// Events returns the number of events emitted so far.
+func (t *Writer) Events() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.n
+}
+
+// Close flushes the stream and reports the first error encountered.
+func (t *Writer) Close() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.err != nil {
+		return t.err
+	}
+	return t.w.Flush()
+}
+
+// Read parses a JSON-lines trace back into events.
+func Read(r io.Reader) ([]Event, error) {
+	var out []Event
+	dec := json.NewDecoder(r)
+	for {
+		var e Event
+		if err := dec.Decode(&e); err == io.EOF {
+			return out, nil
+		} else if err != nil {
+			return out, fmt.Errorf("trace: record %d: %w", len(out), err)
+		}
+		switch e.Kind {
+		case EventArrive, EventRequest, EventGrant, EventDeny, EventComplete:
+		default:
+			return out, fmt.Errorf("trace: record %d has unknown kind %q", len(out), e.Kind)
+		}
+		out = append(out, e)
+	}
+}
+
+// Summary condenses a trace: per-kind counts, the denial rate, and the
+// mean response time of completions.
+type Summary struct {
+	Counts       map[EventKind]int
+	DenialRate   float64
+	MeanResponse float64
+}
+
+// Summarize computes a Summary.
+func Summarize(events []Event) Summary {
+	s := Summary{Counts: make(map[EventKind]int, 5)}
+	respSum := 0.0
+	for _, e := range events {
+		s.Counts[e.Kind]++
+		if e.Kind == EventComplete {
+			respSum += e.Response
+		}
+	}
+	requests := s.Counts[EventGrant] + s.Counts[EventDeny]
+	if requests > 0 {
+		s.DenialRate = float64(s.Counts[EventDeny]) / float64(requests)
+	}
+	if n := s.Counts[EventComplete]; n > 0 {
+		s.MeanResponse = respSum / float64(n)
+	}
+	return s
+}

@@ -1,0 +1,19 @@
+package yao_test
+
+import (
+	"fmt"
+
+	"granulock/internal/yao"
+)
+
+// ExampleExpectedBlocks evaluates Yao's approximation for the paper's
+// random-placement lock demand: a 250-entity transaction against 5000
+// entities split into 100 granules touches nearly all granules.
+func ExampleExpectedBlocks() {
+	e, _ := yao.ExpectedBlocks(5000, 100, 250)
+	fmt.Printf("expected granules: %.1f of 100\n", e)
+	fmt.Println("locks:", yao.Locks(5000, 100, 250))
+	// Output:
+	// expected granules: 92.4 of 100
+	// locks: 92
+}

@@ -1,0 +1,84 @@
+// Package yao implements Yao's block-access approximation (S. B. Yao,
+// "Approximating Block Accesses in Database Organizations", CACM 20(4),
+// 1977), which the paper uses as the lock-demand estimator for the
+// random granule-placement strategy.
+//
+// Given a database of n entities grouped into b equal granules, a
+// transaction touching k entities selected at random (without
+// replacement) accesses on average
+//
+//	b · (1 − C(n−n/b, k) / C(n, k))
+//
+// granules. The binomial ratio is evaluated as an incremental product to
+// stay exact and overflow-free for the sizes the model uses (n up to
+// millions).
+package yao
+
+import "fmt"
+
+// ExpectedBlocks returns the expected number of granules touched when k
+// of n entities are chosen uniformly without replacement and the n
+// entities are spread evenly over b granules.
+//
+// The granule size n/b is treated as a real number, so b need not divide
+// n exactly; for the model's configurations (ltot dividing dbsize) the
+// result coincides with Yao's exact formula. Errors are returned for
+// nonsensical arguments (n < 1, b < 1, k < 0, k > n).
+func ExpectedBlocks(n, b, k int) (float64, error) {
+	switch {
+	case n < 1:
+		return 0, fmt.Errorf("yao: database size %d < 1", n)
+	case b < 1:
+		return 0, fmt.Errorf("yao: block count %d < 1", b)
+	case k < 0:
+		return 0, fmt.Errorf("yao: selection size %d < 0", k)
+	case k > n:
+		return 0, fmt.Errorf("yao: selection size %d exceeds database size %d", k, n)
+	}
+	if k == 0 {
+		return 0, nil
+	}
+	if b == 1 {
+		return 1, nil
+	}
+	m := float64(n) / float64(b) // entities per granule
+	// missProb = C(n-m, k) / C(n, k) = prod_{i=0}^{k-1} (n-m-i)/(n-i):
+	// the probability that one particular granule is untouched.
+	missProb := 1.0
+	for i := 0; i < k; i++ {
+		num := float64(n) - m - float64(i)
+		if num <= 0 {
+			missProb = 0
+			break
+		}
+		missProb *= num / (float64(n) - float64(i))
+		if missProb == 0 {
+			break
+		}
+	}
+	return float64(b) * (1 - missProb), nil
+}
+
+// Locks returns Yao's estimate rounded to a whole number of locks,
+// clamped to the feasible range [1, min(k, b)]: a transaction touching at
+// least one entity needs at least one lock and can never need more locks
+// than granules, nor more than one lock per entity. It panics on invalid
+// arguments; use ExpectedBlocks to validate first if the inputs are not
+// already checked.
+func Locks(n, b, k int) int {
+	e, err := ExpectedBlocks(n, b, k)
+	if err != nil {
+		panic(err)
+	}
+	if k == 0 {
+		return 0
+	}
+	locks := int(e + 0.5)
+	if locks < 1 {
+		locks = 1
+	}
+	if feasible := min(k, b); locks > feasible {
+		locks = feasible
+	}
+	return locks
+}

@@ -1,0 +1,149 @@
+package yao
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestExpectedBlocksKnownValues(t *testing.T) {
+	cases := []struct {
+		n, b, k int
+		want    float64
+	}{
+		// k=0 touches nothing.
+		{100, 10, 0, 0},
+		// One entity touches exactly one granule.
+		{100, 10, 1, 1},
+		// Selecting everything touches every granule.
+		{100, 10, 100, 10},
+		// One granule total: any non-empty selection touches it.
+		{100, 1, 37, 1},
+		// n=b: granule per entity, so k entities touch k granules.
+		{50, 50, 20, 20},
+		// Hand-computed: n=4, b=2 (granules of 2), k=2.
+		// missProb = C(2,2)/C(4,2) = 1/6; blocks = 2*(1-1/6) = 5/3.
+		{4, 2, 2, 5.0 / 3.0},
+		// Hand-computed: n=6, b=3 (granules of 2), k=2.
+		// missProb = C(4,2)/C(6,2) = 6/15; blocks = 3*(1-0.4) = 1.8.
+		{6, 3, 2, 1.8},
+	}
+	for _, c := range cases {
+		got, err := ExpectedBlocks(c.n, c.b, c.k)
+		if err != nil {
+			t.Fatalf("ExpectedBlocks(%d,%d,%d) error: %v", c.n, c.b, c.k, err)
+		}
+		if math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("ExpectedBlocks(%d,%d,%d) = %v, want %v", c.n, c.b, c.k, got, c.want)
+		}
+	}
+}
+
+func TestExpectedBlocksErrors(t *testing.T) {
+	bad := []struct{ n, b, k int }{
+		{0, 1, 0}, {-5, 1, 0}, {10, 0, 1}, {10, -2, 1}, {10, 2, -1}, {10, 2, 11},
+	}
+	for _, c := range bad {
+		if _, err := ExpectedBlocks(c.n, c.b, c.k); err == nil {
+			t.Errorf("ExpectedBlocks(%d,%d,%d): want error", c.n, c.b, c.k)
+		}
+	}
+}
+
+func TestExpectedBlocksMonotoneInK(t *testing.T) {
+	prev := 0.0
+	for k := 0; k <= 200; k++ {
+		got, err := ExpectedBlocks(200, 20, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got < prev-1e-12 {
+			t.Fatalf("not monotone at k=%d: %v < %v", k, got, prev)
+		}
+		prev = got
+	}
+}
+
+func TestExpectedBlocksBounds(t *testing.T) {
+	// 0 <= result <= min(k, b) is the physical feasibility envelope
+	// (equality with k only when granules hold a single entity).
+	f := func(nRaw, bRaw, kRaw uint16) bool {
+		n := int(nRaw)%5000 + 1
+		b := int(bRaw)%n + 1
+		k := int(kRaw) % (n + 1)
+		got, err := ExpectedBlocks(n, b, k)
+		if err != nil {
+			return false
+		}
+		upper := math.Min(float64(k), float64(b))
+		return got >= -1e-12 && got <= upper+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExpectedBlocksLargeDatabase(t *testing.T) {
+	// Stability check at paper scale and beyond: no overflow, NaN or Inf.
+	got, err := ExpectedBlocks(5_000_000, 5000, 2_500_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.IsNaN(got) || math.IsInf(got, 0) || got < 0 || got > 5000 {
+		t.Fatalf("large-scale result unstable: %v", got)
+	}
+	// Selecting half of a huge database should touch almost every granule.
+	if got < 4999 {
+		t.Fatalf("expected nearly all granules touched, got %v", got)
+	}
+}
+
+func TestLocksPaperConfiguration(t *testing.T) {
+	// dbsize=5000, ltot swept; the random placement of §3.5.
+	// At ltot=1 every transaction needs the single lock.
+	if got := Locks(5000, 1, 250); got != 1 {
+		t.Fatalf("Locks(5000,1,250) = %d, want 1", got)
+	}
+	// At ltot=dbsize each entity is its own granule: k locks.
+	if got := Locks(5000, 5000, 250); got != 250 {
+		t.Fatalf("Locks(5000,5000,250) = %d, want 250", got)
+	}
+	// In between, the estimate lies strictly between the extremes and
+	// near min(k, b) while granules remain large (random placement is
+	// nearly worst placement for large transactions, §3.5).
+	got := Locks(5000, 100, 250)
+	if got < 90 || got > 100 {
+		t.Fatalf("Locks(5000,100,250) = %d, want close to 100", got)
+	}
+}
+
+func TestLocksBoundsProperty(t *testing.T) {
+	f := func(nRaw, bRaw, kRaw uint16) bool {
+		n := int(nRaw)%2000 + 1
+		b := int(bRaw)%n + 1
+		k := int(kRaw) % (n + 1)
+		got := Locks(n, b, k)
+		if k == 0 {
+			return got == 0
+		}
+		return got >= 1 && got <= min(k, b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLocksPanicsOnInvalid(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Locks with k>n did not panic")
+		}
+	}()
+	Locks(10, 2, 11)
+}
+
+func BenchmarkExpectedBlocks(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_, _ = ExpectedBlocks(5000, 100, 250)
+	}
+}

@@ -1,0 +1,29 @@
+GO ?= go
+
+.PHONY: build test vet race bench verify
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+race:
+	$(GO) test -race ./...
+
+# bench regenerates BENCH_model.json, the performance-trajectory file
+# (full-length figure sweeps; see DESIGN.md §1.1 for the schema).
+bench:
+	$(GO) run ./cmd/bench -out BENCH_model.json
+
+# verify is the PR gate: static checks, the race-enabled test suite and
+# a quick benchmark smoke run that regenerates BENCH_model.json with
+# shortened figure sweeps (engine microbenchmarks still run at full
+# fidelity).
+verify:
+	$(GO) vet ./...
+	$(GO) test -race ./...
+	$(GO) run ./cmd/bench -quick -out BENCH_model.json

@@ -1,0 +1,236 @@
+// Command bench regenerates BENCH_model.json, the repository's
+// performance-trajectory file: machine-readable ns/op, allocs/op and
+// events/sec for the raw simulation engine and for two representative
+// figure sweeps, each compared against the pre-optimization baseline
+// recorded at the commit that introduced this harness. Run it from the
+// repository root:
+//
+//	go run ./cmd/bench -out BENCH_model.json
+//
+// The -quick flag shortens the figure sweeps (TMax=100 instead of the
+// full 250) for CI smoke runs; engine microbenchmarks always run at full
+// fidelity, so the headline engine speedup is comparable across modes.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"granulock/internal/experiments"
+	"granulock/internal/sim"
+)
+
+// baseline holds the pre-change numbers a benchmark is compared against.
+type baseline struct {
+	NsPerOp      float64 `json:"ns_per_op"`
+	BytesPerOp   float64 `json:"bytes_per_op"`
+	AllocsPerOp  float64 `json:"allocs_per_op"`
+	EventsPerSec float64 `json:"events_per_sec,omitempty"`
+}
+
+// entry is one benchmark's record in BENCH_model.json.
+type entry struct {
+	Name         string  `json:"name"`
+	NsPerOp      float64 `json:"ns_per_op"`
+	BytesPerOp   float64 `json:"bytes_per_op"`
+	AllocsPerOp  float64 `json:"allocs_per_op"`
+	EventsPerOp  float64 `json:"events_per_op"`
+	EventsPerSec float64 `json:"events_per_sec"`
+
+	// Baseline is the same benchmark measured on the pre-optimization
+	// engine (commit 193eeab, interface-heap + per-event allocation),
+	// kept in-file so every future report carries its own yardstick.
+	Baseline *baseline `json:"baseline,omitempty"`
+	// SpeedupEventsPerSec is events_per_sec / baseline events_per_sec.
+	SpeedupEventsPerSec float64 `json:"speedup_events_per_sec,omitempty"`
+	// AllocsReduction is 1 - allocs_per_op / baseline allocs_per_op.
+	AllocsReduction float64 `json:"allocs_reduction,omitempty"`
+}
+
+// report is the top-level BENCH_model.json document.
+type report struct {
+	Schema     string  `json:"schema"`
+	Generated  string  `json:"generated"`
+	GoVersion  string  `json:"go_version"`
+	GOMAXPROCS int     `json:"gomaxprocs"`
+	Quick      bool    `json:"quick"`
+	Benchmarks []entry `json:"benchmarks"`
+}
+
+// Pre-optimization numbers, measured on this machine class at the seed
+// commit with the identical benchmark bodies (see DESIGN.md §1).
+var baselines = map[string]baseline{
+	"sim.Engine/churn":        {NsPerOp: 233.4, BytesPerOp: 32, AllocsPerOp: 1},
+	"sim.Engine/cancel-churn": {NsPerOp: 375.7, BytesPerOp: 64, AllocsPerOp: 2},
+	"experiments/fig2":        {NsPerOp: 306427550, BytesPerOp: 93573408, AllocsPerOp: 3171690},
+	"experiments/fig9":        {NsPerOp: 436971176, BytesPerOp: 188574224, AllocsPerOp: 6478481},
+}
+
+// churnDelay mirrors the deterministic LCG of the in-package benchmark.
+type churnDelay uint64
+
+func (c *churnDelay) next() float64 {
+	*c = *c*6364136223846793005 + 1442695040888963407
+	return float64(uint64(*c)>>40)/float64(1<<24) + 1e-9
+}
+
+// engineChurn is the raw event-loop benchmark: a standing population
+// where every fired event schedules one replacement — one schedule plus
+// one dispatch per iteration.
+func engineChurn(b *testing.B) {
+	var e sim.Engine
+	var rng churnDelay = 1
+	var fn func()
+	fn = func() { e.After(rng.next(), fn) }
+	for i := 0; i < 1024; i++ {
+		e.At(rng.next(), fn)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Step()
+	}
+}
+
+// engineCancelChurn exercises the cancel path: two schedules, one
+// cancel, one dispatch per iteration.
+func engineCancelChurn(b *testing.B) {
+	var e sim.Engine
+	var rng churnDelay = 1
+	nop := func() {}
+	for i := 0; i < 512; i++ {
+		e.At(rng.next(), nop)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.After(rng.next(), nop)
+		e.Cancel(e.After(rng.next(), nop))
+		e.Step()
+	}
+}
+
+// figureSeed hands every figure-bench iteration a fresh seed so the
+// cross-sweep cell cache can never serve a previous iteration's results
+// and the measurement stays a measurement of simulation speed.
+var figureSeed atomic.Uint64
+
+// figureBench measures one full figure sweep per iteration and returns
+// the benchmark result plus the mean number of simulator events behind
+// one sweep.
+func figureBench(id string, tmax float64) (testing.BenchmarkResult, float64, error) {
+	var events, iters uint64
+	var failure error
+	r := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			o := experiments.Options{TMax: tmax, Seed: figureSeed.Add(1), Replications: 1, Parallelism: runtime.GOMAXPROCS(0)}
+			f, err := experiments.Run(id, o)
+			if err != nil {
+				failure = err
+				b.Fatal(err)
+			}
+			// Panels share their Series slices; panel 0 covers the sweep.
+			for _, s := range f.Panels[0].Series {
+				for _, pt := range s.Points {
+					events += pt.M.Events
+				}
+			}
+			iters++
+		}
+	})
+	if failure != nil {
+		return r, 0, failure
+	}
+	return r, float64(events) / float64(iters), nil
+}
+
+// record converts a benchmark result into a report entry, attaching the
+// baseline comparison when one is on file. Baseline events/sec is
+// derived from the measured events/op: the model is bit-deterministic
+// per seed, so the event count behind an operation is identical across
+// engine generations and only the wall time differs.
+func record(name string, r testing.BenchmarkResult, eventsPerOp float64) entry {
+	ns := float64(r.NsPerOp())
+	e := entry{
+		Name:         name,
+		NsPerOp:      ns,
+		BytesPerOp:   float64(r.AllocedBytesPerOp()),
+		AllocsPerOp:  float64(r.AllocsPerOp()),
+		EventsPerOp:  eventsPerOp,
+		EventsPerSec: eventsPerOp / ns * 1e9,
+	}
+	if b, ok := baselines[name]; ok {
+		b.EventsPerSec = eventsPerOp / b.NsPerOp * 1e9
+		e.Baseline = &b
+		e.SpeedupEventsPerSec = e.EventsPerSec / b.EventsPerSec
+		if b.AllocsPerOp > 0 {
+			e.AllocsReduction = 1 - e.AllocsPerOp/b.AllocsPerOp
+		}
+	}
+	return e
+}
+
+func main() {
+	out := flag.String("out", "BENCH_model.json", "output path")
+	quick := flag.Bool("quick", false, "shorten figure sweeps for CI smoke runs")
+	flag.Parse()
+
+	tmax := 250.0
+	if *quick {
+		tmax = 100
+	}
+
+	rep := report{
+		Schema:     "granulock-bench/v1",
+		Generated:  time.Now().UTC().Format(time.RFC3339),
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Quick:      *quick,
+	}
+
+	fmt.Fprintln(os.Stderr, "bench: sim.Engine/churn")
+	rep.Benchmarks = append(rep.Benchmarks, record("sim.Engine/churn", testing.Benchmark(engineChurn), 1))
+	fmt.Fprintln(os.Stderr, "bench: sim.Engine/cancel-churn")
+	rep.Benchmarks = append(rep.Benchmarks, record("sim.Engine/cancel-churn", testing.Benchmark(engineCancelChurn), 1))
+	for _, id := range []string{"fig2", "fig9"} {
+		name := "experiments/" + id
+		fmt.Fprintln(os.Stderr, "bench: "+name)
+		r, eventsPerOp, err := figureBench(id, tmax)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bench: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		e := record(name, r, eventsPerOp)
+		if *quick {
+			// Quick figure runs are not comparable to the full-length
+			// baseline; keep the measurement, drop the comparison.
+			e.Baseline, e.SpeedupEventsPerSec, e.AllocsReduction = nil, 0, 0
+		}
+		rep.Benchmarks = append(rep.Benchmarks, e)
+	}
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bench:", err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "bench:", err)
+		os.Exit(1)
+	}
+	for _, e := range rep.Benchmarks {
+		fmt.Printf("%-26s %12.1f ns/op %10.0f allocs/op %14.0f events/sec", e.Name, e.NsPerOp, e.AllocsPerOp, e.EventsPerSec)
+		if e.Baseline != nil {
+			fmt.Printf("  (%.2fx events/sec, %.0f%% fewer allocs vs baseline)", e.SpeedupEventsPerSec, e.AllocsReduction*100)
+		}
+		fmt.Println()
+	}
+}

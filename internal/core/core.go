@@ -102,7 +102,9 @@ func OptimalGranularity(p model.Params) (best int, curve []PointSummary, err err
 	for i, ltot := range grid {
 		q := p
 		q.Ltot = ltot
-		m, err := model.Run(q)
+		// Cells are deduplicated with the figure sweeps: tuning after
+		// (or during) a figure run reuses every shared simulation.
+		m, err := experiments.CachedRun(q)
 		if err != nil {
 			return 0, nil, err
 		}

@@ -1,0 +1,62 @@
+package experiments
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"granulock/internal/model"
+)
+
+// The figure suite re-simulates many identical parameter cells: Figures
+// 2, 3 and 4 share one ltot × npros grid, Figure 8's grid differs only
+// in partitioning, and every replication repeats the base cells of its
+// siblings. A cell is a pure function of its Params (the model promises
+// equal Params ⇒ identical Metrics), so results are memoized process-
+// wide and each distinct cell is simulated exactly once per process.
+//
+// Cells with a Scheduler are never cached: policies are stateful and a
+// fresh instance is part of the cell's identity.
+
+var (
+	cellCache     sync.Map // string -> model.Metrics
+	cellCacheLen  atomic.Int64
+	cellCacheSize = int64(1 << 16)
+)
+
+// cellKey renders p as a cache key, reporting whether the cell is
+// cacheable at all. %#v covers every field of Params, including the
+// Classes mix element by element, so two cells share a key only when
+// they are field-for-field identical.
+func cellKey(p model.Params) (string, bool) {
+	if p.Scheduler != nil {
+		return "", false
+	}
+	return fmt.Sprintf("%#v", p), true
+}
+
+// CachedRun is model.Run deduplicated across sweeps: identical parameter
+// cells (ignoring none of Params' fields) are simulated once and served
+// from memory afterwards. Concurrent callers may race to compute the
+// same cell; both compute the identical Metrics, so either store wins.
+func CachedRun(p model.Params) (model.Metrics, error) {
+	key, ok := cellKey(p)
+	if !ok {
+		return model.Run(p)
+	}
+	if v, ok := cellCache.Load(key); ok {
+		return v.(model.Metrics), nil
+	}
+	m, err := model.Run(p)
+	if err != nil {
+		return m, err
+	}
+	// The cap keeps a long-lived process from growing the cache without
+	// bound; overflow costs recomputation, never correctness.
+	if cellCacheLen.Load() < cellCacheSize {
+		if _, loaded := cellCache.LoadOrStore(key, m); !loaded {
+			cellCacheLen.Add(1)
+		}
+	}
+	return m, nil
+}

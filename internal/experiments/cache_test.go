@@ -1,0 +1,74 @@
+package experiments
+
+import (
+	"testing"
+
+	"granulock/internal/model"
+	"granulock/internal/sched"
+)
+
+// TestCachedRunMatchesRun verifies the dedup cache is invisible: a cold
+// miss, a warm hit and a direct model.Run all agree bit-for-bit.
+func TestCachedRunMatchesRun(t *testing.T) {
+	p := BaseParams()
+	p.TMax = 50
+	direct, err := model.Run(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold, err := CachedRun(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm, err := CachedRun(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cold != direct || warm != direct {
+		t.Fatalf("cached metrics diverge:\ndirect %+v\ncold   %+v\nwarm   %+v", direct, cold, warm)
+	}
+}
+
+// TestCachedRunKeysDistinguishParams makes sure near-identical cells do
+// not collide: any field difference must produce different results where
+// the model says they differ.
+func TestCachedRunKeysDistinguishParams(t *testing.T) {
+	p := BaseParams()
+	p.TMax = 50
+	a, err := CachedRun(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := p
+	q.Seed = p.Seed + 1
+	b, err := CachedRun(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a == b {
+		t.Fatal("different seeds returned identical metrics; cache key too coarse")
+	}
+}
+
+// TestCachedRunSkipsStatefulSchedulers pins the safety rule: cells with
+// an admission policy are never cached, because policies carry state
+// across a run and a fresh instance is part of the cell's identity.
+func TestCachedRunSkipsStatefulSchedulers(t *testing.T) {
+	p := BaseParams()
+	p.TMax = 50
+	p.Scheduler = sched.FixedMPL{Limit: 2}
+	if _, ok := cellKey(p); ok {
+		t.Fatal("scheduler cell was deemed cacheable")
+	}
+	m1, err := CachedRun(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := model.Run(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m1 != m2 {
+		t.Fatalf("uncached scheduler run diverged: %+v vs %+v", m1, m2)
+	}
+}

@@ -201,8 +201,9 @@ func ExtResponseTail(o Options) (Figure, error) {
 		if _, err := model.RunObserved(p, &rc); err != nil {
 			return Figure{}, err
 		}
-		for qi, q := range quantiles {
-			v := stats.Quantile(rc.Responses, q)
+		// One sort for all quantiles of this point's response sample.
+		vs := stats.Quantiles(rc.Responses, quantiles...)
+		for qi, v := range vs {
 			if math.IsNaN(v) {
 				v = 0 // no completions at this point
 			}

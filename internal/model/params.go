@@ -183,4 +183,9 @@ type Metrics struct {
 	// CompletedEntities is the total entities processed by completed
 	// transactions.
 	CompletedEntities int
+	// Events is the number of discrete events the simulator executed
+	// over the whole run (warmup included): the cost of producing this
+	// Metrics, used by the benchmark harness to report events/sec. It is
+	// diagnostic, not a model output.
+	Events uint64
 }

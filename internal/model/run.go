@@ -46,10 +46,19 @@ type simulation struct {
 	srcProcs *rng.Source
 	policy   sched.Policy
 
-	pending  []*txn
+	pending  txnRing
 	active   []*txn
 	lockBusy bool
 	nextID   int
+
+	// blockedFree recycles the backing arrays of release sets: a
+	// completed transaction's blocked slice is drained into the pending
+	// ring and then reused by the next transaction that blocks someone,
+	// so steady-state blocking allocates nothing.
+	blockedFree [][]*txn
+	// releaseOne is scratch for the single-transaction requeue on the
+	// blocker-completed-during-lock-processing path.
+	releaseOne [1]*txn
 
 	// accumulators
 	completed      int
@@ -207,7 +216,7 @@ func (s *simulation) newTxn() *txn {
 func (s *simulation) arrive(t *txn) {
 	t.arrival = s.eng.Now()
 	t.state = statePending
-	s.pending = append(s.pending, t)
+	s.pending.PushTail(t)
 	s.obs.TxnArrived(t.id, t.spec.Entities, t.spec.Locks, t.arrival)
 	s.tryDispatch()
 }
@@ -218,16 +227,13 @@ func (s *simulation) arrive(t *txn) {
 // parallel by all processors (or by processor 0 under the
 // dedicated-lock-processor ablation).
 func (s *simulation) tryDispatch() {
-	if s.lockBusy || len(s.pending) == 0 {
+	if s.lockBusy || s.pending.Len() == 0 {
 		return
 	}
 	if !s.policy.CanAdmit(len(s.active)) {
 		return
 	}
-	t := s.pending[0]
-	copy(s.pending, s.pending[1:])
-	s.pending[len(s.pending)-1] = nil
-	s.pending = s.pending[:len(s.pending)-1]
+	t := s.pending.PopHead()
 
 	t.state = stateRequesting
 	s.lockBusy = true
@@ -314,9 +320,18 @@ func (s *simulation) lockRequestDone(t *txn, blocker *txn) {
 		// Blocker finished during lock processing: the denial stands
 		// (and was paid for), but the release is already due.
 		s.lockDenials++
-		s.requeueReleased([]*txn{t})
+		s.releaseOne[0] = t
+		s.requeueReleased(s.releaseOne[:])
+		s.releaseOne[0] = nil
 	default:
 		t.state = stateBlocked
+		if blocker.blocked == nil {
+			if n := len(s.blockedFree) - 1; n >= 0 {
+				blocker.blocked = s.blockedFree[n]
+				s.blockedFree[n] = nil
+				s.blockedFree = s.blockedFree[:n]
+			}
+		}
 		blocker.blocked = append(blocker.blocked, t)
 		s.lockDenials++
 	}
@@ -390,8 +405,13 @@ func (s *simulation) complete(t *txn) {
 		co.TxnClassCompleted(t.id, t.spec.Class, response, s.eng.Now())
 	}
 
-	if len(t.blocked) > 0 {
+	if t.blocked != nil {
 		s.requeueReleased(t.blocked)
+		// Recycle the release set's backing array for the next blocker.
+		for i := range t.blocked {
+			t.blocked[i] = nil
+		}
+		s.blockedFree = append(s.blockedFree, t.blocked[:0])
 		t.blocked = nil
 	}
 	s.arrive(s.newTxn()) // replacement keeps ntrans constant
@@ -406,9 +426,15 @@ func (s *simulation) requeueReleased(ts []*txn) {
 		t.state = statePending
 	}
 	if s.p.ReleasedToTail {
-		s.pending = append(s.pending, ts...)
+		for _, t := range ts {
+			s.pending.PushTail(t)
+		}
 	} else {
-		s.pending = append(append(make([]*txn, 0, len(ts)+len(s.pending)), ts...), s.pending...)
+		// Head insertion in reverse keeps ts's internal order: ts[0]
+		// dispatches first, ahead of everything previously pending.
+		for i := len(ts) - 1; i >= 0; i-- {
+			s.pending.PushHead(ts[i])
+		}
 	}
 	s.tryDispatch()
 }
@@ -451,5 +477,6 @@ func (s *simulation) metrics() Metrics {
 	}
 	m.MeanActive = (s.activeArea - s.base.activeArea) / horizon
 	m.CompletedEntities = s.entitiesDone - s.base.entitiesDone
+	m.Events = s.eng.Steps()
 	return m
 }

@@ -1,0 +1,257 @@
+package sim
+
+import (
+	"math"
+	"sort"
+	"testing"
+)
+
+// TestAtRejectsNonFinite pins the regression: At used to reject NaN but
+// silently accepted t = +Inf, enqueueing an event that could never
+// meaningfully fire and corrupting Pending-based run-until logic.
+func TestAtRejectsNonFinite(t *testing.T) {
+	for _, bad := range []float64{math.Inf(1), math.Inf(-1), math.NaN()} {
+		bad := bad
+		t.Run("", func(t *testing.T) {
+			var e Engine
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("At(%v) did not panic", bad)
+				}
+				if e.Pending() != 0 {
+					t.Fatalf("rejected event left Pending()=%d", e.Pending())
+				}
+			}()
+			e.At(bad, func() {})
+		})
+	}
+	var e Engine
+	defer func() {
+		if recover() == nil {
+			t.Fatal("After(+Inf) did not panic")
+		}
+	}()
+	e.After(math.Inf(1), func() {})
+}
+
+// TestCancelThenReuse verifies the pool recycles a cancelled event for
+// the very next schedule, and that the recycled event is a fully
+// functional, independent event.
+func TestCancelThenReuse(t *testing.T) {
+	var e Engine
+	cancelledRan := false
+	ev := e.At(1, func() { cancelledRan = true })
+	e.Cancel(ev)
+	if len(e.free) != 1 {
+		t.Fatalf("pool holds %d events after cancel, want 1", len(e.free))
+	}
+	ran := false
+	ev2 := e.At(2, func() { ran = true })
+	if ev2 != ev {
+		t.Fatal("next At did not reuse the cancelled event's memory")
+	}
+	if !ev2.Pending() || ev2.Time() != 2 {
+		t.Fatalf("recycled event in bad state: pending=%v t=%v", ev2.Pending(), ev2.Time())
+	}
+	e.Run()
+	if cancelledRan {
+		t.Fatal("cancelled closure ran on the recycled event")
+	}
+	if !ran {
+		t.Fatal("recycled event did not fire")
+	}
+}
+
+// TestFiringEventNotRecycledDuringCallback pins the pool's identity
+// guarantee at Step boundaries: an At call inside a firing callback must
+// never be handed the memory of the event that is currently firing — it
+// becomes reusable only after the Step completes.
+func TestFiringEventNotRecycledDuringCallback(t *testing.T) {
+	var e Engine
+	var firing, inside *Event
+	firing = e.At(1, func() {
+		inside = e.At(2, func() {})
+		if inside == firing {
+			t.Fatal("At inside callback returned the firing event's memory")
+		}
+		if firing.Pending() {
+			t.Fatal("firing event still pending inside its own callback")
+		}
+	})
+	if !e.Step() {
+		t.Fatal("no event to step")
+	}
+	// After the step boundary the fired event is recyclable.
+	reused := e.At(3, func() {})
+	if reused != firing {
+		t.Fatal("fired event was not recycled by the next At after Step")
+	}
+	e.Run()
+}
+
+// poolRef is the reference model of the stress test: a stable-sorted
+// pending list ordered by (time, seq).
+type poolRef struct {
+	t   float64
+	seq int
+	id  int
+}
+
+// TestInterleavedAtCancelStepStress drives the engine with a
+// deterministic pseudo-random interleaving of At, Cancel and Step and
+// checks, against a brute-force reference model, that (1) events fire in
+// (time, FIFO) order, (2) cancelled events never fire, and (3) the pool
+// and the queue never share an event (no identity leak across Step
+// boundaries).
+func TestInterleavedAtCancelStepStress(t *testing.T) {
+	var e Engine
+	rng := uint64(42)
+	next := func(n int) int {
+		rng = rng*6364136223846793005 + 1442695040888963407
+		return int((rng >> 33) % uint64(n))
+	}
+
+	var pendingRef []poolRef // reference pending set, insertion order
+	live := map[int]*Event{} // id -> handle for cancellable events
+	var fired []int
+	nextID := 0
+	seq := 0
+
+	checkInvariants := func() {
+		t.Helper()
+		inQueue := map[*Event]bool{}
+		for i, ev := range e.queue {
+			if ev.index != i {
+				t.Fatalf("queue[%d].index = %d", i, ev.index)
+			}
+			inQueue[ev] = true
+		}
+		for _, ev := range e.free {
+			if inQueue[ev] {
+				t.Fatal("event is in the queue and the free pool at once")
+			}
+			if ev.Pending() {
+				t.Fatal("pooled event claims to be pending")
+			}
+		}
+		if len(pendingRef) != e.Pending() {
+			t.Fatalf("reference has %d pending, engine has %d", len(pendingRef), e.Pending())
+		}
+	}
+
+	const ops = 20000
+	for op := 0; op < ops; op++ {
+		switch k := next(10); {
+		case k < 5: // schedule; coarse times force plenty of FIFO ties
+			id := nextID
+			nextID++
+			tm := e.Now() + float64(next(8))
+			id2 := id
+			live[id] = e.At(tm, func() { fired = append(fired, id2) })
+			pendingRef = append(pendingRef, poolRef{t: tm, seq: seq, id: id})
+			seq++
+		case k < 7: // cancel a random live event
+			if len(pendingRef) == 0 {
+				continue
+			}
+			victim := pendingRef[next(len(pendingRef))]
+			e.Cancel(live[victim.id])
+			delete(live, victim.id)
+			for i, r := range pendingRef {
+				if r.id == victim.id {
+					pendingRef = append(pendingRef[:i], pendingRef[i+1:]...)
+					break
+				}
+			}
+		default: // step
+			if len(pendingRef) == 0 {
+				if e.Step() {
+					t.Fatal("Step fired with empty reference model")
+				}
+				continue
+			}
+			// Reference winner: min (t, seq).
+			win := 0
+			for i, r := range pendingRef {
+				if r.t < pendingRef[win].t || (r.t == pendingRef[win].t && r.seq < pendingRef[win].seq) {
+					win = i
+				}
+			}
+			want := pendingRef[win].id
+			pendingRef = append(pendingRef[:win], pendingRef[win+1:]...)
+			delete(live, want)
+			before := len(fired)
+			if !e.Step() {
+				t.Fatal("Step fired nothing with events pending")
+			}
+			if len(fired) != before+1 || fired[before] != want {
+				t.Fatalf("op %d: fired %d, reference says %d", op, fired[before], want)
+			}
+		}
+		if op%500 == 0 {
+			checkInvariants()
+		}
+	}
+	checkInvariants()
+
+	// Drain: the remainder must come out in exact (time, FIFO) order.
+	sort.SliceStable(pendingRef, func(a, b int) bool {
+		if pendingRef[a].t != pendingRef[b].t {
+			return pendingRef[a].t < pendingRef[b].t
+		}
+		return pendingRef[a].seq < pendingRef[b].seq
+	})
+	start := len(fired)
+	e.Run()
+	tail := fired[start:]
+	if len(tail) != len(pendingRef) {
+		t.Fatalf("drain fired %d events, want %d", len(tail), len(pendingRef))
+	}
+	for i, r := range pendingRef {
+		if tail[i] != r.id {
+			t.Fatalf("drain order broke at %d: got id %d, want %d", i, tail[i], r.id)
+		}
+	}
+}
+
+// TestPooledRunMatchesFreshRun replays an identical workload on a warm
+// (pool-heavy) engine and a fresh one and requires identical execution
+// traces: recycled event memory must carry no identity into later runs.
+func TestPooledRunMatchesFreshRun(t *testing.T) {
+	trace := func(e *Engine) []int {
+		var got []int
+		base := e.Now()
+		for i := 0; i < 200; i++ {
+			i := i
+			e.At(base+float64((i*7)%13), func() { got = append(got, i) })
+		}
+		for i := 0; i < 50; i += 2 {
+			// Cancel a deterministic subset scheduled fresh each time.
+			e.Cancel(e.At(base+float64(i%13), func() { got = append(got, 1000+i) }))
+		}
+		e.Run()
+		return got
+	}
+
+	var fresh Engine
+	want := trace(&fresh)
+
+	var warm Engine
+	for i := 0; i < 300; i++ { // churn to populate the pool
+		warm.At(float64(i%5), func() {})
+	}
+	warm.Run()
+	if len(warm.free) == 0 {
+		t.Fatal("warm engine has an empty pool; churn failed")
+	}
+	got := trace(&warm)
+
+	if len(got) != len(want) {
+		t.Fatalf("warm run fired %d events, fresh %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("pooled run diverged at %d: got %d, want %d", i, got[i], want[i])
+		}
+	}
+}

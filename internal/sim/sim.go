@@ -5,10 +5,33 @@
 // keeps runs deterministic for a fixed seed. Time is a float64 number of
 // abstract "time units", matching the unit system of the paper's model
 // (e.g. iotime = 0.2 time units per entity).
+//
+// # Hot-path design
+//
+// The engine is the inner loop of every parameter sweep, so it is built
+// for steady-state zero-allocation operation:
+//
+//   - The priority queue is an index-addressable 4-ary min-heap ordered
+//     by (time, seq), inlined into the engine rather than going through
+//     the container/heap interface. A 4-ary heap halves the tree depth
+//     of a binary heap and keeps the children of a node on one cache
+//     line, which matters when the queue holds thousands of events.
+//   - Fired and cancelled events go to a free list and are recycled by
+//     the next At/After call, so a standing population of events (the
+//     common case: every completion schedules a successor) allocates
+//     nothing after warm-up.
+//
+// An *Event handle is valid until the event fires or is cancelled;
+// afterwards the engine may recycle its memory for a future event, so
+// holding a dead handle and calling Pending on it is a programming
+// error. Cancel remains safe on dead handles as long as no new event has
+// been scheduled in between (the double-Cancel no-op the package has
+// always promised); the engine never recycles the firing event before
+// its callback has returned, so callbacks can never be handed their own
+// event's memory by At.
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"math"
 )
@@ -18,7 +41,8 @@ type Time = float64
 
 // Event is a scheduled closure. The zero value is not useful; obtain
 // events from Engine.At or Engine.After. An Event may be cancelled until
-// it fires.
+// it fires; once it has fired or been cancelled the handle is dead and
+// its memory may be recycled for a later event.
 type Event struct {
 	t     Time
 	seq   uint64 // tie-break: FIFO among simultaneous events
@@ -38,7 +62,8 @@ func (e *Event) Pending() bool { return e.index >= 0 }
 type Engine struct {
 	now   Time
 	seq   uint64
-	queue eventQueue
+	queue []*Event // 4-ary min-heap on (t, seq); index i's children are 4i+1..4i+4
+	free  []*Event // recycled events, reused by the next At
 	steps uint64
 }
 
@@ -52,17 +77,24 @@ func (e *Engine) Steps() uint64 { return e.steps }
 func (e *Engine) Pending() int { return len(e.queue) }
 
 // At schedules fn to run at absolute time t. Scheduling in the past
-// (before Now) panics: it would silently reorder causality.
+// (before Now) panics: it would silently reorder causality. Non-finite
+// times (NaN, ±Inf) panic too: a +Inf event can never meaningfully fire
+// and corrupts Pending-based run-until logic.
 func (e *Engine) At(t Time, fn func()) *Event {
+	if math.IsNaN(t) || math.IsInf(t, 0) {
+		panic(fmt.Sprintf("sim: scheduling event at non-finite time %v", t))
+	}
 	if t < e.now {
 		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, e.now))
 	}
-	if math.IsNaN(t) {
-		panic("sim: scheduling event at NaN time")
-	}
-	ev := &Event{t: t, seq: e.seq, fn: fn}
+	ev := e.alloc()
+	ev.t = t
+	ev.seq = e.seq
+	ev.fn = fn
 	e.seq++
-	heap.Push(&e.queue, ev)
+	ev.index = len(e.queue)
+	e.queue = append(e.queue, ev)
+	e.siftUp(ev.index)
 	return ev
 }
 
@@ -74,14 +106,15 @@ func (e *Engine) After(delay Time, fn func()) *Event {
 	return e.At(e.now+delay, fn)
 }
 
-// Cancel removes a pending event from the queue. Cancelling an event that
-// already fired or was already cancelled is a no-op.
+// Cancel removes a pending event from the queue and recycles it.
+// Cancelling an event that already fired or was already cancelled is a
+// no-op.
 func (e *Engine) Cancel(ev *Event) {
 	if ev == nil || ev.index < 0 {
 		return
 	}
-	heap.Remove(&e.queue, ev.index)
-	ev.fn = nil
+	e.remove(ev.index)
+	e.release(ev)
 }
 
 // Step executes the single earliest pending event, advancing the clock to
@@ -90,12 +123,16 @@ func (e *Engine) Step() bool {
 	if len(e.queue) == 0 {
 		return false
 	}
-	ev := heap.Pop(&e.queue).(*Event)
+	ev := e.queue[0]
+	e.remove(0)
 	e.now = ev.t
 	e.steps++
 	fn := ev.fn
 	ev.fn = nil
+	// The event is recycled only after its callback returns: an At call
+	// inside fn must never be handed the still-firing event's memory.
 	fn()
+	e.release(ev)
 	return true
 }
 
@@ -123,36 +160,98 @@ func (e *Engine) Run() uint64 {
 	return e.steps - start
 }
 
-// eventQueue is a binary min-heap ordered by (time, seq).
-type eventQueue []*Event
-
-func (q eventQueue) Len() int { return len(q) }
-
-func (q eventQueue) Less(i, j int) bool {
-	if q[i].t != q[j].t {
-		return q[i].t < q[j].t
+// alloc returns a recycled event, or a fresh one if the pool is empty.
+func (e *Engine) alloc() *Event {
+	if n := len(e.free) - 1; n >= 0 {
+		ev := e.free[n]
+		e.free[n] = nil
+		e.free = e.free[:n]
+		return ev
 	}
-	return q[i].seq < q[j].seq
+	return &Event{}
 }
 
-func (q eventQueue) Swap(i, j int) {
-	q[i], q[j] = q[j], q[i]
-	q[i].index = i
-	q[j].index = j
-}
-
-func (q *eventQueue) Push(x any) {
-	ev := x.(*Event)
-	ev.index = len(*q)
-	*q = append(*q, ev)
-}
-
-func (q *eventQueue) Pop() any {
-	old := *q
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
+// release marks ev dead and returns it to the pool.
+func (e *Engine) release(ev *Event) {
+	ev.fn = nil
 	ev.index = -1
-	*q = old[:n-1]
-	return ev
+	e.free = append(e.free, ev)
+}
+
+// less orders the heap by (time, seq); seq is unique, so the order is
+// total and pop order is independent of the heap's internal layout.
+func less(a, b *Event) bool {
+	if a.t != b.t {
+		return a.t < b.t
+	}
+	return a.seq < b.seq
+}
+
+// siftUp restores the heap invariant upward from index i.
+func (e *Engine) siftUp(i int) {
+	q := e.queue
+	ev := q[i]
+	for i > 0 {
+		p := (i - 1) >> 2
+		if !less(ev, q[p]) {
+			break
+		}
+		q[i] = q[p]
+		q[i].index = i
+		i = p
+	}
+	q[i] = ev
+	ev.index = i
+}
+
+// siftDown restores the heap invariant downward from index i.
+func (e *Engine) siftDown(i int) {
+	q := e.queue
+	n := len(q)
+	ev := q[i]
+	for {
+		first := i<<2 + 1
+		if first >= n {
+			break
+		}
+		best := first
+		last := first + 4
+		if last > n {
+			last = n
+		}
+		for c := first + 1; c < last; c++ {
+			if less(q[c], q[best]) {
+				best = c
+			}
+		}
+		if !less(q[best], ev) {
+			break
+		}
+		q[i] = q[best]
+		q[i].index = i
+		i = best
+	}
+	q[i] = ev
+	ev.index = i
+}
+
+// remove deletes the event at heap index i, marking it unqueued. The
+// caller still owns the event (Step runs it, Cancel recycles it).
+func (e *Engine) remove(i int) {
+	q := e.queue
+	n := len(q) - 1
+	ev := q[i]
+	last := q[n]
+	q[n] = nil
+	e.queue = q[:n]
+	ev.index = -1
+	if i == n {
+		return
+	}
+	q[i] = last
+	last.index = i
+	e.siftDown(i)
+	if last.index == i {
+		e.siftUp(i)
+	}
 }

@@ -213,13 +213,3 @@ func TestHeapPropertyRandomized(t *testing.T) {
 		t.Fatal(err)
 	}
 }
-
-func BenchmarkScheduleAndRun(b *testing.B) {
-	for i := 0; i < b.N; i++ {
-		var e Engine
-		for j := 0; j < 1000; j++ {
-			e.At(float64(j%97), func() {})
-		}
-		e.Run()
-	}
-}

@@ -102,13 +102,43 @@ func (w *Welford) Summarize() Summary {
 
 // Quantile returns the q-quantile (0 ≤ q ≤ 1) of xs by linear
 // interpolation on the sorted sample. It returns NaN for an empty sample
-// or out-of-range q. xs is not modified.
+// or out-of-range q. NaN observations are ignored (see Quantiles). xs is
+// not modified. For several quantiles of the same sample use Quantiles,
+// which sorts once.
 func Quantile(xs []float64, q float64) float64 {
-	if len(xs) == 0 || q < 0 || q > 1 || math.IsNaN(q) {
+	return Quantiles(xs, q)[0]
+}
+
+// Quantiles returns the quantiles of xs for every q in qs with a single
+// copy and sort of the sample, in qs order. Each quantile is computed by
+// linear interpolation on the sorted sample, as in Quantile.
+//
+// NaN policy: NaN observations carry no ordering information and would
+// otherwise silently poison the sort (sort.Float64s leaves NaNs in
+// unspecified positions), so they are dropped before sorting and
+// quantiles are computed over the remaining observations. A quantile is
+// NaN when q is outside [0, 1] or NaN, or when no non-NaN observations
+// remain.
+func Quantiles(xs []float64, qs ...float64) []float64 {
+	sorted := make([]float64, 0, len(xs))
+	for _, x := range xs {
+		if !math.IsNaN(x) {
+			sorted = append(sorted, x)
+		}
+	}
+	sort.Float64s(sorted)
+	out := make([]float64, len(qs))
+	for i, q := range qs {
+		out[i] = sortedQuantile(sorted, q)
+	}
+	return out
+}
+
+// sortedQuantile interpolates the q-quantile of an ascending sample.
+func sortedQuantile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 || q < 0 || q > 1 || math.IsNaN(q) {
 		return math.NaN()
 	}
-	sorted := append([]float64(nil), xs...)
-	sort.Float64s(sorted)
 	if len(sorted) == 1 {
 		return sorted[0]
 	}

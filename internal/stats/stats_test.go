@@ -253,3 +253,47 @@ func TestHistogramEmptyFraction(t *testing.T) {
 		t.Fatal("empty histogram fraction nonzero")
 	}
 }
+
+// TestQuantilesSingleSortMatchesQuantile checks the batched API against
+// the one-at-a-time API on the same sample.
+func TestQuantilesSingleSortMatchesQuantile(t *testing.T) {
+	xs := []float64{9, 1, 8, 2, 7, 3, 6, 4, 5}
+	qs := []float64{0, 0.25, 0.5, 0.75, 0.95, 1}
+	got := Quantiles(xs, qs...)
+	if len(got) != len(qs) {
+		t.Fatalf("Quantiles returned %d values for %d qs", len(got), len(qs))
+	}
+	for i, q := range qs {
+		if want := Quantile(xs, q); math.Abs(got[i]-want) > 1e-12 {
+			t.Errorf("Quantiles[%v] = %v, Quantile says %v", q, got[i], want)
+		}
+	}
+}
+
+// TestQuantilesNaNPolicy pins the documented NaN handling: NaN samples
+// are dropped before sorting (they used to poison the sort order
+// silently), an all-NaN sample yields NaN, and out-of-range qs yield NaN
+// without disturbing in-range ones.
+func TestQuantilesNaNPolicy(t *testing.T) {
+	nan := math.NaN()
+	xs := []float64{nan, 3, nan, 1, 2, nan}
+	got := Quantiles(xs, 0, 0.5, 1)
+	for i, want := range []float64{1, 2, 3} {
+		if got[i] != want {
+			t.Errorf("quantile %d over NaN-polluted sample = %v, want %v", i, got[i], want)
+		}
+	}
+	if v := Quantile(xs, 0.5); v != 2 {
+		t.Errorf("Quantile over NaN-polluted sample = %v, want 2", v)
+	}
+	if !math.IsNaN(Quantile([]float64{nan, nan}, 0.5)) {
+		t.Error("all-NaN sample should yield NaN")
+	}
+	mixed := Quantiles(xs, -0.5, 0.5, 2)
+	if !math.IsNaN(mixed[0]) || mixed[1] != 2 || !math.IsNaN(mixed[2]) {
+		t.Errorf("out-of-range qs mishandled: %v", mixed)
+	}
+	if !math.IsNaN(Quantiles(nil, 0.5)[0]) {
+		t.Error("empty sample should yield NaN")
+	}
+}

@@ -100,6 +100,14 @@ type Generator struct {
 	classes   []Class
 	cum       []float64 // cumulative normalized weights
 	src       *rng.Source
+
+	// yaoCache is the per-generator fast path over the yao package's
+	// global memo for PlacementRandom: a direct-mapped table of Locks by
+	// transaction size. Sizes repeat heavily within a run (they are
+	// uniform on [1, maxtransize]), so after warm-up every draw is one
+	// array load. -1 marks unfilled entries; lazily allocated on the
+	// first random-placement draw.
+	yaoCache []int32
 }
 
 // NewGenerator validates the configuration and returns a Generator.
@@ -169,9 +177,36 @@ func (g *Generator) Next() Spec {
 	nu := g.src.IntRange(1, g.classes[class].MaxTransize)
 	return Spec{
 		Entities: nu,
-		Locks:    LocksRequired(g.placement, nu, g.ltot, g.dbsize),
+		Locks:    g.locksFor(nu),
 		Class:    class,
 	}
+}
+
+// locksFor returns LocksRequired(placement, nu, ltot, dbsize), caching
+// Yao evaluations per size for the random placement (best and worst are
+// already O(1) arithmetic).
+func (g *Generator) locksFor(nu int) int {
+	if g.placement != PlacementRandom {
+		return LocksRequired(g.placement, nu, g.ltot, g.dbsize)
+	}
+	if g.yaoCache == nil {
+		size := 0
+		for _, c := range g.classes {
+			if c.MaxTransize > size {
+				size = c.MaxTransize
+			}
+		}
+		g.yaoCache = make([]int32, size+1)
+		for i := range g.yaoCache {
+			g.yaoCache[i] = -1
+		}
+	}
+	if v := g.yaoCache[nu]; v >= 0 {
+		return int(v)
+	}
+	v := LocksRequired(g.placement, nu, g.ltot, g.dbsize)
+	g.yaoCache[nu] = int32(v)
+	return v
 }
 
 // pickClass draws a class index proportional to the weights.

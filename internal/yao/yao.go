@@ -14,7 +14,11 @@
 // millions).
 package yao
 
-import "fmt"
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
 
 // ExpectedBlocks returns the expected number of granules touched when k
 // of n entities are chosen uniformly without replacement and the n
@@ -59,13 +63,47 @@ func ExpectedBlocks(n, b, k int) (float64, error) {
 	return float64(b) * (1 - missProb), nil
 }
 
+// lockKey identifies one memoized Locks evaluation.
+type lockKey struct{ n, b, k int }
+
+// lockCache memoizes Locks across runs: parameter sweeps re-evaluate the
+// same (dbsize, ltot, k) triples millions of times across grid points
+// and replications, and each evaluation is an O(k) product. The cache is
+// safe for the concurrent simulations of a sweep. lockCacheSize bounds
+// it so a long-lived process cannot grow it without limit; the sweep
+// grids fit with orders of magnitude to spare, and overflow only costs
+// recomputation, never correctness.
+var (
+	lockCache     sync.Map // lockKey -> int
+	lockCacheLen  atomic.Int64
+	lockCacheSize = int64(1 << 21)
+)
+
 // Locks returns Yao's estimate rounded to a whole number of locks,
 // clamped to the feasible range [1, min(k, b)]: a transaction touching at
 // least one entity needs at least one lock and can never need more locks
 // than granules, nor more than one lock per entity. It panics on invalid
 // arguments; use ExpectedBlocks to validate first if the inputs are not
 // already checked.
+//
+// Locks is a pure function of its arguments and memoizes its results;
+// it is safe for concurrent use.
 func Locks(n, b, k int) int {
+	key := lockKey{n, b, k}
+	if v, ok := lockCache.Load(key); ok {
+		return v.(int)
+	}
+	locks := computeLocks(n, b, k)
+	if lockCacheLen.Load() < lockCacheSize {
+		if _, loaded := lockCache.LoadOrStore(key, locks); !loaded {
+			lockCacheLen.Add(1)
+		}
+	}
+	return locks
+}
+
+// computeLocks is the uncached evaluation behind Locks.
+func computeLocks(n, b, k int) int {
 	e, err := ExpectedBlocks(n, b, k)
 	if err != nil {
 		panic(err)

@@ -2,6 +2,7 @@ package yao
 
 import (
 	"math"
+	"sync"
 	"testing"
 	"testing/quick"
 )
@@ -146,4 +147,49 @@ func BenchmarkExpectedBlocks(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		_, _ = ExpectedBlocks(5000, 100, 250)
 	}
+}
+
+// TestLocksMemoizedMatchesCompute verifies the memo layer is invisible:
+// cached answers are identical to fresh evaluations across a grid of
+// triples, including repeated queries.
+func TestLocksMemoizedMatchesCompute(t *testing.T) {
+	ns := []int{100, 5000}
+	bs := []int{1, 7, 100, 5000}
+	ks := []int{0, 1, 13, 99, 100}
+	for round := 0; round < 2; round++ { // round 2 hits the cache
+		for _, n := range ns {
+			for _, b := range bs {
+				if b > n {
+					continue
+				}
+				for _, k := range ks {
+					if k > n {
+						continue
+					}
+					if got, want := Locks(n, b, k), computeLocks(n, b, k); got != want {
+						t.Fatalf("round %d: Locks(%d,%d,%d) = %d, compute says %d", round, n, b, k, got, want)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestLocksConcurrent hammers the memo from many goroutines; run with
+// -race this doubles as the cache's data-race check.
+func TestLocksConcurrent(t *testing.T) {
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for k := 1; k <= 500; k++ {
+				if got, want := Locks(5000, 100, k), computeLocks(5000, 100, k); got != want {
+					t.Errorf("Locks(5000,100,%d) = %d, want %d", k, got, want)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
 }

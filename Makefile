@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race bench verify
+.PHONY: build test vet race bench locknet verify
 
 build:
 	$(GO) build ./...
@@ -19,11 +19,21 @@ race:
 bench:
 	$(GO) run ./cmd/bench -out BENCH_model.json
 
-# verify is the PR gate: static checks, the race-enabled test suite and
-# a quick benchmark smoke run that regenerates BENCH_model.json with
-# shortened figure sweeps (engine microbenchmarks still run at full
-# fidelity).
+# locknet is the ISSUE 3 acceptance scenario: 1000 transactions through
+# the network lock service behind the fault-injecting transport (drops,
+# delays, partial writes); runNet fails unless the drain strands zero
+# granules. See docs/LOCKSRV.md.
+locknet:
+	$(GO) run ./cmd/locksim -net 8 -nettxns 1000 -netfaults -ltot 100
+
+# verify is the PR gate: static checks, the race-enabled test suite
+# (which includes the locksrv fault-injection suite in
+# internal/locksrv/harden_test.go), the faulty network lock-service
+# smoke run, and a quick benchmark smoke run that regenerates
+# BENCH_model.json with shortened figure sweeps (engine microbenchmarks
+# still run at full fidelity).
 verify:
 	$(GO) vet ./...
 	$(GO) test -race ./...
+	$(GO) run ./cmd/locksim -net 8 -nettxns 1000 -netfaults -ltot 100
 	$(GO) run ./cmd/bench -quick -out BENCH_model.json

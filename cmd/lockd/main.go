@@ -3,36 +3,92 @@
 //
 // Usage:
 //
-//	lockd [-addr 127.0.0.1:7654]
+//	lockd [-addr 127.0.0.1:7654] [-grace 5s] [-idle 5m] [-stats 30s]
 //
-// The protocol is newline-delimited JSON (see internal/locksrv):
+// The protocol is newline-delimited JSON (see internal/locksrv and
+// docs/LOCKSRV.md):
 //
-//	{"op":"acquire","txn":1,"granules":[3,4],"exclusive":[true,false]}
+//	{"op":"acquire","txn":1,"granules":[3,4],"exclusive":[true,false],"timeout_ms":500}
 //	{"op":"release","txn":1}
 //	{"op":"stats"}
+//
+// SIGTERM or SIGINT drains gracefully: lockd stops accepting, gives
+// in-flight requests the -grace period to finish, force-releases
+// whatever remains, and exits. Sessions idle longer than -idle are
+// reaped (their locks released) as if they had disconnected. Every
+// -stats interval lockd logs session/waiter gauges, acquire outcome
+// counters and wait-time quantiles.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"log"
 	"net"
 	"os"
+	"os/signal"
+	"syscall"
+	"time"
 
 	"granulock/internal/locksrv"
 )
 
 func main() {
 	addr := flag.String("addr", "127.0.0.1:7654", "listen address")
+	grace := flag.Duration("grace", 5*time.Second, "drain grace period for in-flight requests on shutdown")
+	idle := flag.Duration("idle", 5*time.Minute, "reap sessions idle longer than this (0 disables)")
+	statsEvery := flag.Duration("stats", 30*time.Second, "stats logging interval (0 disables)")
 	flag.Parse()
+
+	logger := log.New(os.Stderr, "lockd: ", log.LstdFlags|log.Lmicroseconds)
 	lis, err := net.Listen("tcp", *addr)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "lockd:", err)
-		os.Exit(1)
+		logger.Fatal(err)
 	}
-	srv := locksrv.NewServer(lis, nil)
+	srv := locksrv.NewServer(lis, nil,
+		locksrv.WithGrace(*grace),
+		locksrv.WithIdleTimeout(*idle),
+	)
 	fmt.Println("lockd listening on", srv.Addr())
-	if err := srv.Serve(); err != nil {
-		fmt.Fprintln(os.Stderr, "lockd:", err)
-		os.Exit(1)
+
+	stop := make(chan struct{})
+	if *statsEvery > 0 {
+		go func() {
+			t := time.NewTicker(*statsEvery)
+			defer t.Stop()
+			for {
+				select {
+				case <-t.C:
+					logStats(logger, srv.Stats())
+				case <-stop:
+					return
+				}
+			}
+		}()
 	}
+
+	sigs := make(chan os.Signal, 1)
+	signal.Notify(sigs, syscall.SIGTERM, syscall.SIGINT)
+	go func() {
+		sig := <-sigs
+		logger.Printf("received %v, draining (grace %v)", sig, *grace)
+		if err := srv.Close(); err != nil {
+			logger.Printf("drain: %v", err)
+		}
+	}()
+
+	if err := srv.Serve(); err != nil {
+		logger.Fatal(err)
+	}
+	close(stop)
+	logStats(logger, srv.Stats())
+	logger.Printf("drained; exiting")
+}
+
+// logStats renders one stats line in key=value form.
+func logStats(logger *log.Logger, st locksrv.ServerStats) {
+	logger.Printf("sessions=%d/%d holders=%d granules=%d waiters=%d grants=%d timeouts=%d cancels=%d force_releases=%d foreign_releases=%d idle_reaps=%d wait_ms_p50=%.2f p90=%.2f p99=%.2f samples=%d",
+		st.Sessions, st.SessionsTotal, st.Holders, st.LockedGranules, st.Waiters,
+		st.Grants, st.Timeouts, st.Cancels, st.ForceReleases, st.ForeignReleases,
+		st.IdleReaps, st.WaitP50MS, st.WaitP90MS, st.WaitP99MS, st.WaitSamples)
 }

@@ -10,6 +10,13 @@
 //	locksim -npros 30 -ltot 100 -tmax 1000
 //	locksim -npros 10 -ltot 5000 -placement worst -json
 //	locksim -reps 5 -npros 20        # replicated with 95% CIs
+//
+// With -net N the command instead drives N worker sessions through the
+// network lock service (internal/locksrv) on an in-process server —
+// optionally through a fault-injecting transport — and verifies that a
+// graceful drain strands no granules:
+//
+//	locksim -net 8 -nettxns 1000 -netfaults -ltot 100
 package main
 
 import (
@@ -17,6 +24,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"granulock"
 	tracepkg "granulock/internal/trace"
@@ -54,8 +62,26 @@ func run(args []string, out *os.File) error {
 	trace := fs.Int("trace", 0, "print the first N transaction lifecycle events")
 	traceFile := fs.String("tracefile", "", "write the full event trace as JSON lines to this file")
 	quantiles := fs.Bool("quantiles", false, "also print response-time P50/P90/P99")
+	netWorkers := fs.Int("net", 0, "run the network lock-service harness with this many worker sessions instead of the simulation")
+	netTxns := fs.Int("nettxns", 1000, "transactions to run across the -net workers")
+	netLocksPer := fs.Int("netlocksper", 4, "maximum granules claimed per -net transaction")
+	netTimeout := fs.Duration("nettimeout", 200*time.Millisecond, "per-acquire wait deadline for -net transactions")
+	netFaults := fs.Bool("netfaults", false, "inject transport faults (drops, delays, partial writes) into the -net clients")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	if *netWorkers > 0 {
+		return runNet(netConfig{
+			workers:  *netWorkers,
+			txns:     *netTxns,
+			ltot:     p.Ltot,
+			locksPer: *netLocksPer,
+			timeout:  *netTimeout,
+			faults:   *netFaults,
+			seed:     *seed,
+			asJSON:   *asJSON,
+		}, out)
 	}
 
 	p.Seed = *seed

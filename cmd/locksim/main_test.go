@@ -92,6 +92,38 @@ func TestRunFlagValidation(t *testing.T) {
 	}
 }
 
+// TestRunNetFaulty drives the network lock-service harness through the
+// fault-injecting transport and requires the drain invariant: zero
+// stranded granules. This is the ISSUE 3 acceptance scenario at test
+// scale (the full 1000-txn run is exercised by `make verify`).
+func TestRunNetFaulty(t *testing.T) {
+	out, err := capture(t, []string{"-net", "4", "-nettxns", "200", "-netfaults", "-ltot", "50"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "residual holders 0 (granules 0, waiters 0)") {
+		t.Fatalf("missing clean-drain line:\n%s", out)
+	}
+}
+
+// TestRunNetJSON checks the machine-readable summary.
+func TestRunNetJSON(t *testing.T) {
+	out, err := capture(t, []string{"-net", "2", "-nettxns", "50", "-json"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, `"residual_holders":0`) {
+		t.Fatalf("json output missing residual_holders: %s", out)
+	}
+}
+
+// TestRunNetValidation rejects nonsense harness parameters.
+func TestRunNetValidation(t *testing.T) {
+	if _, err := capture(t, []string{"-net", "2", "-netlocksper", "0"}); err == nil {
+		t.Error("locksper 0 accepted")
+	}
+}
+
 func TestRunMixAndMPL(t *testing.T) {
 	out, err := capture(t, []string{"-tmax", "200", "-mix", "-mpl", "3"})
 	if err != nil {

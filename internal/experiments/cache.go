@@ -52,11 +52,17 @@ func CachedRun(p model.Params) (model.Metrics, error) {
 		return m, err
 	}
 	// The cap keeps a long-lived process from growing the cache without
-	// bound; overflow costs recomputation, never correctness.
-	if cellCacheLen.Load() < cellCacheSize {
-		if _, loaded := cellCache.LoadOrStore(key, m); !loaded {
-			cellCacheLen.Add(1)
-		}
+	// bound; overflow costs recomputation, never correctness. A slot is
+	// reserved with Add before the store so that concurrent callers
+	// cannot all pass a Load() check and overshoot the bound; the
+	// reservation is returned if the store loses the race or the cache
+	// is already full.
+	if cellCacheLen.Add(1) > cellCacheSize {
+		cellCacheLen.Add(-1)
+		return m, nil
+	}
+	if _, loaded := cellCache.LoadOrStore(key, m); loaded {
+		cellCacheLen.Add(-1)
 	}
 	return m, nil
 }

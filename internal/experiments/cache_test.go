@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"fmt"
+	"sync"
 	"testing"
 
 	"granulock/internal/model"
@@ -47,6 +49,57 @@ func TestCachedRunKeysDistinguishParams(t *testing.T) {
 	}
 	if a == b {
 		t.Fatal("different seeds returned identical metrics; cache key too coarse")
+	}
+}
+
+// TestCellCacheCapHoldsUnderConcurrency pins the reservation
+// accounting: concurrent inserts near the cap must never overshoot it.
+// The old Load-then-LoadOrStore sequence let every goroutine pass the
+// capacity check before any of them had stored.
+func TestCellCacheCapHoldsUnderConcurrency(t *testing.T) {
+	oldLen, oldSize := cellCacheLen.Load(), cellCacheSize
+	defer func() {
+		cellCacheSize = oldSize
+		cellCacheLen.Store(oldLen)
+		cellCache.Range(func(k, _ any) bool {
+			if s, ok := k.(string); ok && len(s) > 4 && s[:4] == "cap-" {
+				cellCache.Delete(k)
+			}
+			return true
+		})
+	}()
+	cellCacheSize = oldLen + 4 // leave 4 free slots
+	const workers = 32
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			// Mirror CachedRun's insert path with distinct synthetic keys.
+			key := fmt.Sprintf("cap-%d", w)
+			if cellCacheLen.Add(1) > cellCacheSize {
+				cellCacheLen.Add(-1)
+				return
+			}
+			if _, loaded := cellCache.LoadOrStore(key, model.Metrics{}); loaded {
+				cellCacheLen.Add(-1)
+			}
+		}()
+	}
+	wg.Wait()
+	if n := cellCacheLen.Load(); n > cellCacheSize {
+		t.Fatalf("cache accounting overshot the cap: %d > %d", n, cellCacheSize)
+	}
+	stored := 0
+	cellCache.Range(func(k, _ any) bool {
+		if s, ok := k.(string); ok && len(s) > 4 && s[:4] == "cap-" {
+			stored++
+		}
+		return true
+	})
+	if stored > 4 {
+		t.Fatalf("%d synthetic cells stored, cap allowed 4", stored)
 	}
 }
 

@@ -52,6 +52,13 @@ type Request struct {
 // should ReleaseAll and retry.
 var ErrDeadlock = errors.New("lockmgr: deadlock detected, transaction chosen as victim")
 
+// ErrAlreadyHolds is wrapped by AcquireAll when the transaction already
+// holds locks: a conservative claim must be the transaction's first
+// acquisition. Callers that multiplex transactions over sessions (the
+// network lock service) use it to tell a protocol violation from a
+// retried claim racing its predecessor's release.
+var ErrAlreadyHolds = errors.New("transaction already holds locks; conservative claims must be the first acquisition")
+
 // Stats are monotonically increasing counters of lock-table activity.
 type Stats struct {
 	Grants    int64 // acquire calls satisfied (immediately or after waiting)
@@ -130,6 +137,41 @@ func (t *Table) HeldBy(txn TxnID) int {
 	return len(t.held[txn])
 }
 
+// HoldersCount returns the number of transactions currently holding at
+// least one granule. A clean table reports 0; after a drain this is the
+// residual-holder count a lock service must bring to zero.
+func (t *Table) HoldersCount() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.held)
+}
+
+// LockedGranules returns the number of granules with at least one
+// holder.
+func (t *Table) LockedGranules() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	n := 0
+	for _, gs := range t.granules {
+		if len(gs.holders) > 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// WaitersCount returns the number of requests currently parked: both
+// conservative whole-claim waiters and incremental per-granule waiters.
+func (t *Table) WaitersCount() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	n := len(t.claimQ)
+	for _, gs := range t.granules {
+		n += len(gs.waiters)
+	}
+	return n
+}
+
 // HoldsAtLeast reports whether txn holds granule g in mode want or
 // stronger.
 func (t *Table) HoldsAtLeast(txn TxnID, g Granule, want Mode) bool {
@@ -169,7 +211,7 @@ func (t *Table) AcquireAll(ctx context.Context, txn TxnID, reqs []Request) error
 	t.mu.Lock()
 	if len(t.held[txn]) != 0 {
 		t.mu.Unlock()
-		return fmt.Errorf("lockmgr: transaction %d already holds locks; conservative claims must be the first acquisition", txn)
+		return fmt.Errorf("lockmgr: transaction %d: %w", txn, ErrAlreadyHolds)
 	}
 	if t.grantable(txn, reqs) {
 		t.grantAll(txn, reqs)

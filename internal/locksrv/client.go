@@ -1,92 +1,329 @@
 package locksrv
 
 import (
-	"bufio"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net"
+	"sync"
+	"sync/atomic"
+	"time"
 
 	"granulock/internal/lockmgr"
+	"granulock/internal/rng"
+)
+
+// Typed protocol errors, unwrapped from Response.Code with errors.Is.
+// These are lock-protocol outcomes, not transport failures: the client
+// never retries them at the transport layer (the caller decides — a
+// timed-out acquire is commonly retried after releasing, a foreign
+// release is a logic bug).
+var (
+	// ErrTimeout: the acquire's wait deadline (timeout_ms) expired.
+	ErrTimeout = errors.New("locksrv: acquire timed out")
+	// ErrNotOwner: release of a transaction granted on another session.
+	ErrNotOwner = errors.New("locksrv: transaction owned by another session")
+	// ErrSessionClosed: the server is draining or closed the session.
+	ErrSessionClosed = errors.New("locksrv: session closed by server")
+	// ErrClientClosed: Close was called on this client; no further
+	// requests or reconnects will be attempted.
+	ErrClientClosed = errors.New("locksrv: client closed")
 )
 
 // Client is one lock-manager session. A Client serializes its requests
 // (one in flight at a time) and belongs to one worker, mirroring a
 // database session; open one Client per concurrent worker. Methods are
 // not safe for concurrent use on the same Client.
+//
+// The client survives transport faults: a failed send, receive or dial
+// tears the connection down and retries the request on a fresh
+// connection, with capped exponential backoff and deterministic jitter,
+// up to the retry budget. Retrying is safe because a dead session's
+// grants are force-released by the server — re-sending an acquire whose
+// response was lost re-claims from a clean slate, and re-sending a
+// release is idempotent. Lock-protocol errors (timeout, not_owner,
+// bad_request) come back as typed errors and are never retried here.
 type Client struct {
-	conn net.Conn
-	dec  *json.Decoder
-	enc  *json.Encoder
+	addr string
+	dial func(addr string) (net.Conn, error)
+
+	// connMu guards the conn pointer handoff between the request
+	// goroutine (connect/dropConn) and Close, which may be called from
+	// another goroutine to abort an in-flight blocking acquire. dec/enc
+	// are touched only by the request goroutine.
+	connMu sync.Mutex
+	conn   net.Conn
+	closed atomic.Bool
+
+	dec *json.Decoder
+	enc *json.Encoder
+
+	retries     int // transport retries per request, beyond the first attempt
+	backoffBase time.Duration
+	backoffMax  time.Duration
+	jitter      *rng.Source
+	sleep       func(time.Duration) // test seam
+
+	reconnects int64
+	retried    int64
+}
+
+// ClientOption configures a Client.
+type ClientOption func(*Client)
+
+// WithRetries sets how many times a request is retried after a
+// transport failure (dial, send or receive). Default 4. Zero disables
+// reconnection entirely: the first transport error is final.
+func WithRetries(n int) ClientOption {
+	return func(c *Client) { c.retries = n }
+}
+
+// WithBackoff sets the reconnect backoff: attempt k sleeps for
+// base·2^k, capped at max, with deterministic jitter in [d/2, d).
+// Default 10ms base, 1s cap.
+func WithBackoff(base, max time.Duration) ClientOption {
+	return func(c *Client) { c.backoffBase, c.backoffMax = base, max }
+}
+
+// WithJitterSeed seeds the deterministic backoff jitter stream, so a
+// fleet of workers with distinct seeds desynchronizes its reconnect
+// storms reproducibly. Default seed 1.
+func WithJitterSeed(seed uint64) ClientOption {
+	return func(c *Client) { c.jitter = rng.New(seed) }
+}
+
+// WithDialer replaces the transport dialer — how the client (re)opens
+// its connection. Fault-injection tests wrap the returned conn (see
+// FaultyDialer).
+func WithDialer(dial func(addr string) (net.Conn, error)) ClientOption {
+	return func(c *Client) { c.dial = dial }
 }
 
 // Dial connects to a lock server.
-func Dial(addr string) (*Client, error) {
-	conn, err := net.Dial("tcp", addr)
-	if err != nil {
-		return nil, fmt.Errorf("locksrv: dial: %w", err)
+func Dial(addr string, opts ...ClientOption) (*Client, error) {
+	c := &Client{
+		addr: addr,
+		dial: func(addr string) (net.Conn, error) {
+			return net.Dial("tcp", addr)
+		},
+		retries:     4,
+		backoffBase: 10 * time.Millisecond,
+		backoffMax:  time.Second,
+		jitter:      rng.New(1),
+		sleep:       time.Sleep,
 	}
-	return &Client{
-		conn: conn,
-		dec:  json.NewDecoder(bufio.NewReader(conn)),
-		enc:  json.NewEncoder(conn),
-	}, nil
+	for _, o := range opts {
+		o(c)
+	}
+	if err := c.connect(); err != nil {
+		return nil, err
+	}
+	return c, nil
 }
 
-// roundTrip sends one request and reads its response.
+// connect opens a fresh connection, replacing any previous one. It
+// refuses (closing the new conn) if Close won the race.
+func (c *Client) connect() error {
+	conn, err := c.dial(c.addr)
+	if err != nil {
+		return fmt.Errorf("locksrv: dial: %w", err)
+	}
+	c.connMu.Lock()
+	if c.closed.Load() {
+		c.connMu.Unlock()
+		conn.Close()
+		return ErrClientClosed
+	}
+	c.conn = conn
+	c.connMu.Unlock()
+	// json.Decoder buffers internally; decoding straight off the conn
+	// keeps reconnect simple (no external buffer to lose bytes in).
+	c.dec = json.NewDecoder(conn)
+	c.enc = json.NewEncoder(conn)
+	return nil
+}
+
+// dropConn tears down a connection after a transport error.
+func (c *Client) dropConn() {
+	c.connMu.Lock()
+	conn := c.conn
+	c.conn = nil
+	c.connMu.Unlock()
+	if conn != nil {
+		conn.Close()
+	}
+}
+
+// haveConn reports whether a connection is currently established.
+func (c *Client) haveConn() bool {
+	c.connMu.Lock()
+	defer c.connMu.Unlock()
+	return c.conn != nil
+}
+
+// backoffDelay returns the sleep before reconnect attempt k (0-based):
+// capped exponential with deterministic jitter drawn from the client's
+// rng stream, uniform in [d/2, d).
+func (c *Client) backoffDelay(attempt int) time.Duration {
+	d := c.backoffBase
+	for i := 0; i < attempt && d < c.backoffMax; i++ {
+		d *= 2
+	}
+	if d > c.backoffMax {
+		d = c.backoffMax
+	}
+	if d <= 0 {
+		return 0
+	}
+	half := d / 2
+	return half + time.Duration(c.jitter.Intn(int(half)+1))
+}
+
+// roundTrip sends one request and reads its response, reconnecting and
+// retrying on transport failures within the retry budget.
 func (c *Client) roundTrip(req Request) (Response, error) {
-	if err := c.enc.Encode(req); err != nil {
-		return Response{}, fmt.Errorf("locksrv: send: %w", err)
+	var lastErr error
+	for attempt := 0; attempt <= c.retries; attempt++ {
+		if c.closed.Load() {
+			if lastErr != nil {
+				return Response{}, fmt.Errorf("%w (after: %v)", ErrClientClosed, lastErr)
+			}
+			return Response{}, ErrClientClosed
+		}
+		if attempt > 0 {
+			c.retried++
+			c.sleep(c.backoffDelay(attempt - 1))
+		}
+		if !c.haveConn() {
+			if err := c.connect(); err != nil {
+				if errors.Is(err, ErrClientClosed) {
+					return Response{}, err
+				}
+				lastErr = err
+				continue
+			}
+			c.reconnects++
+		}
+		if err := c.enc.Encode(req); err != nil {
+			c.dropConn()
+			lastErr = fmt.Errorf("locksrv: send: %w", err)
+			continue
+		}
+		var resp Response
+		if err := c.dec.Decode(&resp); err != nil {
+			c.dropConn()
+			lastErr = fmt.Errorf("locksrv: receive: %w", err)
+			continue
+		}
+		return resp, nil
 	}
-	var resp Response
-	if err := c.dec.Decode(&resp); err != nil {
-		return Response{}, fmt.Errorf("locksrv: receive: %w", err)
+	return Response{}, fmt.Errorf("locksrv: retry budget exhausted after %d attempts: %w", c.retries+1, lastErr)
+}
+
+// Reconnects returns how many times the client re-established its
+// connection after a transport failure.
+func (c *Client) Reconnects() int64 { return c.reconnects }
+
+// Retries returns how many request attempts were retries.
+func (c *Client) Retries() int64 { return c.retried }
+
+// respErr converts a protocol-level failure into a typed error.
+func respErr(op string, resp Response) error {
+	if resp.OK {
+		return nil
 	}
-	return resp, nil
+	var base error
+	switch resp.Code {
+	case CodeTimeout:
+		base = ErrTimeout
+	case CodeNotOwner:
+		base = ErrNotOwner
+	case CodeClosed:
+		base = ErrSessionClosed
+	}
+	if base != nil {
+		return fmt.Errorf("locksrv: %s: %w (%s)", op, base, resp.Err)
+	}
+	return fmt.Errorf("locksrv: %s: %s", op, resp.Err)
 }
 
 // AcquireAll conservatively claims the lock set for txn, blocking until
 // granted. Mirrors lockmgr.Table.AcquireAll across the wire.
 func (c *Client) AcquireAll(txn int64, reqs []lockmgr.Request) error {
+	return c.AcquireAllTimeout(txn, reqs, 0)
+}
+
+// AcquireAllTimeout is AcquireAll with a wait deadline: if the claim is
+// not granted within timeout the server withdraws it, the transaction
+// holds nothing, and the call fails with an error matching ErrTimeout
+// (errors.Is). Zero timeout waits indefinitely.
+func (c *Client) AcquireAllTimeout(txn int64, reqs []lockmgr.Request, timeout time.Duration) error {
 	granules := make([]int64, len(reqs))
 	exclusive := make([]bool, len(reqs))
 	for i, r := range reqs {
 		granules[i] = int64(r.Granule)
 		exclusive[i] = r.Mode == lockmgr.ModeExclusive
 	}
-	resp, err := c.roundTrip(Request{Op: "acquire", Txn: txn, Granules: granules, Exclusive: exclusive})
+	resp, err := c.roundTrip(Request{
+		Op:        "acquire",
+		Txn:       txn,
+		Granules:  granules,
+		Exclusive: exclusive,
+		TimeoutMS: int64(timeout / time.Millisecond),
+	})
 	if err != nil {
 		return err
 	}
-	if !resp.OK {
-		return fmt.Errorf("locksrv: acquire: %s", resp.Err)
-	}
-	return nil
+	return respErr("acquire", resp)
 }
 
-// ReleaseAll releases everything txn holds.
+// ReleaseAll releases everything txn holds. Releasing a transaction
+// granted on a different session fails with an error matching
+// ErrNotOwner; releasing an unknown transaction is an idempotent no-op.
 func (c *Client) ReleaseAll(txn int64) error {
 	resp, err := c.roundTrip(Request{Op: "release", Txn: txn})
 	if err != nil {
 		return err
 	}
-	if !resp.OK {
-		return fmt.Errorf("locksrv: release: %s", resp.Err)
-	}
-	return nil
+	return respErr("release", resp)
 }
 
 // Stats fetches the server's lock-table counters.
 func (c *Client) Stats() (lockmgr.Stats, error) {
+	table, _, err := c.FullStats()
+	return table, err
+}
+
+// FullStats fetches both halves of the "stats" op: the lock-table
+// counters and the service-level gauges, counters and wait quantiles.
+func (c *Client) FullStats() (lockmgr.Stats, ServerStats, error) {
 	resp, err := c.roundTrip(Request{Op: "stats"})
 	if err != nil {
-		return lockmgr.Stats{}, err
+		return lockmgr.Stats{}, ServerStats{}, err
 	}
 	if !resp.OK || resp.Stats == nil {
-		return lockmgr.Stats{}, fmt.Errorf("locksrv: stats: %s", resp.Err)
+		return lockmgr.Stats{}, ServerStats{}, respErr("stats", resp)
 	}
-	return *resp.Stats, nil
+	var srv ServerStats
+	if resp.Server != nil {
+		srv = *resp.Server
+	}
+	return *resp.Stats, srv, nil
 }
 
 // Close ends the session; the server releases any locks its
-// transactions still hold.
-func (c *Client) Close() error { return c.conn.Close() }
+// transactions still hold. Close is the one method safe to call from
+// another goroutine: it aborts an in-flight blocking request (the
+// request fails with an error matching ErrClientClosed) and disables
+// further reconnects.
+func (c *Client) Close() error {
+	c.closed.Store(true)
+	c.connMu.Lock()
+	conn := c.conn
+	c.conn = nil
+	c.connMu.Unlock()
+	if conn == nil {
+		return nil
+	}
+	return conn.Close()
+}

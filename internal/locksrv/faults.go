@@ -1,0 +1,157 @@
+package locksrv
+
+import (
+	"errors"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"granulock/internal/rng"
+)
+
+// ErrInjectedFault marks transport failures produced by the fault
+// wrapper, so tests can tell injected faults from real ones.
+var ErrInjectedFault = errors.New("locksrv: injected fault")
+
+// FaultConfig describes the adversarial behaviour of a FaultConn. All
+// probabilities are per Read/Write call; zero values inject nothing.
+type FaultConfig struct {
+	// DropProb tears the connection down mid-operation: reads fail
+	// immediately; writes deliver a prefix of their bytes first (a torn
+	// frame), modelling a crash mid-request.
+	DropProb float64
+	// DelayProb stalls the operation for a uniform duration in
+	// (0, MaxDelay], modelling network jitter and slow peers.
+	DelayProb float64
+	MaxDelay  time.Duration
+	// PartialWrites splits every write into several smaller writes,
+	// exercising the peer's framing across packet boundaries.
+	PartialWrites bool
+}
+
+// FaultStats aggregates injected-fault counts across every connection
+// sharing it (a FaultyDialer wraps each redial with the same stats).
+type FaultStats struct {
+	Drops         atomic.Int64
+	Delays        atomic.Int64
+	PartialWrites atomic.Int64
+}
+
+// FaultConn wraps a net.Conn with deterministic fault injection driven
+// by an rng stream: probabilistic connection drops (including torn
+// mid-write drops), delays, and partial writes. Reads and writes are
+// individually serialized (net.Conn allows one concurrent reader plus
+// one concurrent writer; the rng source is shared under a mutex).
+type FaultConn struct {
+	net.Conn
+	cfg   FaultConfig
+	stats *FaultStats
+
+	mu      sync.Mutex
+	src     *rng.Source
+	dropped bool
+}
+
+// NewFaultConn wraps conn. src drives every fault decision, so a given
+// seed replays the same fault schedule; stats may be nil.
+func NewFaultConn(conn net.Conn, cfg FaultConfig, src *rng.Source, stats *FaultStats) *FaultConn {
+	if stats == nil {
+		stats = &FaultStats{}
+	}
+	return &FaultConn{Conn: conn, cfg: cfg, src: src, stats: stats}
+}
+
+// decide rolls the fault dice once under the lock: whether to delay
+// (and for how long) and whether to drop.
+func (f *FaultConn) decide() (delay time.Duration, drop bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.dropped {
+		return 0, true
+	}
+	if f.cfg.DelayProb > 0 && f.src.Bernoulli(f.cfg.DelayProb) && f.cfg.MaxDelay > 0 {
+		delay = time.Duration(f.src.Float64OC() * float64(f.cfg.MaxDelay))
+	}
+	if f.cfg.DropProb > 0 && f.src.Bernoulli(f.cfg.DropProb) {
+		f.dropped = true
+		drop = true
+	}
+	return delay, drop
+}
+
+// chunk picks a partial-write prefix length in [1, n].
+func (f *FaultConn) chunk(n int) int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return 1 + f.src.Intn(n)
+}
+
+func (f *FaultConn) Read(p []byte) (int, error) {
+	delay, drop := f.decide()
+	if delay > 0 {
+		f.stats.Delays.Add(1)
+		time.Sleep(delay)
+	}
+	if drop {
+		f.stats.Drops.Add(1)
+		f.Conn.Close()
+		return 0, ErrInjectedFault
+	}
+	return f.Conn.Read(p)
+}
+
+func (f *FaultConn) Write(p []byte) (int, error) {
+	delay, drop := f.decide()
+	if delay > 0 {
+		f.stats.Delays.Add(1)
+		time.Sleep(delay)
+	}
+	if drop {
+		// Torn write: deliver a strict prefix, then kill the
+		// connection. The peer sees a truncated frame followed by EOF —
+		// the mid-acquire disconnect case.
+		f.stats.Drops.Add(1)
+		n := 0
+		if len(p) > 1 {
+			n, _ = f.Conn.Write(p[:f.chunk(len(p)-1)])
+		}
+		f.Conn.Close()
+		return n, ErrInjectedFault
+	}
+	if f.cfg.PartialWrites && len(p) > 1 {
+		f.stats.PartialWrites.Add(1)
+		total := 0
+		for total < len(p) {
+			n, err := f.Conn.Write(p[total : total+f.chunk(len(p)-total)])
+			total += n
+			if err != nil {
+				return total, err
+			}
+		}
+		return total, nil
+	}
+	return f.Conn.Write(p)
+}
+
+// FaultyDialer returns a client dialer whose every connection is
+// wrapped in a FaultConn. Each redial draws a fresh sub-stream from the
+// seed, so the whole reconnect history is deterministic. stats may be
+// nil; when given it aggregates faults across all the dialer's
+// connections.
+func FaultyDialer(cfg FaultConfig, seed uint64, stats *FaultStats) func(addr string) (net.Conn, error) {
+	root := rng.New(seed)
+	var conns uint64
+	var mu sync.Mutex
+	return func(addr string) (net.Conn, error) {
+		conn, err := net.Dial("tcp", addr)
+		if err != nil {
+			return nil, err
+		}
+		mu.Lock()
+		conns++
+		src := root.Stream(conns)
+		mu.Unlock()
+		return NewFaultConn(conn, cfg, src, stats), nil
+	}
+}

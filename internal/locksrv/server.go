@@ -12,6 +12,16 @@
 // session, like one database worker); concurrency comes from multiple
 // connections. A dropped connection releases every lock its
 // transactions still hold, so client crashes cannot strand granules.
+//
+// The service is hardened for real deployments: acquires carry an
+// optional wait deadline (timeout_ms) and fail with a distinguishable
+// "timeout" code instead of blocking the session forever; idle sessions
+// are reaped after a configurable read deadline; Close drains
+// gracefully (stop accepting, let in-flight requests finish within a
+// grace period, then force-release); and a release for a transaction
+// granted on a different session is rejected rather than yanking locks
+// out from under their owner. See docs/LOCKSRV.md for the wire
+// protocol, the error taxonomy and the stats schema.
 package locksrv
 
 import (
@@ -22,8 +32,11 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"granulock/internal/lockmgr"
+	"granulock/internal/stats"
 )
 
 // Request is one wire request.
@@ -36,38 +49,188 @@ type Request struct {
 	// Exclusive[i] selects X (true) or S (false) for Granules[i].
 	Granules  []int64 `json:"granules,omitempty"`
 	Exclusive []bool  `json:"exclusive,omitempty"`
+	// TimeoutMS bounds how long an acquire may wait for its grant.
+	// Zero means wait indefinitely (until the session or server
+	// closes). On expiry the acquire fails with code "timeout" and the
+	// transaction holds nothing.
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
 }
+
+// Error codes returned in Response.Code: the machine-readable error
+// taxonomy of the protocol. Err carries the human-readable detail.
+const (
+	// CodeTimeout: the acquire's timeout_ms expired before the grant.
+	CodeTimeout = "timeout"
+	// CodeClosed: the session or server is shutting down.
+	CodeClosed = "closed"
+	// CodeNotOwner: release of a transaction granted on another
+	// session.
+	CodeNotOwner = "not_owner"
+	// CodeBadRequest: malformed request (bad lengths, missing fields,
+	// protocol misuse such as a second conservative claim).
+	CodeBadRequest = "bad_request"
+	// CodeUnknownOp: unrecognized op string.
+	CodeUnknownOp = "unknown_op"
+)
 
 // Response is one wire response.
 type Response struct {
-	OK    bool           `json:"ok"`
-	Err   string         `json:"err,omitempty"`
-	Stats *lockmgr.Stats `json:"stats,omitempty"`
+	OK bool `json:"ok"`
+	// Err is the human-readable error detail; Code is its
+	// machine-readable class (one of the Code* constants).
+	Err    string         `json:"err,omitempty"`
+	Code   string         `json:"code,omitempty"`
+	Stats  *lockmgr.Stats `json:"stats,omitempty"`
+	Server *ServerStats   `json:"server,omitempty"`
+}
+
+// ServerStats is the service-level half of the "stats" op: session and
+// waiter gauges, the acquire outcome counters, and wait-time quantiles
+// over a sliding window of recent acquires.
+type ServerStats struct {
+	Sessions       int64 `json:"sessions"`        // currently open sessions
+	SessionsTotal  int64 `json:"sessions_total"`  // sessions ever opened
+	Holders        int64 `json:"holders"`         // txns currently holding locks
+	LockedGranules int64 `json:"locked_granules"` // granules with a holder
+	Waiters        int64 `json:"waiters"`         // requests currently parked
+
+	Grants          int64 `json:"grants"`           // acquires granted
+	Timeouts        int64 `json:"timeouts"`         // acquires expired (timeout_ms)
+	Cancels         int64 `json:"cancels"`          // acquires aborted by shutdown/disconnect
+	ForceReleases   int64 `json:"force_releases"`   // txns released at session teardown
+	ForeignReleases int64 `json:"foreign_releases"` // releases rejected as not_owner
+	IdleReaps       int64 `json:"idle_reaps"`       // sessions reaped for idleness
+
+	// Wait-time quantiles in milliseconds over the last waitWindow
+	// completed acquires (granted or timed out). Zero when no samples.
+	WaitP50MS   float64 `json:"wait_p50_ms"`
+	WaitP90MS   float64 `json:"wait_p90_ms"`
+	WaitP99MS   float64 `json:"wait_p99_ms"`
+	WaitSamples int64   `json:"wait_samples"`
+}
+
+// waitWindow is the size of the sliding window of acquire wait times
+// the quantiles are computed over.
+const waitWindow = 4096
+
+// waitRing records the last waitWindow acquire wait times (ms).
+type waitRing struct {
+	mu   sync.Mutex
+	buf  [waitWindow]float64
+	next int
+	len  int
+	n    int64
+}
+
+func (r *waitRing) add(ms float64) {
+	r.mu.Lock()
+	r.buf[r.next] = ms
+	r.next = (r.next + 1) % waitWindow
+	if r.len < waitWindow {
+		r.len++
+	}
+	r.n++
+	r.mu.Unlock()
+}
+
+// quantiles snapshots the window and computes P50/P90/P99 with
+// stats.Quantiles (single sort). With no samples it returns zeros, not
+// NaN: the stats travel as JSON and encoding/json rejects NaN.
+func (r *waitRing) quantiles() (p50, p90, p99 float64, n int64) {
+	r.mu.Lock()
+	snap := append([]float64(nil), r.buf[:r.len]...)
+	n = r.n
+	r.mu.Unlock()
+	if len(snap) == 0 {
+		return 0, 0, 0, n
+	}
+	qs := stats.Quantiles(snap, 0.50, 0.90, 0.99)
+	return qs[0], qs[1], qs[2], n
+}
+
+// session is one connection's server-side state.
+type session struct {
+	conn   net.Conn
+	cancel context.CancelFunc // aborts the session's blocked acquires
 }
 
 // Server serves a lock table over a listener. Create with NewServer,
-// start with Serve (blocking) or in a goroutine, stop with Close.
+// start with Serve (blocking) or in a goroutine, stop with Close
+// (graceful drain).
 type Server struct {
-	table *lockmgr.Table
-	lis   net.Listener
+	table        *lockmgr.Table
+	lis          net.Listener
+	grace        time.Duration
+	idleTimeout  time.Duration
+	writeTimeout time.Duration
 
-	mu     sync.Mutex
-	conns  map[net.Conn]struct{}
-	closed bool
-	wg     sync.WaitGroup
+	mu       sync.Mutex
+	sessions map[*session]struct{}
+	owners   map[lockmgr.TxnID]*session
+	closed   bool
+	wg       sync.WaitGroup
+
+	sessionsTotal   atomic.Int64
+	grants          atomic.Int64
+	timeouts        atomic.Int64
+	cancels         atomic.Int64
+	forceReleases   atomic.Int64
+	foreignReleases atomic.Int64
+	idleReaps       atomic.Int64
+	waits           waitRing
+}
+
+// ServerOption configures a Server.
+type ServerOption func(*Server)
+
+// WithGrace sets the drain grace period: how long Close waits for
+// in-flight requests (including blocked acquires that may yet be
+// granted by a concurrent release) before force-cancelling them. Zero
+// forces immediately. Default 500ms.
+func WithGrace(d time.Duration) ServerOption {
+	return func(s *Server) { s.grace = d }
+}
+
+// WithIdleTimeout reaps sessions that send no request for d: each read
+// carries a deadline of d, and a session whose deadline expires is
+// closed and its locks released, exactly as if it had disconnected.
+// Zero (the default) disables reaping.
+func WithIdleTimeout(d time.Duration) ServerOption {
+	return func(s *Server) { s.idleTimeout = d }
+}
+
+// WithWriteTimeout bounds each response write so a stalled client
+// cannot wedge its handler. Zero disables. Default 10s.
+func WithWriteTimeout(d time.Duration) ServerOption {
+	return func(s *Server) { s.writeTimeout = d }
 }
 
 // NewServer returns a Server around table (a fresh table if nil)
 // accepting on lis.
-func NewServer(lis net.Listener, table *lockmgr.Table) *Server {
+func NewServer(lis net.Listener, table *lockmgr.Table, opts ...ServerOption) *Server {
 	if table == nil {
 		table = lockmgr.NewTable()
 	}
-	return &Server{table: table, lis: lis, conns: make(map[net.Conn]struct{})}
+	s := &Server{
+		table:        table,
+		lis:          lis,
+		grace:        500 * time.Millisecond,
+		writeTimeout: 10 * time.Second,
+		sessions:     make(map[*session]struct{}),
+		owners:       make(map[lockmgr.TxnID]*session),
+	}
+	for _, o := range opts {
+		o(s)
+	}
+	return s
 }
 
 // Addr returns the listening address.
 func (s *Server) Addr() net.Addr { return s.lis.Addr() }
+
+// Table returns the underlying lock table, so an embedding process can
+// inspect residual state (e.g. after a drain).
+func (s *Server) Table() *lockmgr.Table { return s.table }
 
 // Serve accepts connections until the listener closes. It returns nil
 // after Close.
@@ -84,21 +247,28 @@ func (s *Server) Serve() error {
 			}
 			return fmt.Errorf("locksrv: accept: %w", err)
 		}
+		ctx, cancel := context.WithCancel(context.Background())
+		sess := &session{conn: conn, cancel: cancel}
 		s.mu.Lock()
 		if s.closed {
 			s.mu.Unlock()
+			cancel()
 			conn.Close()
 			continue
 		}
-		s.conns[conn] = struct{}{}
+		s.sessions[sess] = struct{}{}
 		s.wg.Add(1)
 		s.mu.Unlock()
-		go s.handle(conn)
+		s.sessionsTotal.Add(1)
+		go s.handle(ctx, sess)
 	}
 }
 
-// Close stops accepting, disconnects every session (releasing their
-// locks) and waits for the handlers to drain.
+// Close drains the server gracefully: stop accepting, stop reading new
+// requests, give in-flight requests the grace period to finish (a
+// blocked acquire may still be granted by a concurrent release), then
+// force-cancel whatever remains and release every session's locks.
+// After Close returns the table holds nothing on behalf of any session.
 func (s *Server) Close() error {
 	s.mu.Lock()
 	if s.closed {
@@ -106,84 +276,314 @@ func (s *Server) Close() error {
 		return nil
 	}
 	s.closed = true
-	for conn := range s.conns {
-		conn.Close()
+	// Expire every session's pending read: idle sessions exit at once,
+	// busy ones finish their current request, write its response, and
+	// exit on the next read. Writes are unaffected.
+	now := time.Now()
+	for sess := range s.sessions {
+		sess.conn.SetReadDeadline(now)
 	}
 	s.mu.Unlock()
 	err := s.lis.Close()
-	s.wg.Wait()
+
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(s.grace):
+		// Grace expired: force. Cancelling a session's context aborts
+		// its blocked acquires (they respond with code "closed");
+		// closing the connection ends the session, whose teardown
+		// releases its locks.
+		s.mu.Lock()
+		for sess := range s.sessions {
+			sess.cancel()
+			sess.conn.Close()
+		}
+		s.mu.Unlock()
+		<-done
+	}
 	return err
 }
 
-// handle runs one session: read a request, execute, write the
-// response, repeat. Transactions granted on this session are tracked
-// and force-released when it ends.
-func (s *Server) handle(conn net.Conn) {
-	defer s.wg.Done()
-	// ctx cancels blocking acquisitions when the connection dies.
-	ctx, cancel := context.WithCancel(context.Background())
-	owned := make(map[lockmgr.TxnID]struct{})
-	defer func() {
-		cancel()
-		for txn := range owned {
-			s.table.ReleaseAll(txn)
+// sessionReader feeds a session's json.Decoder from its conn while
+// managing read deadlines. It distinguishes the three ways a read can
+// end: real disconnect (EOF/reset), idle reap (deadline expired with no
+// request executing), and drain (the server expired the deadline to
+// stop new requests). A deadline that fires while a request is still
+// executing is not idleness — the deadline is re-armed and the read
+// retried, so a session blocked in a long acquire is never reaped under
+// its client, which is silently waiting for the response.
+type sessionReader struct {
+	s       *Server
+	conn    net.Conn
+	pending *atomic.Int64 // requests decoded but not yet responded to
+	reaped  bool          // ended by idle reap
+}
+
+func (r *sessionReader) Read(p []byte) (int, error) {
+	for {
+		if r.s.idleTimeout > 0 {
+			r.conn.SetReadDeadline(time.Now().Add(r.s.idleTimeout))
+			if r.s.draining() {
+				// Drain began between arming and this check; restore
+				// its expired deadline so this read cannot linger.
+				r.conn.SetReadDeadline(time.Now())
+			}
 		}
-		conn.Close()
-		s.mu.Lock()
-		delete(s.conns, conn)
-		s.mu.Unlock()
+		n, err := r.conn.Read(p)
+		if n > 0 {
+			return n, nil // deliver data; any error will recur
+		}
+		if err == nil {
+			continue
+		}
+		var ne net.Error
+		if !errors.As(err, &ne) || !ne.Timeout() {
+			return 0, err // disconnect: EOF, reset, closed
+		}
+		if r.s.draining() {
+			return 0, err // drain: stop reading new requests
+		}
+		if r.pending.Load() > 0 {
+			continue // a request is executing; the session is not idle
+		}
+		r.reaped = r.s.idleTimeout > 0
+		return 0, err
+	}
+}
+
+// handle runs one session as a reader/executor pair. The reader decodes
+// requests and hands them to the executor, so a disconnect is noticed
+// even while the executor is parked inside a blocking acquire — the
+// reader cancels the session context, the acquire aborts, and the
+// waiter's queue slot is freed immediately instead of at grant time.
+// Transactions granted on this session are tracked and force-released
+// when it ends, however it ends.
+func (s *Server) handle(ctx context.Context, sess *session) {
+	defer s.wg.Done()
+	conn := sess.conn
+	owned := make(map[lockmgr.TxnID]struct{})
+	reqCh := make(chan Request)
+	var pending atomic.Int64
+
+	go func() {
+		defer close(reqCh)
+		sr := &sessionReader{s: s, conn: conn, pending: &pending}
+		dec := json.NewDecoder(bufio.NewReader(sr))
+		for {
+			var req Request
+			if err := dec.Decode(&req); err != nil {
+				if sr.reaped {
+					s.idleReaps.Add(1)
+					sess.cancel() // nothing in flight; ends the session
+				} else if !s.draining() {
+					// Real disconnect (or garbage): abort any in-flight
+					// acquire so its queue slot frees now. Under drain,
+					// by contrast, in-flight requests get the grace
+					// period; Close force-cancels when it expires.
+					sess.cancel()
+				}
+				return
+			}
+			pending.Add(1)
+			select {
+			case reqCh <- req:
+			case <-ctx.Done():
+				return
+			}
+		}
 	}()
 
-	dec := json.NewDecoder(bufio.NewReader(conn))
-	enc := json.NewEncoder(conn)
-	for {
-		var req Request
-		if err := dec.Decode(&req); err != nil {
-			return // EOF, closed, or garbage: end the session
+	defer func() {
+		sess.cancel()
+		conn.Close()
+		// Unblock a reader parked on its channel send, then wait for it
+		// to observe the dead conn and close reqCh.
+		for range reqCh {
 		}
-		resp := s.execute(ctx, &req, owned)
-		if err := enc.Encode(resp); err != nil {
+		s.mu.Lock()
+		delete(s.sessions, sess)
+		for txn := range owned {
+			if s.owners[txn] == sess {
+				delete(s.owners, txn)
+			}
+		}
+		s.mu.Unlock()
+		forced := int64(0)
+		for txn := range owned {
+			if s.table.HeldBy(txn) > 0 {
+				forced++
+			}
+			s.table.ReleaseAll(txn)
+		}
+		if forced > 0 {
+			s.forceReleases.Add(forced)
+		}
+	}()
+
+	enc := json.NewEncoder(conn)
+	for req := range reqCh {
+		resp := s.execute(ctx, sess, &req, owned)
+		if s.writeTimeout > 0 {
+			conn.SetWriteDeadline(time.Now().Add(s.writeTimeout))
+		}
+		err := enc.Encode(resp)
+		pending.Add(-1)
+		if err != nil {
 			return
 		}
 	}
 }
 
+// draining reports whether Close has begun.
+func (s *Server) draining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.closed
+}
+
 // execute performs one request against the table.
-func (s *Server) execute(ctx context.Context, req *Request, owned map[lockmgr.TxnID]struct{}) Response {
+func (s *Server) execute(ctx context.Context, sess *session, req *Request, owned map[lockmgr.TxnID]struct{}) Response {
 	switch req.Op {
 	case "acquire":
-		if len(req.Granules) == 0 {
-			return Response{Err: "acquire without granules"}
-		}
-		if len(req.Exclusive) != len(req.Granules) {
-			return Response{Err: "granules and exclusive lengths differ"}
-		}
-		reqs := make([]lockmgr.Request, len(req.Granules))
-		for i, g := range req.Granules {
-			mode := lockmgr.ModeShared
-			if req.Exclusive[i] {
-				mode = lockmgr.ModeExclusive
-			}
-			reqs[i] = lockmgr.Request{Granule: lockmgr.Granule(g), Mode: mode}
-		}
-		txn := lockmgr.TxnID(req.Txn)
-		if err := s.table.AcquireAll(ctx, txn, reqs); err != nil {
-			if errors.Is(err, context.Canceled) {
-				return Response{Err: "session closed"}
-			}
-			return Response{Err: err.Error()}
-		}
-		owned[txn] = struct{}{}
-		return Response{OK: true}
+		return s.executeAcquire(ctx, sess, req, owned)
 	case "release":
 		txn := lockmgr.TxnID(req.Txn)
+		s.mu.Lock()
+		if owner, ok := s.owners[txn]; ok && owner != sess {
+			s.mu.Unlock()
+			s.foreignReleases.Add(1)
+			return Response{
+				Err:  fmt.Sprintf("transaction %d was granted on another session", req.Txn),
+				Code: CodeNotOwner,
+			}
+		}
+		delete(s.owners, txn)
+		s.mu.Unlock()
 		s.table.ReleaseAll(txn)
 		delete(owned, txn)
 		return Response{OK: true}
 	case "stats":
-		stats := s.table.Stats()
-		return Response{OK: true, Stats: &stats}
+		ls := s.table.Stats()
+		ss := s.serverStats()
+		return Response{OK: true, Stats: &ls, Server: &ss}
 	default:
-		return Response{Err: fmt.Sprintf("unknown op %q", req.Op)}
+		return Response{Err: fmt.Sprintf("unknown op %q", req.Op), Code: CodeUnknownOp}
 	}
 }
+
+// executeAcquire runs one conservative claim with the request's wait
+// deadline, records its wait time, and classifies the outcome.
+func (s *Server) executeAcquire(ctx context.Context, sess *session, req *Request, owned map[lockmgr.TxnID]struct{}) Response {
+	if len(req.Granules) == 0 {
+		return Response{Err: "acquire without granules", Code: CodeBadRequest}
+	}
+	if len(req.Exclusive) != len(req.Granules) {
+		return Response{Err: "granules and exclusive lengths differ", Code: CodeBadRequest}
+	}
+	if req.TimeoutMS < 0 {
+		return Response{Err: "negative timeout_ms", Code: CodeBadRequest}
+	}
+	reqs := make([]lockmgr.Request, len(req.Granules))
+	for i, g := range req.Granules {
+		mode := lockmgr.ModeShared
+		if req.Exclusive[i] {
+			mode = lockmgr.ModeExclusive
+		}
+		reqs[i] = lockmgr.Request{Granule: lockmgr.Granule(g), Mode: mode}
+	}
+	txn := lockmgr.TxnID(req.Txn)
+	actx := ctx
+	if req.TimeoutMS > 0 {
+		var cancel context.CancelFunc
+		actx, cancel = context.WithTimeout(ctx, time.Duration(req.TimeoutMS)*time.Millisecond)
+		defer cancel()
+	}
+	start := time.Now()
+	var err error
+	for {
+		err = s.table.AcquireAll(actx, txn, reqs)
+		if err == nil || !errors.Is(err, lockmgr.ErrAlreadyHolds) {
+			break
+		}
+		s.mu.Lock()
+		_, alive := s.owners[txn]
+		s.mu.Unlock()
+		if alive {
+			break // duplicate txn id across live sessions: real misuse
+		}
+		// Orphaned grant: the txn's locks were granted on a session
+		// that is now tearing down (a client retried an acquire whose
+		// response was lost in a transport fault). The predecessor's
+		// ReleaseAll is imminent; wait it out within the deadline
+		// rather than failing a legitimate retry.
+		select {
+		case <-actx.Done():
+			err = actx.Err()
+		case <-time.After(time.Millisecond):
+			continue
+		}
+		break
+	}
+	s.waits.add(float64(time.Since(start)) / float64(time.Millisecond))
+	switch {
+	case err == nil:
+		s.mu.Lock()
+		s.owners[txn] = sess
+		s.mu.Unlock()
+		owned[txn] = struct{}{}
+		s.grants.Add(1)
+		return Response{OK: true}
+	case errors.Is(err, context.DeadlineExceeded):
+		// The per-acquire deadline expired; the claim was withdrawn and
+		// the transaction holds nothing.
+		s.timeouts.Add(1)
+		return Response{
+			Err:  fmt.Sprintf("acquire timed out after %dms", req.TimeoutMS),
+			Code: CodeTimeout,
+		}
+	case errors.Is(err, context.Canceled):
+		// The session's context was cancelled: disconnect or forced
+		// drain.
+		s.cancels.Add(1)
+		return Response{Err: "session closed", Code: CodeClosed}
+	default:
+		// Protocol misuse (e.g. a second conservative claim while the
+		// first is still held).
+		return Response{Err: err.Error(), Code: CodeBadRequest}
+	}
+}
+
+// serverStats snapshots the service-level gauges and counters.
+func (s *Server) serverStats() ServerStats {
+	s.mu.Lock()
+	sessions := int64(len(s.sessions))
+	s.mu.Unlock()
+	p50, p90, p99, n := s.waits.quantiles()
+	return ServerStats{
+		Sessions:        sessions,
+		SessionsTotal:   s.sessionsTotal.Load(),
+		Holders:         int64(s.table.HoldersCount()),
+		LockedGranules:  int64(s.table.LockedGranules()),
+		Waiters:         int64(s.table.WaitersCount()),
+		Grants:          s.grants.Load(),
+		Timeouts:        s.timeouts.Load(),
+		Cancels:         s.cancels.Load(),
+		ForceReleases:   s.forceReleases.Load(),
+		ForeignReleases: s.foreignReleases.Load(),
+		IdleReaps:       s.idleReaps.Load(),
+		WaitP50MS:       p50,
+		WaitP90MS:       p90,
+		WaitP99MS:       p99,
+		WaitSamples:     n,
+	}
+}
+
+// Stats returns the service-level stats snapshot (the same data the
+// wire "stats" op reports in Response.Server), for embedding processes
+// such as lockd's periodic logger.
+func (s *Server) Stats() ServerStats { return s.serverStats() }

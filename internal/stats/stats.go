@@ -52,14 +52,24 @@ func (w *Welford) StdErr() float64 {
 }
 
 // tTable95 holds two-sided 95% Student-t critical values by degrees of
-// freedom; beyond the table the normal value 1.96 is a fine
-// approximation.
+// freedom for df 1..30, where the value still moves quickly.
 var tTable95 = []float64{
 	0,                                                             // df=0 unused
 	12.706,                                                        // 1
 	4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228, // 2..10
 	2.201, 2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086, // 11..20
 	2.080, 2.074, 2.069, 2.064, 2.060, 2.056, 2.052, 2.048, 2.045, 2.042, // 21..30
+}
+
+// tAnchors95 extends the table beyond df 30 with the standard anchor
+// rows (40, 60, 120); between anchors — and beyond the last one toward
+// the normal value 1.96 — the critical value is interpolated linearly
+// in 1/df, the conventional rule for t tables, which is accurate to
+// ~1e-3 here. This keeps TCritical95 continuous and strictly
+// decreasing: a sweep crossing 31 replications no longer sees the CI
+// half-width step from 2.042 to 1.96.
+var tAnchors95 = []struct{ df, t float64 }{
+	{30, 2.042}, {40, 2.021}, {60, 2.000}, {120, 1.980},
 }
 
 // TCritical95 returns the two-sided 95% Student-t critical value for the
@@ -71,7 +81,23 @@ func TCritical95(df int) float64 {
 	if df < len(tTable95) {
 		return tTable95[df]
 	}
-	return 1.96
+	inv := 1 / float64(df)
+	for i := len(tAnchors95) - 1; i >= 0; i-- {
+		a := tAnchors95[i]
+		if float64(df) < a.df {
+			continue
+		}
+		// Interpolate in 1/df between this anchor and the next (or the
+		// normal limit t=1.96 at 1/df -> 0 past the last anchor).
+		hiDF, hiT := math.Inf(1), 1.96
+		if i+1 < len(tAnchors95) {
+			hiDF, hiT = tAnchors95[i+1].df, tAnchors95[i+1].t
+		}
+		invLo, invHi := 1/a.df, 1/hiDF
+		frac := (invLo - inv) / (invLo - invHi)
+		return a.t + frac*(hiT-a.t)
+	}
+	return 1.96 // unreachable: df >= 30 always matches the first anchor
 }
 
 // CI95 returns the half-width of the 95% confidence interval of the mean
@@ -180,11 +206,15 @@ func BatchMeans(xs []float64, batches int) (Summary, error) {
 }
 
 // Histogram is a fixed-width bucket histogram over [Lo, Hi); samples
-// outside the range land in the clamped edge buckets.
+// outside the range land in the clamped edge buckets. NaN samples carry
+// no position and are dropped (counted separately) rather than clamped:
+// int(NaN) is implementation-defined in Go, so before this policy they
+// silently landed in bucket 0 on common platforms.
 type Histogram struct {
-	Lo, Hi  float64
-	Buckets []int
-	count   int
+	Lo, Hi     float64
+	Buckets    []int
+	count      int
+	droppedNaN int
 }
 
 // NewHistogram returns a histogram with n buckets over [lo, hi).
@@ -198,8 +228,13 @@ func NewHistogram(lo, hi float64, n int) (*Histogram, error) {
 	return &Histogram{Lo: lo, Hi: hi, Buckets: make([]int, n)}, nil
 }
 
-// Add places one sample.
+// Add places one sample. NaN samples are dropped and counted in
+// DroppedNaN.
 func (h *Histogram) Add(x float64) {
+	if math.IsNaN(x) {
+		h.droppedNaN++
+		return
+	}
 	idx := int(float64(len(h.Buckets)) * (x - h.Lo) / (h.Hi - h.Lo))
 	if idx < 0 {
 		idx = 0
@@ -211,8 +246,12 @@ func (h *Histogram) Add(x float64) {
 	h.count++
 }
 
-// Count returns the number of samples added.
+// Count returns the number of samples placed in buckets (NaN samples
+// are excluded; see DroppedNaN).
 func (h *Histogram) Count() int { return h.count }
+
+// DroppedNaN returns the number of NaN samples dropped by Add.
+func (h *Histogram) DroppedNaN() int { return h.droppedNaN }
 
 // Fraction returns the fraction of samples in bucket i.
 func (h *Histogram) Fraction(i int) float64 {

@@ -89,15 +89,33 @@ func TestTCritical95(t *testing.T) {
 	if math.Abs(TCritical95(10)-2.228) > 1e-9 {
 		t.Fatalf("t(10) = %v", TCritical95(10))
 	}
-	if TCritical95(1000) != 1.96 {
-		t.Fatalf("t(1000) = %v", TCritical95(1000))
+	// Anchor rows of the extended table.
+	for _, row := range []struct {
+		df   int
+		want float64
+	}{{40, 2.021}, {60, 2.000}, {120, 1.980}} {
+		if got := TCritical95(row.df); math.Abs(got-row.want) > 1e-9 {
+			t.Fatalf("t(%d) = %v, want %v", row.df, got, row.want)
+		}
 	}
-	// Monotone decreasing toward the normal value.
+	// Past the last anchor the value approaches the normal 1.96 (the
+	// true value at df=1000 is 1.9623).
+	if v := TCritical95(1000); math.Abs(v-1.9623) > 5e-3 {
+		t.Fatalf("t(1000) = %v", v)
+	}
+	// Monotone decreasing toward the normal value, with no step at the
+	// old table edge (df 30 -> 31 used to jump 2.042 -> 1.96).
 	prev := math.Inf(1)
-	for df := 1; df < 40; df++ {
+	for df := 1; df < 500; df++ {
 		v := TCritical95(df)
-		if v > prev {
-			t.Fatalf("t not monotone at df=%d", df)
+		if v >= prev {
+			t.Fatalf("t not strictly decreasing at df=%d (%v -> %v)", df, prev, v)
+		}
+		if prev-v > 0.01 && df > 25 {
+			t.Fatalf("t discontinuity at df=%d (%v -> %v)", df, prev, v)
+		}
+		if v < 1.96 {
+			t.Fatalf("t(%d) = %v below the normal limit", df, v)
 		}
 		prev = v
 	}
@@ -232,6 +250,29 @@ func TestHistogram(t *testing.T) {
 	}
 	if math.Abs(h.Fraction(0)-3.0/7.0) > 1e-12 {
 		t.Fatalf("fraction %v", h.Fraction(0))
+	}
+}
+
+func TestHistogramDropsNaN(t *testing.T) {
+	h, err := NewHistogram(0, 10, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.Add(1)
+	h.Add(math.NaN())
+	h.Add(math.NaN())
+	h.Add(9)
+	if h.Count() != 2 {
+		t.Fatalf("count %d, want 2 (NaN counted?)", h.Count())
+	}
+	if h.DroppedNaN() != 2 {
+		t.Fatalf("dropped %d, want 2", h.DroppedNaN())
+	}
+	if h.Buckets[0] != 1 {
+		t.Fatalf("NaN clamped into bucket 0: %v", h.Buckets)
+	}
+	if math.Abs(h.Fraction(0)-0.5) > 1e-12 {
+		t.Fatalf("fraction %v, want 0.5 over non-NaN samples", h.Fraction(0))
 	}
 }
 

@@ -232,8 +232,9 @@ func (t *Table) AcquireAll(ctx context.Context, txn TxnID, reqs []Request) error
 		removed := t.removeClaim(w)
 		t.mu.Unlock()
 		if !removed {
-			// The grant raced the cancellation: the claim was granted
-			// before we could withdraw it, so report success.
+			// The claim was resolved before we could withdraw it —
+			// granted, or failed by wakeClaims as a duplicate of a
+			// same-txn grant — so report that outcome.
 			return <-w.ch
 		}
 		return ctx.Err()
@@ -503,6 +504,19 @@ func (t *Table) wakeStepWaiters(g Granule) {
 func (t *Table) wakeClaims() {
 	for i := 0; i < len(t.claimQ); {
 		w := t.claimQ[i]
+		if len(t.held[w.txn]) != 0 {
+			// The txn already holds locks, so this parked claim is a
+			// duplicate: a retried claim (new session) racing its
+			// predecessor's withdrawal. grantable ignores self-conflicts,
+			// so granting it too would double-book the txn and let the
+			// predecessor's teardown strip locks the duplicate believes
+			// it holds. Fail it exactly as AcquireAll's entry check
+			// would have; the lock service's orphan-retry loop handles
+			// ErrAlreadyHolds.
+			t.claimQ = append(t.claimQ[:i], t.claimQ[i+1:]...)
+			w.ch <- fmt.Errorf("lockmgr: transaction %d: %w", w.txn, ErrAlreadyHolds)
+			continue
+		}
 		if t.grantable(w.txn, w.reqs) {
 			t.grantAll(w.txn, w.reqs)
 			t.claimQ = append(t.claimQ[:i], t.claimQ[i+1:]...)

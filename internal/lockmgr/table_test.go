@@ -114,6 +114,45 @@ func TestAcquireAllRejectsSecondClaim(t *testing.T) {
 	}
 }
 
+func TestDuplicateParkedClaimNotDoubleGranted(t *testing.T) {
+	// Two parked claims for the SAME txn (a retried claim racing its
+	// predecessor's withdrawal across a reconnect): one release sweep
+	// must grant exactly one of them and fail the other with
+	// ErrAlreadyHolds. Granting both would double-book the txn, and the
+	// loser's eventual ReleaseAll would strip the winner's locks.
+	tab := NewTable()
+	mustAcquireAll(t, tab, 1, reqs(ModeExclusive, 5))
+	done := make(chan error, 2)
+	for i := 0; i < 2; i++ {
+		go func() { done <- tab.AcquireAll(context.Background(), 2, reqs(ModeExclusive, 5)) }()
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for tab.WaitersCount() != 2 {
+		if time.Now().After(deadline) {
+			t.Fatal("duplicate claims never both parked")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	tab.ReleaseAll(1)
+	e1, e2 := <-done, <-done
+	if e2 == nil {
+		e1, e2 = e2, e1
+	}
+	if e1 != nil {
+		t.Fatalf("neither duplicate claim was granted: %v / %v", e1, e2)
+	}
+	if !errors.Is(e2, ErrAlreadyHolds) {
+		t.Fatalf("second same-txn claim: got %v, want ErrAlreadyHolds", e2)
+	}
+	if tab.HeldBy(2) != 1 {
+		t.Fatalf("txn 2 holds %d granules, want 1", tab.HeldBy(2))
+	}
+	tab.ReleaseAll(2)
+	if tab.HoldersCount() != 0 || tab.WaitersCount() != 0 {
+		t.Fatal("table not clean after duplicate-claim resolution")
+	}
+}
+
 func TestAcquireAllContextCancel(t *testing.T) {
 	tab := NewTable()
 	mustAcquireAll(t, tab, 1, reqs(ModeExclusive, 1))

@@ -264,12 +264,19 @@ func (c *Client) AcquireAllTimeout(txn int64, reqs []lockmgr.Request, timeout ti
 		granules[i] = int64(r.Granule)
 		exclusive[i] = r.Mode == lockmgr.ModeExclusive
 	}
+	// Round a sub-millisecond timeout up to the wire's 1ms resolution:
+	// the protocol reads timeout_ms=0 as "wait indefinitely", so
+	// truncation would turn a tight deadline into an unbounded block.
+	timeoutMS := int64(timeout / time.Millisecond)
+	if timeout > 0 && timeoutMS == 0 {
+		timeoutMS = 1
+	}
 	resp, err := c.roundTrip(Request{
 		Op:        "acquire",
 		Txn:       txn,
 		Granules:  granules,
 		Exclusive: exclusive,
-		TimeoutMS: int64(timeout / time.Millisecond),
+		TimeoutMS: timeoutMS,
 	})
 	if err != nil {
 		return err

@@ -8,6 +8,7 @@ import (
 	"testing"
 	"time"
 
+	"granulock/internal/lockmgr"
 	"granulock/internal/rng"
 )
 
@@ -119,6 +120,146 @@ func TestForeignReleaseRejected(t *testing.T) {
 	}
 	if err := thief.ReleaseAll(1); err != nil {
 		t.Fatalf("release of unowned txn should be a no-op: %v", err)
+	}
+}
+
+// ownerOf returns the session currently recorded as owning txn.
+func ownerOf(srv *Server, txn int64) *session {
+	srv.mu.Lock()
+	defer srv.mu.Unlock()
+	return srv.owners[lockmgr.TxnID(txn)]
+}
+
+// TestReleaseRetryWhileOwnerTearsDown pins the transport-fault release
+// retry: the send of a release dies mid-flight, the client reconnects
+// and resends on a fresh session while owners[txn] still maps to the
+// condemned predecessor whose teardown hasn't run. The retry must wait
+// out the teardown and complete idempotently, not fail terminally with
+// not_owner.
+func TestReleaseRetryWhileOwnerTearsDown(t *testing.T) {
+	addr, srv := startServerOpts(t)
+	a := dial(t, addr)
+	if err := a.AcquireAll(1, xreq(5)); err != nil {
+		t.Fatal(err)
+	}
+	// Condemn the owning session without yet running its teardown: the
+	// exact window a retried release races.
+	owner := ownerOf(srv, 1)
+	if owner == nil {
+		t.Fatal("no owner recorded for txn 1")
+	}
+	owner.closing.Store(true)
+	b := dial(t, addr)
+	done := make(chan error, 1)
+	go func() { done <- b.ReleaseAll(1) }()
+	select {
+	case err := <-done:
+		t.Fatalf("release resolved before the owner's teardown: %v", err)
+	case <-time.After(30 * time.Millisecond):
+		// Parked, as it should be.
+	}
+	a.Close() // the predecessor's teardown actually runs now
+	if err := <-done; err != nil {
+		t.Fatalf("retried release after owner teardown: %v", err)
+	}
+	if st := srv.Stats(); st.ForeignReleases != 0 {
+		t.Fatalf("foreign_releases %d, want 0: retry misclassified", st.ForeignReleases)
+	}
+	waitFor(t, func() bool { return srv.Table().HoldersCount() == 0 })
+}
+
+// TestReleaseRetryBeatsDisconnectDetection: the harder form of the
+// release-retry race — TCP orders nothing across connections, so the
+// retry on a fresh session can reach the server before the
+// predecessor's disconnect is even detected, while its owners entry
+// still looks like a live peer's. The server must wait out the race
+// bound instead of terminally rejecting with not_owner.
+func TestReleaseRetryBeatsDisconnectDetection(t *testing.T) {
+	addr, srv := startServerOpts(t)
+	raw, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := raw.Write([]byte(`{"op":"acquire","txn":1,"granules":[5],"exclusive":[true]}` + "\n")); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 256)
+	if _, err := raw.Read(buf); err != nil {
+		t.Fatal(err)
+	}
+	raw.Close() // predecessor dies without releasing
+	// Retry the release immediately on a fresh session, racing the
+	// server's detection of the disconnect.
+	b := dial(t, addr)
+	if err := b.ReleaseAll(1); err != nil {
+		t.Fatalf("release retry racing disconnect detection: %v", err)
+	}
+	if st := srv.Stats(); st.ForeignReleases != 0 {
+		t.Fatalf("foreign_releases %d, want 0: retry misclassified", st.ForeignReleases)
+	}
+	waitFor(t, func() bool { return srv.Table().HoldersCount() == 0 })
+}
+
+// TestAcquireRetryWhileOwnerTearsDown: same window for acquire — the
+// retried claim arrives while owners[txn] still maps to the condemned
+// predecessor. It must wait for the predecessor's force-release and
+// then be granted, and the grant must survive the predecessor's
+// teardown (teardown may not strip a successor's locks).
+func TestAcquireRetryWhileOwnerTearsDown(t *testing.T) {
+	addr, srv := startServerOpts(t)
+	a := dial(t, addr)
+	if err := a.AcquireAll(1, xreq(5)); err != nil {
+		t.Fatal(err)
+	}
+	owner := ownerOf(srv, 1)
+	if owner == nil {
+		t.Fatal("no owner recorded for txn 1")
+	}
+	owner.closing.Store(true)
+	b := dial(t, addr)
+	done := make(chan error, 1)
+	go func() { done <- b.AcquireAllTimeout(1, xreq(5), 2*time.Second) }()
+	select {
+	case err := <-done:
+		t.Fatalf("retried claim resolved before the owner's teardown: %v", err)
+	case <-time.After(30 * time.Millisecond):
+	}
+	a.Close() // teardown force-releases the predecessor's grant
+	if err := <-done; err != nil {
+		t.Fatalf("retried acquire after owner teardown: %v", err)
+	}
+	// The successor's grant is intact after the predecessor's teardown.
+	waitFor(t, func() bool { return ownerOf(srv, 1) != nil && ownerOf(srv, 1) != owner })
+	if n := srv.Table().HeldBy(1); n != 1 {
+		t.Fatalf("successor holds %d granules after predecessor teardown, want 1", n)
+	}
+	if err := b.ReleaseAll(1); err != nil {
+		t.Fatal(err)
+	}
+	if n := srv.Table().HoldersCount(); n != 0 {
+		t.Fatalf("%d residual holders", n)
+	}
+}
+
+// TestSubMillisecondTimeoutStillTimesOut: a positive timeout below the
+// wire's 1ms resolution must round up to 1ms, not truncate to 0 (which
+// the protocol reads as "wait indefinitely").
+func TestSubMillisecondTimeoutStillTimesOut(t *testing.T) {
+	addr, _ := startServerOpts(t)
+	holder := dial(t, addr)
+	if err := holder.AcquireAll(1, xreq(5)); err != nil {
+		t.Fatal(err)
+	}
+	waiter := dial(t, addr)
+	done := make(chan error, 1)
+	go func() { done <- waiter.AcquireAllTimeout(2, xreq(5), 100*time.Microsecond) }()
+	select {
+	case err := <-done:
+		if !errors.Is(err, ErrTimeout) {
+			t.Fatalf("want ErrTimeout, got %v", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("sub-millisecond timeout degraded to an unbounded wait")
 	}
 }
 

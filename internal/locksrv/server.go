@@ -19,9 +19,12 @@
 // are reaped after a configurable read deadline; Close drains
 // gracefully (stop accepting, let in-flight requests finish within a
 // grace period, then force-release); and a release for a transaction
-// granted on a different session is rejected rather than yanking locks
-// out from under their owner. See docs/LOCKSRV.md for the wire
-// protocol, the error taxonomy and the stats schema.
+// granted on a different live session is rejected rather than yanking
+// locks out from under their owner — while retries racing a dead
+// predecessor session's teardown (acquire or release resent across a
+// reconnect) wait the teardown out instead of failing. See
+// docs/LOCKSRV.md for the wire protocol, the error taxonomy and the
+// stats schema.
 package locksrv
 
 import (
@@ -113,6 +116,17 @@ type ServerStats struct {
 // the quantiles are computed over.
 const waitWindow = 4096
 
+// ownerRaceWait bounds how long a request for a transaction owned by an
+// apparently-live other session keeps waiting before the conflict is
+// declared real. A client retrying across a reconnect closes its old
+// connection first, but TCP orders nothing across connections: the
+// retry can reach the server before the predecessor's disconnect is
+// even detected, so for a short window a dying owner is
+// indistinguishable from a live peer. Genuine cross-session conflicts
+// (duplicate txn ids, foreign releases) are protocol bugs, so delaying
+// their error by this bound costs nothing real.
+const ownerRaceWait = 250 * time.Millisecond
+
 // waitRing records the last waitWindow acquire wait times (ms).
 type waitRing struct {
 	mu   sync.Mutex
@@ -152,6 +166,21 @@ func (r *waitRing) quantiles() (p50, p90, p99 float64, n int64) {
 type session struct {
 	conn   net.Conn
 	cancel context.CancelFunc // aborts the session's blocked acquires
+	// closing is set the moment the session is condemned (disconnect,
+	// idle reap, forced drain, teardown), possibly before its teardown
+	// has force-released its grants. Requests arriving for this
+	// session's transactions on other sessions — a client that
+	// reconnected after a transport fault and retried — use it to tell
+	// "owned by a dying predecessor, wait out its teardown" from "owned
+	// by a live peer, genuine protocol violation".
+	closing atomic.Bool
+}
+
+// shutdown condemns the session: marks it closing, then cancels its
+// context to abort any blocked acquire.
+func (sess *session) shutdown() {
+	sess.closing.Store(true)
+	sess.cancel()
 }
 
 // Server serves a lock table over a listener. Create with NewServer,
@@ -300,7 +329,7 @@ func (s *Server) Close() error {
 		// releases its locks.
 		s.mu.Lock()
 		for sess := range s.sessions {
-			sess.cancel()
+			sess.shutdown()
 			sess.conn.Close()
 		}
 		s.mu.Unlock()
@@ -379,13 +408,13 @@ func (s *Server) handle(ctx context.Context, sess *session) {
 			if err := dec.Decode(&req); err != nil {
 				if sr.reaped {
 					s.idleReaps.Add(1)
-					sess.cancel() // nothing in flight; ends the session
+					sess.shutdown() // nothing in flight; ends the session
 				} else if !s.draining() {
 					// Real disconnect (or garbage): abort any in-flight
 					// acquire so its queue slot frees now. Under drain,
 					// by contrast, in-flight requests get the grace
 					// period; Close force-cancels when it expires.
-					sess.cancel()
+					sess.shutdown()
 				}
 				return
 			}
@@ -399,7 +428,7 @@ func (s *Server) handle(ctx context.Context, sess *session) {
 	}()
 
 	defer func() {
-		sess.cancel()
+		sess.shutdown()
 		conn.Close()
 		// Unblock a reader parked on its channel send, then wait for it
 		// to observe the dead conn and close reqCh.
@@ -407,18 +436,30 @@ func (s *Server) handle(ctx context.Context, sess *session) {
 		}
 		s.mu.Lock()
 		delete(s.sessions, sess)
-		for txn := range owned {
-			if s.owners[txn] == sess {
-				delete(s.owners, txn)
-			}
-		}
 		s.mu.Unlock()
 		forced := int64(0)
 		for txn := range owned {
+			// Ownership check and release are one atomic step under
+			// s.mu: a transaction this session was granted may since
+			// have been re-granted on a live successor session (the
+			// client retried an acquire whose response a transport
+			// fault ate, and the retry won before this teardown ran).
+			// Those locks are the successor's; force-releasing them
+			// here would strip a live session's grants and break mutual
+			// exclusion. Holding s.mu across ReleaseAll keeps a
+			// successor's grant-then-record from interleaving with the
+			// check (grant recording also runs under s.mu).
+			s.mu.Lock()
+			if owner, ok := s.owners[txn]; ok && owner != sess {
+				s.mu.Unlock()
+				continue
+			}
+			delete(s.owners, txn)
 			if s.table.HeldBy(txn) > 0 {
 				forced++
 			}
 			s.table.ReleaseAll(txn)
+			s.mu.Unlock()
 		}
 		if forced > 0 {
 			s.forceReleases.Add(forced)
@@ -452,27 +493,59 @@ func (s *Server) execute(ctx context.Context, sess *session, req *Request, owned
 	case "acquire":
 		return s.executeAcquire(ctx, sess, req, owned)
 	case "release":
-		txn := lockmgr.TxnID(req.Txn)
-		s.mu.Lock()
-		if owner, ok := s.owners[txn]; ok && owner != sess {
-			s.mu.Unlock()
-			s.foreignReleases.Add(1)
-			return Response{
-				Err:  fmt.Sprintf("transaction %d was granted on another session", req.Txn),
-				Code: CodeNotOwner,
-			}
-		}
-		delete(s.owners, txn)
-		s.mu.Unlock()
-		s.table.ReleaseAll(txn)
-		delete(owned, txn)
-		return Response{OK: true}
+		return s.executeRelease(ctx, sess, req, owned)
 	case "stats":
 		ls := s.table.Stats()
 		ss := s.serverStats()
 		return Response{OK: true, Stats: &ls, Server: &ss}
 	default:
 		return Response{Err: fmt.Sprintf("unknown op %q", req.Op), Code: CodeUnknownOp}
+	}
+}
+
+// executeRelease releases everything txn holds, guarding ownership per
+// session. A release whose transaction is owned by a live peer session
+// is foreign and rejected with not_owner. But if the recorded owner is
+// a condemned session whose teardown hasn't run yet, this is the
+// transport-fault retry shape — the send of a release died mid-flight,
+// the client reconnected and resent on a fresh session — so instead of
+// rejecting a legitimate retry with a terminal error, wait out the
+// predecessor's teardown and complete idempotently (mirroring
+// executeAcquire's orphan handling).
+func (s *Server) executeRelease(ctx context.Context, sess *session, req *Request, owned map[lockmgr.TxnID]struct{}) Response {
+	txn := lockmgr.TxnID(req.Txn)
+	raceDeadline := time.Now().Add(ownerRaceWait)
+	for {
+		s.mu.Lock()
+		if owner, ok := s.owners[txn]; ok && owner != sess {
+			closing := owner.closing.Load()
+			s.mu.Unlock()
+			if !closing && time.Now().After(raceDeadline) {
+				// Still owned by a session that looks alive after the
+				// race bound: a genuine foreign release.
+				s.foreignReleases.Add(1)
+				return Response{
+					Err:  fmt.Sprintf("transaction %d was granted on another session", req.Txn),
+					Code: CodeNotOwner,
+				}
+			}
+			// Owner condemned (teardown clears the entry shortly) or
+			// apparently alive but possibly an undetected disconnect;
+			// wait and re-check.
+			select {
+			case <-ctx.Done():
+				return Response{Err: "session closed", Code: CodeClosed}
+			case <-time.After(time.Millisecond):
+			}
+			continue
+		}
+		delete(s.owners, txn)
+		// Release under s.mu so the ownership check stays atomic with
+		// the release (same discipline as session teardown).
+		s.table.ReleaseAll(txn)
+		s.mu.Unlock()
+		delete(owned, txn)
+		return Response{OK: true}
 	}
 }
 
@@ -511,16 +584,26 @@ func (s *Server) executeAcquire(ctx context.Context, sess *session, req *Request
 			break
 		}
 		s.mu.Lock()
-		_, alive := s.owners[txn]
+		owner, ok := s.owners[txn]
 		s.mu.Unlock()
-		if alive {
-			break // duplicate txn id across live sessions: real misuse
+		if ok && owner == sess {
+			// A second conservative claim on this very session: real
+			// misuse, never a retry.
+			break
+		}
+		if ok && !owner.closing.Load() && time.Since(start) > ownerRaceWait {
+			// Owned by a session still alive after the race bound:
+			// duplicate txn ids across live sessions, real misuse.
+			break
 		}
 		// Orphaned grant: the txn's locks were granted on a session
 		// that is now tearing down (a client retried an acquire whose
-		// response was lost in a transport fault). The predecessor's
-		// ReleaseAll is imminent; wait it out within the deadline
-		// rather than failing a legitimate retry.
+		// response was lost in a transport fault) — the owners entry is
+		// already gone, maps to the condemned predecessor, or maps to a
+		// predecessor whose disconnect the server hasn't detected yet
+		// (TCP orders nothing across connections). Its ReleaseAll is
+		// imminent; wait it out within the deadline rather than failing
+		// a legitimate retry.
 		select {
 		case <-actx.Done():
 			err = actx.Err()

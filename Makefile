@@ -28,12 +28,15 @@ locknet:
 
 # verify is the PR gate: static checks, the race-enabled test suite
 # (which includes the locksrv fault-injection suite in
-# internal/locksrv/harden_test.go), the faulty network lock-service
-# smoke run, and a quick benchmark smoke run that regenerates
-# BENCH_model.json with shortened figure sweeps (engine microbenchmarks
-# still run at full fidelity).
+# internal/locksrv/harden_test.go), the lockd admin-endpoint smoke
+# test (real lock traffic scraped through /metrics and validated as
+# Prometheus text), the faulty network lock-service smoke run, and a
+# quick benchmark smoke run that regenerates BENCH_model.json with
+# shortened figure sweeps (engine microbenchmarks still run at full
+# fidelity).
 verify:
 	$(GO) vet ./...
 	$(GO) test -race ./...
+	$(GO) test -race -count=2 -run 'TestAdmin' ./cmd/lockd/
 	$(GO) run ./cmd/locksim -net 8 -nettxns 1000 -netfaults -ltot 100
 	$(GO) run ./cmd/bench -quick -out BENCH_model.json

@@ -1,0 +1,44 @@
+package main
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/pprof"
+
+	"granulock/internal/locksrv"
+	"granulock/internal/obs"
+)
+
+// newAdminMux builds the admin endpoint served by -admin: /metrics in
+// Prometheus text format, /healthz as a JSON liveness/readiness probe
+// (status flips to "draining" the moment shutdown begins), and the
+// standard runtime profiles under /debug/pprof/. The mux is built on a
+// fresh ServeMux rather than http.DefaultServeMux so importing
+// net/http/pprof elsewhere can never silently expose profiles on the
+// lock service's wire port.
+func newAdminMux(reg *obs.Registry, srv *locksrv.Server) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", reg.Handler())
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		st := srv.Stats()
+		draining := srv.Draining()
+		status := "ok"
+		if draining {
+			status = "draining"
+		}
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(map[string]any{
+			"status":   status,
+			"draining": draining,
+			"sessions": st.Sessions,
+			"holders":  st.Holders,
+			"waiters":  st.Waiters,
+		})
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}

@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	lockd [-addr 127.0.0.1:7654] [-grace 5s] [-idle 5m] [-stats 30s]
+//	lockd [-addr 127.0.0.1:7654] [-grace 5s] [-idle 5m] [-stats 30s] [-admin 127.0.0.1:9654]
 //
 // The protocol is newline-delimited JSON (see internal/locksrv and
 // docs/LOCKSRV.md):
@@ -18,6 +18,11 @@
 // reaped (their locks released) as if they had disconnected. Every
 // -stats interval lockd logs session/waiter gauges, acquire outcome
 // counters and wait-time quantiles.
+//
+// -admin starts an HTTP admin listener on a separate address serving
+// /metrics (Prometheus text format), /healthz (JSON liveness probe,
+// flips to "draining" during shutdown) and /debug/pprof/. Empty (the
+// default) disables it.
 package main
 
 import (
@@ -25,12 +30,15 @@ import (
 	"fmt"
 	"log"
 	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"syscall"
 	"time"
 
+	"granulock/internal/lockmgr"
 	"granulock/internal/locksrv"
+	"granulock/internal/obs"
 )
 
 func main() {
@@ -38,6 +46,7 @@ func main() {
 	grace := flag.Duration("grace", 5*time.Second, "drain grace period for in-flight requests on shutdown")
 	idle := flag.Duration("idle", 5*time.Minute, "reap sessions idle longer than this (0 disables)")
 	statsEvery := flag.Duration("stats", 30*time.Second, "stats logging interval (0 disables)")
+	adminAddr := flag.String("admin", "", "HTTP admin listen address for /metrics, /healthz and /debug/pprof/ (empty disables)")
 	flag.Parse()
 
 	logger := log.New(os.Stderr, "lockd: ", log.LstdFlags|log.Lmicroseconds)
@@ -45,11 +54,29 @@ func main() {
 	if err != nil {
 		logger.Fatal(err)
 	}
-	srv := locksrv.NewServer(lis, nil,
+	reg := obs.NewRegistry()
+	table := lockmgrTable(reg)
+	srv := locksrv.NewServer(lis, table,
 		locksrv.WithGrace(*grace),
 		locksrv.WithIdleTimeout(*idle),
+		locksrv.WithMetrics(reg),
 	)
 	fmt.Println("lockd listening on", srv.Addr())
+
+	var admin *http.Server
+	if *adminAddr != "" {
+		alis, err := net.Listen("tcp", *adminAddr)
+		if err != nil {
+			logger.Fatal(err)
+		}
+		admin = &http.Server{Handler: newAdminMux(reg, srv)}
+		fmt.Println("lockd admin on", alis.Addr())
+		go func() {
+			if err := admin.Serve(alis); err != nil && err != http.ErrServerClosed {
+				logger.Printf("admin: %v", err)
+			}
+		}()
+	}
 
 	stop := make(chan struct{})
 	if *statsEvery > 0 {
@@ -81,8 +108,18 @@ func main() {
 		logger.Fatal(err)
 	}
 	close(stop)
+	if admin != nil {
+		admin.Close()
+	}
 	logStats(logger, srv.Stats())
 	logger.Printf("drained; exiting")
+}
+
+// lockmgrTable builds the served lock table with its granulock_lockmgr_
+// families registered alongside the service's granulock_locksrv_ ones,
+// so one /metrics scrape covers both layers.
+func lockmgrTable(reg *obs.Registry) *lockmgr.Table {
+	return lockmgr.NewTable(lockmgr.WithMetrics(reg))
 }
 
 // logStats renders one stats line in key=value form.

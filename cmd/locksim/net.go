@@ -32,12 +32,12 @@ type netConfig struct {
 type netSummary struct {
 	Workers     int     `json:"workers"`
 	Txns        int     `json:"txns"`
-	Timeouts    int64   `json:"timeouts"`      // acquire timeouts retried by workers
-	Reconnects  int64   `json:"reconnects"`    // client transport reconnects
-	Retries     int64   `json:"retries"`       // client request retries
-	Drops       int64   `json:"fault_drops"`   // injected connection drops
-	Delays      int64   `json:"fault_delays"`  // injected delays
-	AcqP50MS    float64 `json:"acq_p50_ms"`    // client-observed acquire latency
+	Timeouts    int64   `json:"timeouts"`     // acquire timeouts retried by workers
+	Reconnects  int64   `json:"reconnects"`   // client transport reconnects
+	Retries     int64   `json:"retries"`      // client request retries
+	Drops       int64   `json:"fault_drops"`  // injected connection drops
+	Delays      int64   `json:"fault_delays"` // injected delays
+	AcqP50MS    float64 `json:"acq_p50_ms"`   // client-observed acquire latency
 	AcqP90MS    float64 `json:"acq_p90_ms"`
 	AcqP99MS    float64 `json:"acq_p99_ms"`
 	SrvGrants   int64   `json:"srv_grants"`

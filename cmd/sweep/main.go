@@ -6,6 +6,10 @@
 //
 //	sweep -param ltot -values 1,10,100,1000,5000 -npros 20
 //	sweep -param npros -values 1,2,4,8,16,32 -ltot 100 -metric response
+//
+// -metrics appends the run's metric registry — cell progress counters,
+// per-cell wall-time histogram, and the last cell's simulation gauges —
+// to stderr in Prometheus text format after the table.
 package main
 
 import (
@@ -14,6 +18,7 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	"granulock"
 )
@@ -38,6 +43,7 @@ func run(args []string, out *os.File) error {
 	param := fs.String("param", "ltot", "parameter to sweep: ltot, npros, ntrans or maxtransize")
 	values := fs.String("values", "1,10,100,1000,5000", "comma-separated sweep values")
 	metric := fs.String("metric", "throughput", "metric to report: throughput, response, usefulio, usefulcpu, lockoverhead, denialrate")
+	withMetrics := fs.Bool("metrics", false, "print the run's metric registry to stderr in Prometheus text format")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -52,19 +58,50 @@ func run(args []string, out *os.File) error {
 		return err
 	}
 
+	var reg *granulock.Registry
+	var opts []granulock.RunOption
+	if *withMetrics {
+		reg = granulock.NewRegistry()
+		opts = append(opts, granulock.WithMetrics(reg))
+	}
+
+	fields := strings.Split(*values, ",")
+	start := time.Now()
+	if reg != nil {
+		reg.NewCounterVec("granulock_sweep_cells_total",
+			"Simulation cells scheduled by parameter sweeps.", "figure").
+			With("cmd-sweep").Add(int64(len(fields)))
+	}
 	fmt.Fprintf(out, "%12s  %14s\n", *param, *metric)
-	for _, field := range strings.Split(*values, ",") {
+	for _, field := range fields {
 		v, err := strconv.Atoi(strings.TrimSpace(field))
 		if err != nil {
 			return fmt.Errorf("bad sweep value %q: %w", field, err)
 		}
 		q := p
 		set(&q, v)
-		m, err := granulock.Run(q)
+		cellStart := time.Now()
+		m, err := granulock.Run(q, opts...)
 		if err != nil {
 			return fmt.Errorf("%s=%d: %w", *param, v, err)
 		}
+		if reg != nil {
+			reg.NewCounterVec("granulock_sweep_cells_completed_total",
+				"Simulation cells completed by parameter sweeps.", "figure").
+				With("cmd-sweep").Inc()
+			reg.NewHistogramVec("granulock_sweep_cell_seconds",
+				"Wall time per completed sweep cell in seconds (cache hits are near zero).",
+				granulock.ExpBuckets(0.001, 4, 10), "figure").
+				With("cmd-sweep").Observe(time.Since(cellStart).Seconds())
+		}
 		fmt.Fprintf(out, "%12d  %14.4f\n", v, get(m))
+	}
+	if reg != nil {
+		reg.NewGauge("granulock_sweep_wall_seconds",
+			"Wall time of the whole sweep in seconds.").Set(time.Since(start).Seconds())
+		if _, err := reg.WriteTo(os.Stderr); err != nil {
+			return err
+		}
 	}
 	return nil
 }

@@ -29,12 +29,16 @@
 package granulock
 
 import (
+	"context"
+	"errors"
 	"io"
+	"net/http"
 
 	"granulock/internal/analytic"
 	"granulock/internal/core"
 	"granulock/internal/experiments"
 	"granulock/internal/model"
+	"granulock/internal/obs"
 	"granulock/internal/partition"
 	"granulock/internal/sched"
 	"granulock/internal/stats"
@@ -87,19 +91,160 @@ type PointSummary = core.PointSummary
 // DefaultParams returns the paper's Table 1 configuration.
 func DefaultParams() Params { return core.DefaultParams() }
 
-// Run executes the simulation model once; deterministic per Seed.
-func Run(p Params) (Metrics, error) { return core.Simulate(p) }
+// Registry is a metric registry: labeled families of counters, gauges
+// and histograms with Prometheus text-format exposition. Attach one to
+// a run with WithMetrics, serve it with Registry.Handler or write it
+// with Registry.WriteTo, and inspect it in tests with
+// Registry.Snapshot.
+type Registry = obs.Registry
+
+// NewRegistry returns an empty metric registry.
+func NewRegistry() *Registry { return obs.NewRegistry() }
+
+// MetricsHandler returns an http.Handler serving reg in Prometheus
+// text format (for mounting on a custom mux; cmd/lockd's -admin
+// listener does exactly this).
+func MetricsHandler(reg *Registry) http.Handler { return reg.Handler() }
+
+// DefBuckets returns a copy of the default histogram bucket bounds
+// (latencies in seconds, sub-millisecond to ~10s).
+func DefBuckets() []float64 { return append([]float64(nil), obs.DefBuckets...) }
+
+// ExpBuckets returns n exponential histogram bucket bounds: start,
+// start·factor, start·factor², ...
+func ExpBuckets(start, factor float64, n int) []float64 {
+	return obs.ExpBuckets(start, factor, n)
+}
+
+// runConfig collects the effects of RunOptions.
+type runConfig struct {
+	obs    Observer
+	reg    *Registry
+	ctx    context.Context
+	reps   int
+	repOut *Replicated
+}
+
+// RunOption configures a Run call.
+type RunOption func(*runConfig)
+
+// WithObserver attaches a lifecycle observer (tracing, response
+// collection) to the run. Incompatible with WithReplications above 1:
+// an observer watches one run, not an ensemble.
+func WithObserver(o Observer) RunOption {
+	return func(c *runConfig) { c.obs = o }
+}
+
+// WithMetrics mirrors the run into reg: lifecycle event counters and
+// response-time histograms while the simulation executes, plus the
+// output parameters as gauges when it completes (granulock_sim_
+// families). Without this option the run executes the exact
+// uninstrumented code path, so results and performance are unchanged.
+func WithMetrics(reg *Registry) RunOption {
+	return func(c *runConfig) { c.reg = reg }
+}
+
+// WithContext makes the run cancellable: the event loop checks ctx
+// between bounded chunks and the run fails with ctx.Err() if it fires.
+// Cancellation checks do not perturb the event order, so a run that
+// completes returns exactly what it would have without the context.
+func WithContext(ctx context.Context) RunOption {
+	return func(c *runConfig) { c.ctx = ctx }
+}
+
+// WithReplications averages the run over reps independent seeds (Seed,
+// Seed+1, ...), executed in parallel. The returned Metrics are the
+// field-wise mean; pair with WithReplicatedSummary for confidence
+// intervals. reps below 1 is an error.
+func WithReplications(reps int) RunOption {
+	return func(c *runConfig) { c.reps = reps }
+}
+
+// WithReplicatedSummary stores the full replication summary (per-run
+// metrics and 95% confidence intervals) into out when the run
+// completes. On its own it summarizes a single replication (all
+// confidence intervals zero); combine with WithReplications for real
+// ensembles. Incompatible with WithObserver.
+func WithReplicatedSummary(out *Replicated) RunOption {
+	return func(c *runConfig) { c.repOut = out }
+}
+
+// Run executes the simulation model and returns its output parameters;
+// deterministic per Seed. Options attach an observer (WithObserver),
+// mirror the run into a metric registry (WithMetrics), bound it with a
+// context (WithContext), or average it over independent replications
+// (WithReplications, WithReplicatedSummary). With no options this is
+// exactly the classic single-run entry point.
+func Run(p Params, opts ...RunOption) (Metrics, error) {
+	c := runConfig{reps: 1}
+	for _, o := range opts {
+		o(&c)
+	}
+	if c.reps < 1 {
+		return Metrics{}, errors.New("granulock: replications < 1")
+	}
+	if c.reps > 1 || c.repOut != nil {
+		if c.obs != nil {
+			return Metrics{}, errors.New("granulock: WithObserver is incompatible with WithReplications: an observer watches one run")
+		}
+		rep, err := core.SimulateReplicatedContext(c.ctx, p, c.reps)
+		if err != nil {
+			return Metrics{}, err
+		}
+		if c.repOut != nil {
+			*c.repOut = rep
+		}
+		avg, _ := experiments.Average(rep.Runs)
+		if c.reg != nil {
+			model.RecordMetrics(c.reg, avg)
+		}
+		return avg, nil
+	}
+	obsv := c.obs
+	if c.reg != nil {
+		obsv = model.Tee(c.obs, model.NewMetricsObserver(c.reg))
+	}
+	var m Metrics
+	var err error
+	switch {
+	case c.ctx != nil:
+		m, err = model.RunContext(c.ctx, p, obsv)
+	case obsv != nil:
+		m, err = model.RunObserved(p, obsv)
+	default:
+		m, err = core.Simulate(p)
+	}
+	if err != nil {
+		return Metrics{}, err
+	}
+	if c.reg != nil {
+		model.RecordMetrics(c.reg, m)
+	}
+	return m, nil
+}
 
 // RunReplicated executes reps independent replications in parallel and
 // summarizes the headline metrics with 95% confidence intervals.
+//
+// Deprecated: use Run(p, WithReplications(reps),
+// WithReplicatedSummary(&rep)).
 func RunReplicated(p Params, reps int) (Replicated, error) {
-	return core.SimulateReplicated(p, reps)
+	var rep Replicated
+	_, err := Run(p, WithReplications(reps), WithReplicatedSummary(&rep))
+	return rep, err
 }
 
 // OptimalGranularity sweeps the number of locks and returns the
 // throughput-maximizing value together with the whole curve.
 func OptimalGranularity(p Params) (best int, curve []PointSummary, err error) {
 	return core.OptimalGranularity(p)
+}
+
+// OptimalGranularityContext is OptimalGranularity bounded by a
+// context: cancellation is checked before each grid point and inside
+// in-flight simulations.
+func OptimalGranularityContext(ctx context.Context, p Params) (best int, curve []PointSummary, err error) {
+	return core.OptimalGranularityContext(ctx, p)
 }
 
 // FigureIDs lists the reproducible figures ("fig2" .. "fig12") in paper
@@ -159,8 +304,10 @@ type ResponseCollector = model.ResponseCollector
 type ClassCollector = model.ClassCollector
 
 // RunWithObserver is Run with a tracing/measurement hook attached.
+//
+// Deprecated: use Run(p, WithObserver(obs)).
 func RunWithObserver(p Params, obs Observer) (Metrics, error) {
-	return model.RunObserved(p, obs)
+	return Run(p, WithObserver(obs))
 }
 
 // NewTraceWriter returns an Observer streaming every simulation event

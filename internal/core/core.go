@@ -5,6 +5,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -41,6 +42,15 @@ type Replicated struct {
 // SimulateReplicated runs reps independent replications (seeds Seed,
 // Seed+1, ...) in parallel and summarizes them. reps must be >= 1.
 func SimulateReplicated(p model.Params, reps int) (Replicated, error) {
+	return SimulateReplicatedContext(nil, p, reps)
+}
+
+// SimulateReplicatedContext is SimulateReplicated with cooperative
+// cancellation: a non-nil ctx aborts in-flight replications at their
+// next cancellation check and the call fails with the context's error.
+// A nil ctx runs the plain uninterruptible path. Completed summaries
+// are identical either way.
+func SimulateReplicatedContext(ctx context.Context, p model.Params, reps int) (Replicated, error) {
 	if reps < 1 {
 		return Replicated{}, fmt.Errorf("core: replications %d < 1", reps)
 	}
@@ -60,7 +70,11 @@ func SimulateReplicated(p model.Params, reps int) (Replicated, error) {
 			defer func() { <-sem }()
 			q := p
 			q.Seed = p.Seed + uint64(i)
-			runs[i], errs[i] = model.Run(q)
+			if ctx == nil {
+				runs[i], errs[i] = model.Run(q)
+			} else {
+				runs[i], errs[i] = model.RunContext(ctx, q, nil)
+			}
 		}()
 	}
 	wg.Wait()
@@ -93,6 +107,13 @@ func SimulateReplicated(p model.Params, reps int) (Replicated, error) {
 // is the tuning question the paper answers; exposing it directly makes
 // the library useful as a granularity advisor.
 func OptimalGranularity(p model.Params) (best int, curve []PointSummary, err error) {
+	return OptimalGranularityContext(nil, p)
+}
+
+// OptimalGranularityContext is OptimalGranularity with cooperative
+// cancellation: a non-nil ctx is checked before each grid point and
+// aborts the in-flight simulation at its next cancellation check.
+func OptimalGranularityContext(ctx context.Context, p model.Params) (best int, curve []PointSummary, err error) {
 	if err := p.Validate(); err != nil {
 		return 0, nil, err
 	}
@@ -100,11 +121,14 @@ func OptimalGranularity(p model.Params) (best int, curve []PointSummary, err err
 	curve = make([]PointSummary, len(grid))
 	bestThroughput := -1.0
 	for i, ltot := range grid {
+		if ctx != nil && ctx.Err() != nil {
+			return 0, nil, ctx.Err()
+		}
 		q := p
 		q.Ltot = ltot
 		// Cells are deduplicated with the figure sweeps: tuning after
 		// (or during) a figure run reuses every shared simulation.
-		m, err := experiments.CachedRun(q)
+		m, err := experiments.CachedRunContext(ctx, q)
 		if err != nil {
 			return 0, nil, err
 		}

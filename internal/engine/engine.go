@@ -21,6 +21,7 @@ import (
 	"time"
 
 	"granulock/internal/lockmgr"
+	"granulock/internal/obs"
 	"granulock/internal/wal"
 )
 
@@ -82,6 +83,12 @@ type Config struct {
 	// protocol: a transaction holding this many granules escalates to a
 	// database-level lock (0 disables; ignored by other protocols).
 	EscalationThreshold int
+	// Metrics, when non-nil, mirrors the database's activity into the
+	// registry: commit and deadlock-retry counters
+	// (granulock_engine_commits_total,
+	// granulock_engine_deadlock_retries_total) plus the flat lock
+	// table's granulock_lockmgr_ families. One database per registry.
+	Metrics *obs.Registry
 }
 
 // validate checks a Config.
@@ -174,6 +181,10 @@ type DB struct {
 	// sink absorbs synthetic Txn.Work results so the compiler cannot
 	// eliminate the lock-holding computation.
 	sink atomic.Int64
+
+	// Registry twins of the counters above, nil without Config.Metrics.
+	mCommits *obs.Counter
+	mRetries *obs.Counter
 }
 
 // Open creates a database per the configuration.
@@ -181,7 +192,17 @@ func Open(cfg Config) (*DB, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
-	db := &DB{cfg: cfg, locks: lockmgr.NewTable()}
+	var topts []lockmgr.Option
+	if cfg.Metrics != nil {
+		topts = append(topts, lockmgr.WithMetrics(cfg.Metrics))
+	}
+	db := &DB{cfg: cfg, locks: lockmgr.NewTable(topts...)}
+	if cfg.Metrics != nil {
+		db.mCommits = cfg.Metrics.NewCounter("granulock_engine_commits_total",
+			"Transactions committed by the executable engine.")
+		db.mRetries = cfg.Metrics.NewCounter("granulock_engine_deadlock_retries_total",
+			"Deadlock victims retried (claim-as-needed and hierarchical).")
+	}
 	if cfg.Protocol == Hierarchical {
 		var hopts []lockmgr.HierOption
 		if cfg.EscalationThreshold > 0 {
@@ -281,11 +302,17 @@ func (db *DB) Execute(ctx context.Context, t Txn) (int64, error) {
 			}
 			db.release(txnID)
 			db.committed.Add(1)
+			if db.mCommits != nil {
+				db.mCommits.Inc()
+			}
 			return sum, nil
 		}
 		db.release(txnID)
 		if errors.Is(err, lockmgr.ErrDeadlock) {
 			db.retries.Add(1)
+			if db.mRetries != nil {
+				db.mRetries.Inc()
+			}
 			attempt++
 			if err := sleepBackoff(ctx, attempt, uint64(txnID)); err != nil {
 				return 0, err

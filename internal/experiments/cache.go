@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -40,14 +41,24 @@ func cellKey(p model.Params) (string, bool) {
 // from memory afterwards. Concurrent callers may race to compute the
 // same cell; both compute the identical Metrics, so either store wins.
 func CachedRun(p model.Params) (model.Metrics, error) {
+	return CachedRunContext(nil, p)
+}
+
+// CachedRunContext is CachedRun with cooperative cancellation: a
+// non-nil ctx aborts an in-flight simulation at its next cancellation
+// check and the call fails with the context's error (nothing is
+// cached). A nil ctx runs the plain uninterruptible path, which is
+// also the cheapest. Cached results are identical either way — the
+// cancellation checks do not perturb the event order.
+func CachedRunContext(ctx context.Context, p model.Params) (model.Metrics, error) {
 	key, ok := cellKey(p)
 	if !ok {
-		return model.Run(p)
+		return runMaybeCtx(ctx, p)
 	}
 	if v, ok := cellCache.Load(key); ok {
 		return v.(model.Metrics), nil
 	}
-	m, err := model.Run(p)
+	m, err := runMaybeCtx(ctx, p)
 	if err != nil {
 		return m, err
 	}
@@ -65,4 +76,13 @@ func CachedRun(p model.Params) (model.Metrics, error) {
 		cellCacheLen.Add(-1)
 	}
 	return m, nil
+}
+
+// runMaybeCtx dispatches to the interruptible run only when a context
+// is present, keeping the common path free of per-chunk checks.
+func runMaybeCtx(ctx context.Context, p model.Params) (model.Metrics, error) {
+	if ctx == nil {
+		return model.Run(p)
+	}
+	return model.RunContext(ctx, p, nil)
 }

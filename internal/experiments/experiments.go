@@ -6,12 +6,15 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sort"
 	"sync"
+	"time"
 
 	"granulock/internal/model"
+	"granulock/internal/obs"
 	"granulock/internal/stats"
 )
 
@@ -59,6 +62,19 @@ type Options struct {
 	Replications int
 	// Parallelism bounds concurrent simulations (0 = GOMAXPROCS).
 	Parallelism int
+	// Context, when non-nil, cancels the sweep: cells not yet started
+	// are skipped and in-flight simulations abort at the next
+	// cancellation check (a few thousand events). The sweep then fails
+	// with the context's error. Results are unaffected when the context
+	// never fires: cancellation checks do not perturb the event order.
+	Context context.Context
+	// Metrics, when non-nil, reports sweep progress into the registry:
+	// per-cell counters and a cell wall-time histogram
+	// (granulock_sweep_ families, labelled by figure id).
+	Metrics *obs.Registry
+	// figure labels the metric series; Run sets it to the experiment
+	// id, direct sweep callers report as "adhoc".
+	figure string
 }
 
 // normalize fills defaults.
@@ -148,6 +164,9 @@ func sweep(o Options, labels []string, xs []float64, mkParams func(series, point
 		}
 	}
 
+	sm := newSweepMetrics(o)
+	sm.cellsTotal(int64(len(cells)))
+
 	type result struct {
 		cell cell
 		m    model.Metrics
@@ -163,7 +182,18 @@ func sweep(o Options, labels []string, xs []float64, mkParams func(series, point
 		go func() {
 			defer wg.Done()
 			defer func() { <-sem }()
-			m, err := CachedRun(c.params)
+			if o.Context != nil && o.Context.Err() != nil {
+				results[i] = result{cell: c, err: o.Context.Err()}
+				return
+			}
+			start := time.Time{}
+			if sm != nil {
+				start = time.Now()
+			}
+			m, err := CachedRunContext(o.Context, c.params)
+			if sm != nil && err == nil {
+				sm.cellDone(time.Since(start))
+			}
 			results[i] = result{cell: c, m: m, err: err}
 		}()
 	}
@@ -185,7 +215,7 @@ func sweep(o Options, labels []string, xs []float64, mkParams func(series, point
 		pts := make([]Point, len(xs))
 		for pi, x := range xs {
 			ms := grouped[key{si, pi}]
-			avg, ci := average(ms)
+			avg, ci := Average(ms)
 			pts[pi] = Point{X: x, M: avg, ThroughputCI: ci}
 		}
 		series[si] = Series{Label: label, Points: pts}
@@ -194,9 +224,10 @@ func sweep(o Options, labels []string, xs []float64, mkParams func(series, point
 	return series, nil
 }
 
-// average reduces replications to field-wise means, plus a throughput
-// confidence interval.
-func average(ms []model.Metrics) (model.Metrics, float64) {
+// Average reduces replications to field-wise means, plus a 95%
+// throughput confidence half-width (0 for a single run). The facade
+// uses it to collapse a replicated run into one Metrics value.
+func Average(ms []model.Metrics) (model.Metrics, float64) {
 	if len(ms) == 1 {
 		return ms[0], 0
 	}
@@ -228,6 +259,49 @@ func average(ms []model.Metrics) (model.Metrics, float64) {
 	// Events stays a sum, not a mean: it accounts the total simulation
 	// work behind the point, which is what events/sec reporting needs.
 	return out, thr.CI95()
+}
+
+// sweepMetrics reports sweep progress into Options.Metrics, one label
+// set per figure id.
+type sweepMetrics struct {
+	cells       *obs.Counter
+	completed   *obs.Counter
+	cellSeconds *obs.Histogram
+}
+
+// newSweepMetrics binds the sweep progress families for o, or nil when
+// no registry was supplied.
+func newSweepMetrics(o Options) *sweepMetrics {
+	if o.Metrics == nil {
+		return nil
+	}
+	fig := o.figure
+	if fig == "" {
+		fig = "adhoc"
+	}
+	reg := o.Metrics
+	return &sweepMetrics{
+		cells: reg.NewCounterVec("granulock_sweep_cells_total",
+			"Simulation cells scheduled by parameter sweeps.", "figure").With(fig),
+		completed: reg.NewCounterVec("granulock_sweep_cells_completed_total",
+			"Simulation cells completed by parameter sweeps.", "figure").With(fig),
+		cellSeconds: reg.NewHistogramVec("granulock_sweep_cell_seconds",
+			"Wall time per completed sweep cell in seconds (cache hits are near zero).",
+			obs.ExpBuckets(0.001, 4, 10), "figure").With(fig),
+	}
+}
+
+// cellsTotal records n cells entering the sweep.
+func (sm *sweepMetrics) cellsTotal(n int64) {
+	if sm != nil {
+		sm.cells.Add(n)
+	}
+}
+
+// cellDone records one completed cell and its wall time.
+func (sm *sweepMetrics) cellDone(d time.Duration) {
+	sm.completed.Inc()
+	sm.cellSeconds.Observe(d.Seconds())
 }
 
 // sortSeriesPoints keeps points in ascending x order (sweeps already

@@ -135,7 +135,7 @@ func TestSweepPropagatesValidationErrors(t *testing.T) {
 
 func TestAverageSingle(t *testing.T) {
 	m := model.Metrics{Throughput: 0.5, TotCom: 10}
-	avg, ci := average([]model.Metrics{m})
+	avg, ci := Average([]model.Metrics{m})
 	if avg != m || ci != 0 {
 		t.Fatal("single-element average not identity")
 	}
@@ -144,7 +144,7 @@ func TestAverageSingle(t *testing.T) {
 func TestAverageMultiple(t *testing.T) {
 	a := model.Metrics{Throughput: 0.4, TotCom: 10, LockIOs: 2}
 	b := model.Metrics{Throughput: 0.6, TotCom: 20, LockIOs: 4}
-	avg, ci := average([]model.Metrics{a, b})
+	avg, ci := Average([]model.Metrics{a, b})
 	if avg.Throughput != 0.5 || avg.TotCom != 15 || avg.LockIOs != 3 {
 		t.Fatalf("average %+v", avg)
 	}

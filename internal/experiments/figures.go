@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"fmt"
+	"time"
 
 	"granulock/internal/model"
 	"granulock/internal/partition"
@@ -349,13 +350,30 @@ func IDs() []string {
 func Run(id string, o Options) (Figure, error) {
 	for _, r := range registry {
 		if r.id == id {
-			return r.run(o)
+			return runTimed(id, o, r.run)
 		}
 	}
 	for _, r := range extRegistry {
 		if r.id == id {
-			return r.run(o)
+			return runTimed(id, o, r.run)
 		}
 	}
 	return Figure{}, fmt.Errorf("experiments: unknown experiment %q (known: %v and %v)", id, IDs(), ExtIDs())
+}
+
+// runTimed labels o's sweep metrics with the figure id and, when a
+// registry is attached, records the figure's wall time.
+func runTimed(id string, o Options, run func(Options) (Figure, error)) (Figure, error) {
+	o.figure = id
+	if o.Metrics == nil {
+		return run(o)
+	}
+	start := time.Now()
+	f, err := run(o)
+	if err == nil {
+		o.Metrics.NewGaugeVec("granulock_figure_seconds",
+			"Wall time of the last completed run of each figure, in seconds.",
+			"figure").With(id).Set(time.Since(start).Seconds())
+	}
+	return f, err
 }

@@ -5,6 +5,8 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+
+	"granulock/internal/obs"
 )
 
 // Mode is a granule lock mode for the flat lock table.
@@ -78,6 +80,61 @@ type Table struct {
 	strict   bool
 	detector *Detector
 	stats    Stats
+	om       *tableMetrics // nil unless WithMetrics attached
+}
+
+// tableMetrics mirrors the Stats counters into an obs.Registry, the
+// live-scrape view of lock-table activity. Gauges for holders, locked
+// granules and parked waiters are registered as functions so they read
+// the table's true state at scrape time instead of mirroring it.
+type tableMetrics struct {
+	grants    *obs.Counter
+	waits     *obs.Counter
+	deadlocks *obs.Counter
+}
+
+// newTableMetrics registers the lockmgr families on reg for t.
+func newTableMetrics(reg *obs.Registry, t *Table) *tableMetrics {
+	reg.NewGaugeFunc("granulock_lockmgr_holders",
+		"Transactions currently holding at least one granule.",
+		func() float64 { return float64(t.HoldersCount()) })
+	reg.NewGaugeFunc("granulock_lockmgr_locked_granules",
+		"Granules with at least one holder.",
+		func() float64 { return float64(t.LockedGranules()) })
+	reg.NewGaugeFunc("granulock_lockmgr_waiters",
+		"Requests currently parked (conservative claims plus incremental waiters).",
+		func() float64 { return float64(t.WaitersCount()) })
+	return &tableMetrics{
+		grants: reg.NewCounter("granulock_lockmgr_grants_total",
+			"Acquire calls satisfied, immediately or after waiting."),
+		waits: reg.NewCounter("granulock_lockmgr_waits_total",
+			"Acquire calls that had to wait (lock conflicts)."),
+		deadlocks: reg.NewCounter("granulock_lockmgr_deadlocks_total",
+			"Claim-as-needed waits aborted as deadlock victims."),
+	}
+}
+
+// incGrant, incWait and incDeadlock bump the Stats counters and, when a
+// registry is attached, their exported twins. Callers hold t.mu.
+func (t *Table) incGrant() {
+	t.stats.Grants++
+	if t.om != nil {
+		t.om.grants.Inc()
+	}
+}
+
+func (t *Table) incWait() {
+	t.stats.Blocks++
+	if t.om != nil {
+		t.om.waits.Inc()
+	}
+}
+
+func (t *Table) incDeadlock() {
+	t.stats.Deadlocks++
+	if t.om != nil {
+		t.om.deadlocks.Inc()
+	}
 }
 
 // granuleState tracks the holders and incremental waiters of one granule.
@@ -109,6 +166,14 @@ type Option func(*Table)
 // concurrency for starvation freedom. The default allows compatible later
 // claims to overtake.
 func StrictFIFO() Option { return func(t *Table) { t.strict = true } }
+
+// WithMetrics mirrors the table's activity into reg: grant/wait/
+// deadlock counters plus scrape-time gauges for holders, locked
+// granules and parked waiters (family prefix granulock_lockmgr_).
+// One table per registry: the gauges read this table's state.
+func WithMetrics(reg *obs.Registry) Option {
+	return func(t *Table) { t.om = newTableMetrics(reg, t) }
+}
 
 // NewTable returns an empty lock table.
 func NewTable(opts ...Option) *Table {
@@ -215,13 +280,13 @@ func (t *Table) AcquireAll(ctx context.Context, txn TxnID, reqs []Request) error
 	}
 	if t.grantable(txn, reqs) {
 		t.grantAll(txn, reqs)
-		t.stats.Grants++
+		t.incGrant()
 		t.mu.Unlock()
 		return nil
 	}
 	w := &claimWaiter{txn: txn, reqs: reqs, ch: make(chan error, 1)}
 	t.claimQ = append(t.claimQ, w)
-	t.stats.Blocks++
+	t.incWait()
 	t.mu.Unlock()
 
 	select {
@@ -313,7 +378,7 @@ func (t *Table) Acquire(ctx context.Context, txn TxnID, g Granule, mode Mode) er
 	}
 	if t.stepGrantable(gs, txn, mode) {
 		t.grantStep(gs, txn, g, mode)
-		t.stats.Grants++
+		t.incGrant()
 		// An upgrade strengthens the holder set without a release; the
 		// waits-for edges of parked requests must track the change.
 		t.syncWaiterEdges(gs)
@@ -322,13 +387,13 @@ func (t *Table) Acquire(ctx context.Context, txn TxnID, g Granule, mode Mode) er
 	}
 	w := &stepWaiter{txn: txn, granule: g, mode: mode, ch: make(chan error, 1)}
 	gs.waiters = append(gs.waiters, w)
-	t.stats.Blocks++
+	t.incWait()
 	t.refreshEdges(gs, w, len(gs.waiters)-1)
 	if t.detector.InCycle(txn) {
 		// The newest edge closed a cycle: this requester is the victim.
 		t.dropWaiter(gs, w)
 		t.detector.RemoveWaiter(txn)
-		t.stats.Deadlocks++
+		t.incDeadlock()
 		t.mu.Unlock()
 		return ErrDeadlock
 	}
@@ -436,7 +501,7 @@ func (t *Table) syncWaiterEdges(gs *granuleState) {
 		if t.detector.InCycle(w.txn) {
 			t.dropWaiter(gs, w)
 			t.detector.RemoveWaiter(w.txn)
-			t.stats.Deadlocks++
+			t.incDeadlock()
 			w.ch <- ErrDeadlock
 		}
 	}
@@ -492,7 +557,7 @@ func (t *Table) wakeStepWaiters(g Granule) {
 		gs.waiters = gs.waiters[1:]
 		t.grantStep(gs, w.txn, g, w.mode)
 		t.detector.RemoveWaiter(w.txn)
-		t.stats.Grants++
+		t.incGrant()
 		w.ch <- nil
 	}
 	// Refresh edges of those still waiting: their blockers changed.
@@ -520,7 +585,7 @@ func (t *Table) wakeClaims() {
 		if t.grantable(w.txn, w.reqs) {
 			t.grantAll(w.txn, w.reqs)
 			t.claimQ = append(t.claimQ[:i], t.claimQ[i+1:]...)
-			t.stats.Grants++
+			t.incGrant()
 			w.ch <- nil
 			continue // re-examine the claim now at index i
 		}

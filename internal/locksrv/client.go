@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"granulock/internal/lockmgr"
+	"granulock/internal/obs"
 	"granulock/internal/rng"
 )
 
@@ -66,6 +67,12 @@ type Client struct {
 
 	reconnects int64
 	retried    int64
+
+	// Registry twins of the two counters above, nil without
+	// WithClientMetrics. Registration is idempotent, so a fleet of
+	// workers sharing one registry aggregates into the same series.
+	mReconnects *obs.Counter
+	mRetries    *obs.Counter
 }
 
 // ClientOption configures a Client.
@@ -97,6 +104,19 @@ func WithJitterSeed(seed uint64) ClientOption {
 // FaultyDialer).
 func WithDialer(dial func(addr string) (net.Conn, error)) ClientOption {
 	return func(c *Client) { c.dial = dial }
+}
+
+// WithClientMetrics mirrors the client's reconnect and retry counters
+// into reg (granulock_locksrv_client_reconnects_total,
+// granulock_locksrv_client_retries_total). Clients sharing a registry
+// aggregate into the same series, one series per fleet.
+func WithClientMetrics(reg *obs.Registry) ClientOption {
+	return func(c *Client) {
+		c.mReconnects = reg.NewCounter("granulock_locksrv_client_reconnects_total",
+			"Connections re-established after a transport failure.")
+		c.mRetries = reg.NewCounter("granulock_locksrv_client_retries_total",
+			"Request attempts that were transport retries.")
+	}
 }
 
 // Dial connects to a lock server.
@@ -192,6 +212,9 @@ func (c *Client) roundTrip(req Request) (Response, error) {
 		}
 		if attempt > 0 {
 			c.retried++
+			if c.mRetries != nil {
+				c.mRetries.Inc()
+			}
 			c.sleep(c.backoffDelay(attempt - 1))
 		}
 		if !c.haveConn() {
@@ -203,6 +226,9 @@ func (c *Client) roundTrip(req Request) (Response, error) {
 				continue
 			}
 			c.reconnects++
+			if c.mReconnects != nil {
+				c.mReconnects.Inc()
+			}
 		}
 		if err := c.enc.Encode(req); err != nil {
 			c.dropConn()

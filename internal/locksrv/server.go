@@ -39,6 +39,7 @@ import (
 	"time"
 
 	"granulock/internal/lockmgr"
+	"granulock/internal/obs"
 	"granulock/internal/stats"
 )
 
@@ -199,14 +200,64 @@ type Server struct {
 	closed   bool
 	wg       sync.WaitGroup
 
-	sessionsTotal   atomic.Int64
-	grants          atomic.Int64
-	timeouts        atomic.Int64
-	cancels         atomic.Int64
-	forceReleases   atomic.Int64
-	foreignReleases atomic.Int64
-	idleReaps       atomic.Int64
-	waits           waitRing
+	om    *serverMetrics // always non-nil after NewServer
+	waits waitRing
+}
+
+// serverMetrics holds the service counters as registry series. Every
+// server has one: WithMetrics points it at the caller's registry for
+// scraping; otherwise the series live on a private registry and serve
+// only as the backing store for the wire "stats" op.
+type serverMetrics struct {
+	sessionsTotal   *obs.Counter
+	grants          *obs.Counter
+	timeouts        *obs.Counter
+	cancels         *obs.Counter
+	forceReleases   *obs.Counter
+	foreignReleases *obs.Counter
+	idleReaps       *obs.Counter
+	waitMS          *obs.Histogram
+}
+
+// newServerMetrics registers the locksrv families on reg for s. The
+// gauges read the server's live state at scrape time, so one server
+// per registry.
+func newServerMetrics(reg *obs.Registry, s *Server) *serverMetrics {
+	reg.NewGaugeFunc("granulock_locksrv_sessions",
+		"Sessions currently open.",
+		func() float64 {
+			s.mu.Lock()
+			defer s.mu.Unlock()
+			return float64(len(s.sessions))
+		})
+	reg.NewGaugeFunc("granulock_locksrv_holders",
+		"Transactions currently holding locks in the served table.",
+		func() float64 { return float64(s.table.HoldersCount()) })
+	reg.NewGaugeFunc("granulock_locksrv_locked_granules",
+		"Granules with at least one holder in the served table.",
+		func() float64 { return float64(s.table.LockedGranules()) })
+	reg.NewGaugeFunc("granulock_locksrv_waiters",
+		"Requests currently parked in the served table.",
+		func() float64 { return float64(s.table.WaitersCount()) })
+	return &serverMetrics{
+		sessionsTotal: reg.NewCounter("granulock_locksrv_sessions_opened_total",
+			"Sessions ever opened."),
+		grants: reg.NewCounter("granulock_locksrv_grants_total",
+			"Acquires granted."),
+		timeouts: reg.NewCounter("granulock_locksrv_timeouts_total",
+			"Acquires expired before their grant (timeout_ms)."),
+		cancels: reg.NewCounter("granulock_locksrv_cancels_total",
+			"Acquires aborted by disconnect or drain."),
+		forceReleases: reg.NewCounter("granulock_locksrv_force_releases_total",
+			"Transactions force-released at session teardown."),
+		foreignReleases: reg.NewCounter("granulock_locksrv_foreign_releases_total",
+			"Releases rejected as not_owner."),
+		idleReaps: reg.NewCounter("granulock_locksrv_idle_reaps_total",
+			"Sessions reaped for idleness."),
+		waitMS: reg.NewHistogram("granulock_locksrv_acquire_wait_ms",
+			"Acquire wait time in milliseconds (granted or timed out).",
+			obs.ExpBuckets(0.5, 2, 16)), // 0.5ms .. ~16s
+	}
 }
 
 // ServerOption configures a Server.
@@ -234,6 +285,16 @@ func WithWriteTimeout(d time.Duration) ServerOption {
 	return func(s *Server) { s.writeTimeout = d }
 }
 
+// WithMetrics registers the service's metric families on reg (family
+// prefix granulock_locksrv_): session/grant/timeout/cancel/
+// force-release counters, an acquire-wait histogram, and scrape-time
+// gauges for open sessions and table occupancy. One server per
+// registry: the gauges read this server's state. Without this option
+// the same counters back the wire "stats" op from a private registry.
+func WithMetrics(reg *obs.Registry) ServerOption {
+	return func(s *Server) { s.om = newServerMetrics(reg, s) }
+}
+
 // NewServer returns a Server around table (a fresh table if nil)
 // accepting on lis.
 func NewServer(lis net.Listener, table *lockmgr.Table, opts ...ServerOption) *Server {
@@ -250,6 +311,9 @@ func NewServer(lis net.Listener, table *lockmgr.Table, opts ...ServerOption) *Se
 	}
 	for _, o := range opts {
 		o(s)
+	}
+	if s.om == nil {
+		s.om = newServerMetrics(obs.NewRegistry(), s)
 	}
 	return s
 }
@@ -288,7 +352,7 @@ func (s *Server) Serve() error {
 		s.sessions[sess] = struct{}{}
 		s.wg.Add(1)
 		s.mu.Unlock()
-		s.sessionsTotal.Add(1)
+		s.om.sessionsTotal.Inc()
 		go s.handle(ctx, sess)
 	}
 }
@@ -407,7 +471,7 @@ func (s *Server) handle(ctx context.Context, sess *session) {
 			var req Request
 			if err := dec.Decode(&req); err != nil {
 				if sr.reaped {
-					s.idleReaps.Add(1)
+					s.om.idleReaps.Inc()
 					sess.shutdown() // nothing in flight; ends the session
 				} else if !s.draining() {
 					// Real disconnect (or garbage): abort any in-flight
@@ -462,7 +526,7 @@ func (s *Server) handle(ctx context.Context, sess *session) {
 			s.mu.Unlock()
 		}
 		if forced > 0 {
-			s.forceReleases.Add(forced)
+			s.om.forceReleases.Add(forced)
 		}
 	}()
 
@@ -479,6 +543,11 @@ func (s *Server) handle(ctx context.Context, sess *session) {
 		}
 	}
 }
+
+// Draining reports whether Close has begun — the server still finishes
+// in-flight requests but accepts no new connections. Health endpoints
+// use it to flip a readiness probe before the listener disappears.
+func (s *Server) Draining() bool { return s.draining() }
 
 // draining reports whether Close has begun.
 func (s *Server) draining() bool {
@@ -523,7 +592,7 @@ func (s *Server) executeRelease(ctx context.Context, sess *session, req *Request
 			if !closing && time.Now().After(raceDeadline) {
 				// Still owned by a session that looks alive after the
 				// race bound: a genuine foreign release.
-				s.foreignReleases.Add(1)
+				s.om.foreignReleases.Inc()
 				return Response{
 					Err:  fmt.Sprintf("transaction %d was granted on another session", req.Txn),
 					Code: CodeNotOwner,
@@ -612,19 +681,21 @@ func (s *Server) executeAcquire(ctx context.Context, sess *session, req *Request
 		}
 		break
 	}
-	s.waits.add(float64(time.Since(start)) / float64(time.Millisecond))
+	waitMS := float64(time.Since(start)) / float64(time.Millisecond)
+	s.waits.add(waitMS)
+	s.om.waitMS.Observe(waitMS)
 	switch {
 	case err == nil:
 		s.mu.Lock()
 		s.owners[txn] = sess
 		s.mu.Unlock()
 		owned[txn] = struct{}{}
-		s.grants.Add(1)
+		s.om.grants.Inc()
 		return Response{OK: true}
 	case errors.Is(err, context.DeadlineExceeded):
 		// The per-acquire deadline expired; the claim was withdrawn and
 		// the transaction holds nothing.
-		s.timeouts.Add(1)
+		s.om.timeouts.Inc()
 		return Response{
 			Err:  fmt.Sprintf("acquire timed out after %dms", req.TimeoutMS),
 			Code: CodeTimeout,
@@ -632,7 +703,7 @@ func (s *Server) executeAcquire(ctx context.Context, sess *session, req *Request
 	case errors.Is(err, context.Canceled):
 		// The session's context was cancelled: disconnect or forced
 		// drain.
-		s.cancels.Add(1)
+		s.om.cancels.Inc()
 		return Response{Err: "session closed", Code: CodeClosed}
 	default:
 		// Protocol misuse (e.g. a second conservative claim while the
@@ -649,16 +720,16 @@ func (s *Server) serverStats() ServerStats {
 	p50, p90, p99, n := s.waits.quantiles()
 	return ServerStats{
 		Sessions:        sessions,
-		SessionsTotal:   s.sessionsTotal.Load(),
+		SessionsTotal:   s.om.sessionsTotal.Value(),
 		Holders:         int64(s.table.HoldersCount()),
 		LockedGranules:  int64(s.table.LockedGranules()),
 		Waiters:         int64(s.table.WaitersCount()),
-		Grants:          s.grants.Load(),
-		Timeouts:        s.timeouts.Load(),
-		Cancels:         s.cancels.Load(),
-		ForceReleases:   s.forceReleases.Load(),
-		ForeignReleases: s.foreignReleases.Load(),
-		IdleReaps:       s.idleReaps.Load(),
+		Grants:          s.om.grants.Value(),
+		Timeouts:        s.om.timeouts.Value(),
+		Cancels:         s.om.cancels.Value(),
+		ForceReleases:   s.om.forceReleases.Value(),
+		ForeignReleases: s.om.foreignReleases.Value(),
+		IdleReaps:       s.om.idleReaps.Value(),
 		WaitP50MS:       p50,
 		WaitP90MS:       p90,
 		WaitP99MS:       p99,

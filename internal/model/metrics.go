@@ -1,0 +1,168 @@
+package model
+
+import (
+	"granulock/internal/obs"
+)
+
+// Metric family names the simulation writes. Exported through the
+// docs (docs/OBSERVABILITY.md) rather than as Go constants; listed
+// here once so the observer and the recorder agree.
+const (
+	simEventsName   = "granulock_sim_events_total"
+	simResponseName = "granulock_sim_response_time_units"
+	simTxnLocksName = "granulock_sim_txn_locks"
+)
+
+// metricsObserver is an Observer mirroring every simulation lifecycle
+// event into a Registry: per-kind event counters, a response-time
+// histogram and a locks-per-transaction histogram. It is attached only
+// when a registry is supplied (granulock.WithMetrics); with none, the
+// simulation runs the exact pre-instrumentation code path.
+type metricsObserver struct {
+	arrivals    *obs.Counter
+	requests    *obs.Counter
+	grants      *obs.Counter
+	denials     *obs.Counter
+	completions *obs.Counter
+	response    *obs.Histogram
+	txnLocks    *obs.Histogram
+}
+
+// NewMetricsObserver returns an Observer that records the simulation's
+// lifecycle events into reg. Families are registered idempotently, so
+// successive runs against one registry accumulate.
+func NewMetricsObserver(reg *obs.Registry) Observer {
+	events := reg.NewCounterVec(simEventsName,
+		"Simulation lifecycle events by kind (arrive, request, grant, deny, complete).", "kind")
+	return &metricsObserver{
+		arrivals:    events.With("arrive"),
+		requests:    events.With("request"),
+		grants:      events.With("grant"),
+		denials:     events.With("deny"),
+		completions: events.With("complete"),
+		response: reg.NewHistogram(simResponseName,
+			"Transaction response time in simulated time units.",
+			obs.ExpBuckets(1, 2, 14)), // 1 .. 8192 time units
+		txnLocks: reg.NewHistogram(simTxnLocksName,
+			"Locks requested per transaction.",
+			obs.ExpBuckets(1, 2, 12)), // 1 .. 2048 locks
+	}
+}
+
+// TxnArrived implements Observer.
+func (m *metricsObserver) TxnArrived(_, _, locks int, _ float64) {
+	m.arrivals.Inc()
+	m.txnLocks.Observe(float64(locks))
+}
+
+// LockRequested implements Observer.
+func (m *metricsObserver) LockRequested(int, float64) { m.requests.Inc() }
+
+// LockGranted implements Observer.
+func (m *metricsObserver) LockGranted(int, float64) { m.grants.Inc() }
+
+// LockDenied implements Observer.
+func (m *metricsObserver) LockDenied(int, int, float64) { m.denials.Inc() }
+
+// TxnCompleted implements Observer.
+func (m *metricsObserver) TxnCompleted(_ int, response, _ float64) {
+	m.completions.Inc()
+	m.response.Observe(response)
+}
+
+// RecordMetrics publishes a finished run's output parameters into reg
+// as gauges: the headline quantities plus the per-resource busy-time
+// decomposition (total vs lock-management time on CPUs and disks) the
+// paper's figures are built from. Called by the facade after each
+// instrumented run; the gauges hold the latest run's values.
+func RecordMetrics(reg *obs.Registry, m Metrics) {
+	reg.NewGauge("granulock_sim_throughput",
+		"Last run's throughput in transactions per time unit.").Set(m.Throughput)
+	reg.NewGauge("granulock_sim_mean_response_units",
+		"Last run's mean transaction response time in time units.").Set(m.MeanResponse)
+	reg.NewGauge("granulock_sim_denial_rate",
+		"Last run's fraction of lock requests denied.").Set(m.DenialRate)
+	reg.NewGauge("granulock_sim_mean_active",
+		"Last run's time-average number of active transactions.").Set(m.MeanActive)
+	busy := reg.NewGaugeVec("granulock_sim_busy_time_units",
+		"Last run's aggregate busy time over the measurement window, by resource and work class.",
+		"resource", "class")
+	busy.With("cpu", "total").Set(m.TotCPUs)
+	busy.With("cpu", "lock").Set(m.LockCPUs)
+	busy.With("cpu", "useful").Set(m.UsefulCPUs)
+	busy.With("disk", "total").Set(m.TotIOs)
+	busy.With("disk", "lock").Set(m.LockIOs)
+	busy.With("disk", "useful").Set(m.UsefulIOs)
+	counts := reg.NewGaugeVec("granulock_sim_run_counts",
+		"Last run's integer output parameters.", "quantity")
+	counts.With("completions").Set(float64(m.TotCom))
+	counts.With("lock_requests").Set(float64(m.LockRequests))
+	counts.With("lock_denials").Set(float64(m.LockDenials))
+	counts.With("completed_entities").Set(float64(m.CompletedEntities))
+	counts.With("events").Set(float64(m.Events))
+}
+
+// Tee fans Observer callbacks out to every non-nil observer in order.
+// Observers that also implement ClassObserver receive class events.
+func Tee(observers ...Observer) Observer {
+	var live []Observer
+	for _, o := range observers {
+		if o != nil {
+			live = append(live, o)
+		}
+	}
+	switch len(live) {
+	case 0:
+		return NopObserver{}
+	case 1:
+		return live[0]
+	}
+	return teeObserver(live)
+}
+
+// teeObserver forwards to each member.
+type teeObserver []Observer
+
+// TxnArrived implements Observer.
+func (t teeObserver) TxnArrived(id, entities, locks int, at float64) {
+	for _, o := range t {
+		o.TxnArrived(id, entities, locks, at)
+	}
+}
+
+// LockRequested implements Observer.
+func (t teeObserver) LockRequested(id int, at float64) {
+	for _, o := range t {
+		o.LockRequested(id, at)
+	}
+}
+
+// LockGranted implements Observer.
+func (t teeObserver) LockGranted(id int, at float64) {
+	for _, o := range t {
+		o.LockGranted(id, at)
+	}
+}
+
+// LockDenied implements Observer.
+func (t teeObserver) LockDenied(id, blockerID int, at float64) {
+	for _, o := range t {
+		o.LockDenied(id, blockerID, at)
+	}
+}
+
+// TxnCompleted implements Observer.
+func (t teeObserver) TxnCompleted(id int, response, at float64) {
+	for _, o := range t {
+		o.TxnCompleted(id, response, at)
+	}
+}
+
+// TxnClassCompleted implements ClassObserver.
+func (t teeObserver) TxnClassCompleted(id, class int, response, at float64) {
+	for _, o := range t {
+		if co, ok := o.(ClassObserver); ok {
+			co.TxnClassCompleted(id, class, response, at)
+		}
+	}
+}

@@ -1,6 +1,8 @@
 package model
 
 import (
+	"context"
+
 	"granulock/internal/lockmgr"
 	"granulock/internal/partition"
 	"granulock/internal/rng"
@@ -98,12 +100,52 @@ func Run(p Params) (Metrics, error) {
 // allowed). The observer sees every event including those inside the
 // warmup window; the returned Metrics cover (Warmup, TMax] only.
 func RunObserved(p Params, obs Observer) (Metrics, error) {
-	if err := p.Validate(); err != nil {
+	s, err := startRun(p, obs)
+	if err != nil {
 		return Metrics{}, err
+	}
+	s.eng.RunUntil(p.TMax)
+	return s.metrics(), nil
+}
+
+// cancelCheckEvery is how many events RunContext executes between
+// context checks — large enough that the check is free relative to the
+// event work, small enough that cancellation lands within microseconds.
+const cancelCheckEvery = 4096
+
+// RunContext is RunObserved with cooperative cancellation: the event
+// loop runs in bounded chunks and stops with ctx.Err() if the context
+// is cancelled between chunks. A completed run returns the same
+// Metrics RunObserved would — the chunking changes when the loop
+// checks for cancellation, never the event order.
+func RunContext(ctx context.Context, p Params, obs Observer) (Metrics, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	s, err := startRun(p, obs)
+	if err != nil {
+		return Metrics{}, err
+	}
+	for {
+		if err := ctx.Err(); err != nil {
+			return Metrics{}, err
+		}
+		if s.eng.RunUntilSteps(p.TMax, cancelCheckEvery) < cancelCheckEvery {
+			break
+		}
+	}
+	return s.metrics(), nil
+}
+
+// startRun validates, wires and seeds a simulation, ready for its
+// event loop.
+func startRun(p Params, obs Observer) (*simulation, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
 	}
 	s, err := newSimulation(p)
 	if err != nil {
-		return Metrics{}, err
+		return nil, err
 	}
 	if obs != nil {
 		s.obs = obs
@@ -112,8 +154,7 @@ func RunObserved(p Params, obs Observer) (Metrics, error) {
 	if p.Warmup > 0 {
 		s.eng.At(p.Warmup, s.captureBaseline)
 	}
-	s.eng.RunUntil(p.TMax)
-	return s.metrics(), nil
+	return s, nil
 }
 
 // captureBaseline snapshots the accumulators at the warmup boundary.

@@ -1,0 +1,136 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+)
+
+// TextContentType is the Content-Type of the Prometheus text
+// exposition format version this package writes.
+const TextContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// WriteTo renders every family in the Prometheus text exposition
+// format (version 0.0.4): families in name order, one # HELP and
+// # TYPE header each, series in label-value order, histograms as
+// cumulative _bucket/_sum/_count. The output is deterministic for a
+// given registry state, so tests can golden it.
+func (r *Registry) WriteTo(w io.Writer) (int64, error) {
+	cw := &countingWriter{w: bufio.NewWriter(w)}
+	for _, f := range r.sortedFamilies() {
+		children := f.sortedChildren()
+		if len(children) == 0 {
+			continue
+		}
+		fmt.Fprintf(cw, "# HELP %s %s\n", f.name, escapeHelp(f.help))
+		fmt.Fprintf(cw, "# TYPE %s %s\n", f.name, f.kind)
+		for _, ch := range children {
+			switch {
+			case ch.fn != nil:
+				writeSample(cw, f.name, f.labels, ch.values, "", "", formatFloat(ch.fn()))
+			case f.kind == KindHistogram:
+				cum, count, sum := ch.h.snapshot()
+				for i, bound := range f.bounds {
+					writeSample(cw, f.name+"_bucket", f.labels, ch.values, "le", formatFloat(bound),
+						strconv.FormatInt(cum[i], 10))
+				}
+				writeSample(cw, f.name+"_bucket", f.labels, ch.values, "le", "+Inf",
+					strconv.FormatInt(cum[len(cum)-1], 10))
+				writeSample(cw, f.name+"_sum", f.labels, ch.values, "", "", formatFloat(sum))
+				writeSample(cw, f.name+"_count", f.labels, ch.values, "", "", strconv.FormatInt(count, 10))
+			case f.kind == KindCounter:
+				writeSample(cw, f.name, f.labels, ch.values, "", "", strconv.FormatInt(ch.c.Value(), 10))
+			default:
+				writeSample(cw, f.name, f.labels, ch.values, "", "", formatFloat(ch.g.Value()))
+			}
+		}
+		if cw.err != nil {
+			return cw.n, cw.err
+		}
+	}
+	if err := cw.w.(*bufio.Writer).Flush(); err != nil && cw.err == nil {
+		cw.err = err
+	}
+	return cw.n, cw.err
+}
+
+// Handler returns an http.Handler serving the registry at scrape time
+// — mount it at /metrics.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", TextContentType)
+		r.WriteTo(w)
+	})
+}
+
+// writeSample renders one exposition line; extraName/extraValue append
+// a synthetic label (the histogram "le").
+func writeSample(w io.Writer, name string, labels, values []string, extraName, extraValue, rendered string) {
+	if len(labels) == 0 && extraName == "" {
+		fmt.Fprintf(w, "%s %s\n", name, rendered)
+		return
+	}
+	var b strings.Builder
+	b.WriteString(name)
+	b.WriteByte('{')
+	for i, l := range labels {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(values[i]))
+		b.WriteByte('"')
+	}
+	if extraName != "" {
+		if len(labels) > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(extraName)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(extraValue))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	fmt.Fprintf(w, "%s %s\n", b.String(), rendered)
+}
+
+// formatFloat renders a float the way Prometheus expects: shortest
+// round-trip representation. strconv already spells the specials as
+// +Inf, -Inf and NaN, matching the exposition grammar.
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// escapeHelp escapes a HELP string (backslash and newline).
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// escapeLabel escapes a label value (backslash, quote, newline).
+func escapeLabel(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, `"`, `\"`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// countingWriter tracks bytes written and the first error.
+type countingWriter struct {
+	w   io.Writer
+	n   int64
+	err error
+}
+
+func (c *countingWriter) Write(p []byte) (int, error) {
+	if c.err != nil {
+		return 0, c.err
+	}
+	n, err := c.w.Write(p)
+	c.n += int64(n)
+	c.err = err
+	return n, err
+}

@@ -1,0 +1,178 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// ParseText parses a Prometheus text-format exposition (the format
+// WriteTo writes) back into samples — a hand-rolled, stdlib-only
+// parser used by the golden tests and the lockd admin smoke test to
+// assert that /metrics output is well-formed. It validates the line
+// grammar strictly: metric and label names must match the Prometheus
+// character set, label values must be correctly quoted and escaped,
+// values must parse as floats, and # HELP / # TYPE comments must be
+// well-formed (TYPE must name a known metric type).
+func ParseText(r io.Reader) ([]Sample, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	var out []Sample
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			if err := checkComment(line); err != nil {
+				return out, fmt.Errorf("obs: line %d: %w", lineNo, err)
+			}
+			continue
+		}
+		s, err := parseSampleLine(line)
+		if err != nil {
+			return out, fmt.Errorf("obs: line %d: %w", lineNo, err)
+		}
+		out = append(out, s)
+	}
+	if err := sc.Err(); err != nil {
+		return out, fmt.Errorf("obs: scan: %w", err)
+	}
+	return out, nil
+}
+
+// checkComment validates a # HELP / # TYPE line; other comments are
+// free-form and pass.
+func checkComment(line string) error {
+	fields := strings.SplitN(line, " ", 4)
+	if len(fields) < 2 {
+		return nil // bare "#" comment
+	}
+	switch fields[1] {
+	case "HELP":
+		if len(fields) < 3 || !validName(fields[2]) {
+			return fmt.Errorf("malformed HELP comment %q", line)
+		}
+	case "TYPE":
+		if len(fields) < 4 || !validName(fields[2]) {
+			return fmt.Errorf("malformed TYPE comment %q", line)
+		}
+		switch fields[3] {
+		case "counter", "gauge", "histogram", "summary", "untyped":
+		default:
+			return fmt.Errorf("unknown metric type %q", fields[3])
+		}
+	}
+	return nil
+}
+
+// parseSampleLine parses `name[{label="value",...}] value [timestamp]`.
+func parseSampleLine(line string) (Sample, error) {
+	i := 0
+	n := len(line)
+	// Metric name.
+	for i < n && isNameChar(line[i], i) {
+		i++
+	}
+	name := line[:i]
+	if !validName(name) {
+		return Sample{}, fmt.Errorf("invalid metric name in %q", line)
+	}
+	labels := map[string]string{}
+	if i < n && line[i] == '{' {
+		i++
+		for {
+			if i >= n {
+				return Sample{}, fmt.Errorf("unterminated label set in %q", line)
+			}
+			if line[i] == '}' {
+				i++
+				break
+			}
+			start := i
+			for i < n && isNameChar(line[i], i-start) {
+				i++
+			}
+			lname := line[start:i]
+			if !validName(lname) {
+				return Sample{}, fmt.Errorf("invalid label name in %q", line)
+			}
+			if i >= n || line[i] != '=' {
+				return Sample{}, fmt.Errorf("missing '=' after label %q in %q", lname, line)
+			}
+			i++
+			if i >= n || line[i] != '"' {
+				return Sample{}, fmt.Errorf("unquoted value for label %q in %q", lname, line)
+			}
+			i++
+			var val strings.Builder
+			for {
+				if i >= n {
+					return Sample{}, fmt.Errorf("unterminated label value in %q", line)
+				}
+				c := line[i]
+				if c == '"' {
+					i++
+					break
+				}
+				if c == '\\' {
+					i++
+					if i >= n {
+						return Sample{}, fmt.Errorf("dangling escape in %q", line)
+					}
+					switch line[i] {
+					case '\\':
+						val.WriteByte('\\')
+					case '"':
+						val.WriteByte('"')
+					case 'n':
+						val.WriteByte('\n')
+					default:
+						return Sample{}, fmt.Errorf("bad escape \\%c in %q", line[i], line)
+					}
+					i++
+					continue
+				}
+				val.WriteByte(c)
+				i++
+			}
+			if _, dup := labels[lname]; dup {
+				return Sample{}, fmt.Errorf("duplicate label %q in %q", lname, line)
+			}
+			labels[lname] = val.String()
+			if i < n && line[i] == ',' {
+				i++
+			}
+		}
+	}
+	rest := strings.Fields(line[i:])
+	if len(rest) < 1 || len(rest) > 2 {
+		return Sample{}, fmt.Errorf("expected value (and optional timestamp) in %q", line)
+	}
+	v, err := strconv.ParseFloat(rest[0], 64)
+	if err != nil {
+		return Sample{}, fmt.Errorf("bad sample value %q in %q", rest[0], line)
+	}
+	if len(rest) == 2 {
+		if _, err := strconv.ParseInt(rest[1], 10, 64); err != nil {
+			return Sample{}, fmt.Errorf("bad timestamp %q in %q", rest[1], line)
+		}
+	}
+	return Sample{Name: name, Labels: labels, Value: v}, nil
+}
+
+// isNameChar reports whether c may appear at position i of a name.
+func isNameChar(c byte, i int) bool {
+	switch {
+	case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
+		return true
+	case c >= '0' && c <= '9':
+		return i > 0
+	default:
+		return false
+	}
+}

@@ -151,6 +151,25 @@ func (e *Engine) RunUntil(horizon Time) uint64 {
 	return e.steps - start
 }
 
+// RunUntilSteps is RunUntil with a step budget: it stops after max
+// events even if more remain before the horizon, so a caller can
+// interleave the event loop with cancellation checks. It returns the
+// number of events executed; a return below max means the horizon was
+// reached (the clock is advanced to exactly horizon, as in RunUntil)
+// and further calls execute nothing.
+func (e *Engine) RunUntilSteps(horizon Time, max uint64) uint64 {
+	start := e.steps
+	for len(e.queue) > 0 && e.queue[0].t <= horizon && e.steps-start < max {
+		e.Step()
+	}
+	if len(e.queue) == 0 || e.queue[0].t > horizon {
+		if e.now < horizon {
+			e.now = horizon
+		}
+	}
+	return e.steps - start
+}
+
 // Run executes events until the queue is empty and returns the number of
 // events executed. Use RunUntil for models that generate work forever.
 func (e *Engine) Run() uint64 {

@@ -27,14 +27,29 @@ const (
 // Event is one trace record. Fields are populated per kind: Entities
 // and Locks for arrivals, Blocker for denials, Response for
 // completions.
+//
+// Blocker is a pointer, not a plain int with omitempty: transaction
+// ids are arbitrary (an external producer may start at 0), and
+// omitempty on an int silently drops a zero id, so a denial blocked by
+// transaction 0 would round-trip as "no blocker". The pointer encodes
+// presence explicitly; use BlockerID for convenient access.
 type Event struct {
 	Kind     EventKind `json:"kind"`
 	At       float64   `json:"at"`
 	Txn      int       `json:"txn"`
 	Entities int       `json:"entities,omitempty"`
 	Locks    int       `json:"locks,omitempty"`
-	Blocker  int       `json:"blocker,omitempty"`
+	Blocker  *int      `json:"blocker,omitempty"`
 	Response float64   `json:"response,omitempty"`
+}
+
+// BlockerID returns the blocking transaction's id and whether the
+// event carries one (only denials do).
+func (e Event) BlockerID() (int, bool) {
+	if e.Blocker == nil {
+		return 0, false
+	}
+	return *e.Blocker, true
 }
 
 // Writer is a model.Observer that streams events as JSON lines. Errors
@@ -87,7 +102,7 @@ func (t *Writer) LockGranted(id int, at float64) {
 
 // LockDenied implements model.Observer.
 func (t *Writer) LockDenied(id, blockerID int, at float64) {
-	t.emit(Event{Kind: EventDeny, At: at, Txn: id, Blocker: blockerID})
+	t.emit(Event{Kind: EventDeny, At: at, Txn: id, Blocker: &blockerID})
 }
 
 // TxnCompleted implements model.Observer.

@@ -44,11 +44,82 @@ func TestWriterRoundTrip(t *testing.T) {
 	if events[0].Kind != EventArrive || events[0].Entities != 100 || events[0].Locks != 2 {
 		t.Fatalf("arrive event %+v", events[0])
 	}
-	if events[3].Kind != EventDeny || events[3].Blocker != 1 {
+	if b, ok := events[3].BlockerID(); events[3].Kind != EventDeny || !ok || b != 1 {
 		t.Fatalf("deny event %+v", events[3])
 	}
 	if events[4].Response != 5.5 {
 		t.Fatalf("complete event %+v", events[4])
+	}
+}
+
+// TestZeroIDRoundTrip is the regression for the omitempty zero-value
+// bug: transaction 0 as the denied party and as the blocker must both
+// survive a write/read cycle (omitempty on a plain int would silently
+// drop the zero blocker, turning "blocked by txn 0" into "no
+// blocker").
+func TestZeroIDRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	w.LockDenied(0, 0, 1.5)
+	w.LockRequested(0, 1.0)
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"blocker":0`) {
+		t.Fatalf("blocker 0 not serialized: %s", buf.String())
+	}
+	events, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, ok := events[0].BlockerID()
+	if !ok || b != 0 || events[0].Txn != 0 {
+		t.Fatalf("deny by txn 0 did not round-trip: %+v", events[0])
+	}
+	if _, ok := events[1].BlockerID(); ok {
+		t.Fatalf("request event grew a blocker: %+v", events[1])
+	}
+}
+
+// TestAllKindsRoundTrip writes one event of every kind and checks each
+// field survives the JSON cycle exactly.
+func TestAllKindsRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	w.TxnArrived(7, 120, 3, 0.25)
+	w.LockRequested(7, 0.5)
+	w.LockGranted(7, 0.75)
+	w.LockDenied(8, 7, 1.0)
+	w.TxnCompleted(7, 4.25, 4.5)
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	events, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blocker := 7
+	want := []Event{
+		{Kind: EventArrive, At: 0.25, Txn: 7, Entities: 120, Locks: 3},
+		{Kind: EventRequest, At: 0.5, Txn: 7},
+		{Kind: EventGrant, At: 0.75, Txn: 7},
+		{Kind: EventDeny, At: 1.0, Txn: 8, Blocker: &blocker},
+		{Kind: EventComplete, At: 4.5, Txn: 7, Response: 4.25},
+	}
+	if len(events) != len(want) {
+		t.Fatalf("parsed %d events, want %d", len(events), len(want))
+	}
+	for i, e := range events {
+		wv := want[i]
+		if e.Kind != wv.Kind || e.At != wv.At || e.Txn != wv.Txn ||
+			e.Entities != wv.Entities || e.Locks != wv.Locks || e.Response != wv.Response {
+			t.Fatalf("event %d: got %+v want %+v", i, e, wv)
+		}
+		gb, gok := e.BlockerID()
+		wb, wok := wv.BlockerID()
+		if gok != wok || gb != wb {
+			t.Fatalf("event %d blocker: got (%d,%v) want (%d,%v)", i, gb, gok, wb, wok)
+		}
 	}
 }
 

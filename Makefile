@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race bench locknet verify
+.PHONY: build test vet race bench benchsrv locknet verify
 
 build:
 	$(GO) build ./...
@@ -17,26 +17,40 @@ race:
 # bench regenerates BENCH_model.json, the performance-trajectory file
 # (full-length figure sweeps; see DESIGN.md §1.1 for the schema).
 bench:
-	$(GO) run ./cmd/bench -out BENCH_model.json
+	$(GO) run ./cmd/bench -suite model -out BENCH_model.json
+
+# benchsrv regenerates BENCH_locksrv.json, the lock-service throughput
+# report (protocol v1 vs v2, 1 vs 16 stripes; see docs/LOCKSRV.md).
+# Compare a fresh run against the checked-in report with:
+#   go run ./cmd/bench -suite locksrv -out /tmp/new.json -compare BENCH_locksrv.json
+# which exits nonzero on a >10% throughput regression.
+benchsrv:
+	$(GO) run ./cmd/bench -suite locksrv -out BENCH_locksrv.json
 
 # locknet is the ISSUE 3 acceptance scenario: 1000 transactions through
 # the network lock service behind the fault-injecting transport (drops,
 # delays, partial writes); runNet fails unless the drain strands zero
-# granules. See docs/LOCKSRV.md.
+# granules. Runs once per wire protocol. See docs/LOCKSRV.md.
 locknet:
 	$(GO) run ./cmd/locksim -net 8 -nettxns 1000 -netfaults -ltot 100
+	$(GO) run ./cmd/locksim -net 8 -nettxns 1000 -netfaults -netproto v2 -ltot 100
 
 # verify is the PR gate: static checks, the race-enabled test suite
 # (which includes the locksrv fault-injection suite in
-# internal/locksrv/harden_test.go), the lockd admin-endpoint smoke
-# test (real lock traffic scraped through /metrics and validated as
-# Prometheus text), the faulty network lock-service smoke run, and a
-# quick benchmark smoke run that regenerates BENCH_model.json with
-# shortened figure sweeps (engine microbenchmarks still run at full
-# fidelity).
+# internal/locksrv/harden_test.go and the protocol v2 suite in
+# proto2_test.go), the lockd admin-endpoint smoke test (real lock
+# traffic scraped through /metrics and validated as Prometheus text),
+# the faulty network lock-service smoke run under both wire protocols,
+# and quick benchmark smoke runs: the model suite regenerates
+# BENCH_model.json with shortened figure sweeps, and the lock-service
+# suite exercises both protocols and stripe counts end to end (its
+# quick report goes to a scratch path — the checked-in
+# BENCH_locksrv.json is full-fidelity only, via `make benchsrv`).
 verify:
 	$(GO) vet ./...
 	$(GO) test -race ./...
 	$(GO) test -race -count=2 -run 'TestAdmin' ./cmd/lockd/
 	$(GO) run ./cmd/locksim -net 8 -nettxns 1000 -netfaults -ltot 100
-	$(GO) run ./cmd/bench -quick -out BENCH_model.json
+	$(GO) run ./cmd/locksim -net 8 -nettxns 1000 -netfaults -netproto v2 -ltot 100
+	$(GO) run ./cmd/bench -suite model -quick -out BENCH_model.json
+	$(GO) run ./cmd/bench -suite locksrv -quick -out /tmp/BENCH_locksrv.quick.json

@@ -1,15 +1,18 @@
-// Command bench regenerates BENCH_model.json, the repository's
-// performance-trajectory file: machine-readable ns/op, allocs/op and
-// events/sec for the raw simulation engine and for two representative
-// figure sweeps, each compared against the pre-optimization baseline
-// recorded at the commit that introduced this harness. Run it from the
-// repository root:
+// Command bench regenerates the repository's performance-trajectory
+// files: machine-readable throughput and allocation numbers, each
+// compared against a recorded baseline. It has two suites:
 //
-//	go run ./cmd/bench -out BENCH_model.json
+//	go run ./cmd/bench -suite model   -out BENCH_model.json
+//	go run ./cmd/bench -suite locksrv -out BENCH_locksrv.json
 //
-// The -quick flag shortens the figure sweeps (TMax=100 instead of the
-// full 250) for CI smoke runs; engine microbenchmarks always run at full
-// fidelity, so the headline engine speedup is comparable across modes.
+// The model suite measures the simulation engine and two representative
+// figure sweeps. The locksrv suite measures the network lock service —
+// wire protocol v1 vs v2, serial vs pipelined vs batched, lock table
+// sharded vs not — plus lockmgr microbenchmarks (see locksrv.go).
+//
+// The -quick flag shortens the workloads for CI smoke runs; -compare
+// OLD.json re-reads a previous report and exits nonzero if any
+// benchmark's throughput regressed by more than 10%.
 package main
 
 import (
@@ -18,6 +21,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -178,12 +182,60 @@ func record(name string, r testing.BenchmarkResult, eventsPerOp float64) entry {
 }
 
 func main() {
-	out := flag.String("out", "BENCH_model.json", "output path")
-	quick := flag.Bool("quick", false, "shorten figure sweeps for CI smoke runs")
+	suite := flag.String("suite", "model", "benchmark suite: model or locksrv")
+	out := flag.String("out", "", "output path (default BENCH_<suite>.json)")
+	quick := flag.Bool("quick", false, "shorten workloads for CI smoke runs")
+	compare := flag.String("compare", "", "previous report to diff against; exit nonzero on >10% throughput regression")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the suite run")
+	only := flag.String("run", "", "only run benchmarks whose name contains this substring (locksrv suite; skips comparisons)")
 	flag.Parse()
+	benchFilter = *only
 
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "bench:", err)
+			os.Exit(1)
+		}
+		pprof.StartCPUProfile(f)
+		defer pprof.StopCPUProfile()
+	}
+
+	if *out == "" {
+		*out = "BENCH_" + *suite + ".json"
+	}
+
+	var data []byte
+	var err error
+	switch *suite {
+	case "model":
+		data, err = runModel(*quick)
+	case "locksrv":
+		data, err = runLocksrv(*quick)
+	default:
+		err = fmt.Errorf("unknown suite %q (want model or locksrv)", *suite)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bench:", err)
+		os.Exit(1)
+	}
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "bench:", err)
+		os.Exit(1)
+	}
+	if *compare != "" {
+		if err := compareReports(data, *compare); err != nil {
+			fmt.Fprintln(os.Stderr, "bench:", err)
+			os.Exit(1)
+		}
+	}
+}
+
+// runModel executes the simulation-engine suite and returns the
+// marshalled BENCH_model.json document.
+func runModel(quick bool) ([]byte, error) {
 	tmax := 250.0
-	if *quick {
+	if quick {
 		tmax = 100
 	}
 
@@ -192,7 +244,7 @@ func main() {
 		Generated:  time.Now().UTC().Format(time.RFC3339),
 		GoVersion:  runtime.Version(),
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
-		Quick:      *quick,
+		Quick:      quick,
 	}
 
 	fmt.Fprintln(os.Stderr, "bench: sim.Engine/churn")
@@ -204,11 +256,10 @@ func main() {
 		fmt.Fprintln(os.Stderr, "bench: "+name)
 		r, eventsPerOp, err := figureBench(id, tmax)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "bench: %s: %v\n", name, err)
-			os.Exit(1)
+			return nil, fmt.Errorf("%s: %w", name, err)
 		}
 		e := record(name, r, eventsPerOp)
-		if *quick {
+		if quick {
 			// Quick figure runs are not comparable to the full-length
 			// baseline; keep the measurement, drop the comparison.
 			e.Baseline, e.SpeedupEventsPerSec, e.AllocsReduction = nil, 0, 0
@@ -218,14 +269,9 @@ func main() {
 
 	data, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "bench:", err)
-		os.Exit(1)
+		return nil, err
 	}
 	data = append(data, '\n')
-	if err := os.WriteFile(*out, data, 0o644); err != nil {
-		fmt.Fprintln(os.Stderr, "bench:", err)
-		os.Exit(1)
-	}
 	for _, e := range rep.Benchmarks {
 		fmt.Printf("%-26s %12.1f ns/op %10.0f allocs/op %14.0f events/sec", e.Name, e.NsPerOp, e.AllocsPerOp, e.EventsPerSec)
 		if e.Baseline != nil {
@@ -233,4 +279,71 @@ func main() {
 		}
 		fmt.Println()
 	}
+	return data, nil
+}
+
+// compBench is the schema-agnostic slice of one benchmark entry the
+// -compare mode needs: its name plus whichever throughput metric the
+// suite records.
+type compBench struct {
+	Name         string  `json:"name"`
+	OpsPerSec    float64 `json:"ops_per_sec"`
+	EventsPerSec float64 `json:"events_per_sec"`
+}
+
+func (b compBench) throughput() float64 {
+	if b.OpsPerSec > 0 {
+		return b.OpsPerSec
+	}
+	return b.EventsPerSec
+}
+
+type comparable struct {
+	Benchmarks []compBench `json:"benchmarks"`
+}
+
+// compareReports diffs the fresh report against a previous one and
+// fails on any benchmark whose throughput dropped more than 10%.
+// Benchmarks present on only one side are reported but never fail the
+// run (suites grow).
+func compareReports(newData []byte, oldPath string) error {
+	oldData, err := os.ReadFile(oldPath)
+	if err != nil {
+		return err
+	}
+	var oldRep, newRep comparable
+	if err := json.Unmarshal(oldData, &oldRep); err != nil {
+		return fmt.Errorf("%s: %w", oldPath, err)
+	}
+	if err := json.Unmarshal(newData, &newRep); err != nil {
+		return err
+	}
+	newBy := make(map[string]float64, len(newRep.Benchmarks))
+	for _, b := range newRep.Benchmarks {
+		newBy[b.Name] = b.throughput()
+	}
+	const tolerance = 0.10
+	var regressed []string
+	for _, old := range oldRep.Benchmarks {
+		was := old.throughput()
+		now, ok := newBy[old.Name]
+		if !ok {
+			fmt.Printf("compare: %-46s only in %s\n", old.Name, oldPath)
+			continue
+		}
+		if was <= 0 {
+			continue
+		}
+		ratio := now / was
+		status := "ok"
+		if ratio < 1-tolerance {
+			status = "REGRESSED"
+			regressed = append(regressed, old.Name)
+		}
+		fmt.Printf("compare: %-46s %14.0f -> %14.0f  (%.2fx) %s\n", old.Name, was, now, ratio, status)
+	}
+	if len(regressed) > 0 {
+		return fmt.Errorf("%d benchmark(s) regressed more than %.0f%%: %v", len(regressed), tolerance*100, regressed)
+	}
+	return nil
 }

@@ -17,6 +17,7 @@
 // graceful drain strands no granules:
 //
 //	locksim -net 8 -nettxns 1000 -netfaults -ltot 100
+//	locksim -net 8 -netproto v2 -netfaults -ltot 100   # binary pipelined protocol
 package main
 
 import (
@@ -67,11 +68,15 @@ func run(args []string, out *os.File) error {
 	netLocksPer := fs.Int("netlocksper", 4, "maximum granules claimed per -net transaction")
 	netTimeout := fs.Duration("nettimeout", 200*time.Millisecond, "per-acquire wait deadline for -net transactions")
 	netFaults := fs.Bool("netfaults", false, "inject transport faults (drops, delays, partial writes) into the -net clients")
+	netProto := fs.String("netproto", "v1", "wire protocol for the -net clients: v1 (JSON) or v2 (binary pipelined)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
 	if *netWorkers > 0 {
+		if *netProto != "v1" && *netProto != "v2" {
+			return fmt.Errorf("unknown -netproto %q (v1, v2)", *netProto)
+		}
 		return runNet(netConfig{
 			workers:  *netWorkers,
 			txns:     *netTxns,
@@ -79,6 +84,7 @@ func run(args []string, out *os.File) error {
 			locksPer: *netLocksPer,
 			timeout:  *netTimeout,
 			faults:   *netFaults,
+			proto:    *netProto,
 			seed:     *seed,
 			asJSON:   *asJSON,
 		}, out)

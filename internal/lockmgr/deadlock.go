@@ -9,7 +9,8 @@ package lockmgr
 // mutex. It is exported because the hierarchical table and the engine's
 // tests use it directly.
 type Detector struct {
-	out map[TxnID]map[TxnID]struct{}
+	out   map[TxnID]map[TxnID]struct{}
+	edges int // running edge count, so Edges() is O(1)
 }
 
 // NewDetector returns an empty waits-for graph.
@@ -27,30 +28,37 @@ func (d *Detector) AddEdge(waiter, holder TxnID) {
 		m = make(map[TxnID]struct{}, 2)
 		d.out[waiter] = m
 	}
-	m[holder] = struct{}{}
+	if _, dup := m[holder]; !dup {
+		m[holder] = struct{}{}
+		d.edges++
+	}
 }
 
 // RemoveWaiter removes every outgoing edge of txn (it stopped waiting).
 func (d *Detector) RemoveWaiter(txn TxnID) {
+	d.edges -= len(d.out[txn])
 	delete(d.out, txn)
 }
 
 // RemoveTxn removes txn entirely: its outgoing edges and every edge
 // pointing at it (it released its locks or terminated).
 func (d *Detector) RemoveTxn(txn TxnID) {
+	d.edges -= len(d.out[txn])
 	delete(d.out, txn)
 	for _, m := range d.out {
-		delete(m, txn)
+		if _, ok := m[txn]; ok {
+			delete(m, txn)
+			d.edges--
+		}
 	}
 }
 
-// Edges returns the number of edges in the graph (diagnostics).
+// Edges returns the number of edges in the graph. The count is
+// maintained incrementally, so release paths can consult it on every
+// call: an empty graph means no transaction is blocked and deadlock
+// bookkeeping can be skipped entirely.
 func (d *Detector) Edges() int {
-	n := 0
-	for _, m := range d.out {
-		n += len(m)
-	}
-	return n
+	return d.edges
 }
 
 // InCycle reports whether txn can reach itself through waits-for edges,

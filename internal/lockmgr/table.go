@@ -4,7 +4,9 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
+	"sync/atomic"
 
 	"granulock/internal/obs"
 )
@@ -68,19 +70,68 @@ type Stats struct {
 	Deadlocks int64 // claim-as-needed waits aborted as deadlock victims
 }
 
+func (s *Stats) add(o Stats) {
+	s.Grants += o.Grants
+	s.Blocks += o.Blocks
+	s.Deadlocks += o.Deadlocks
+}
+
 // Table is a granule lock table supporting both conservative
 // (all-or-nothing preclaim, deadlock-free) and incremental
 // (claim-as-needed, deadlock-detected) acquisition. All methods are safe
 // for concurrent use.
+//
+// The table is striped: granules hash onto a power-of-two number of
+// shards (WithShards, default 1), each with its own mutex, granule map,
+// claim queue and activity counters, so uncontended traffic on distinct
+// granules scales with cores instead of serializing behind one table
+// mutex. Multi-granule operations (conservative claims, ReleaseAll) lock
+// every involved shard in canonical ascending index order — the
+// shard-ordered discipline that keeps the stripes themselves
+// deadlock-free. Per-transaction hold sets are striped separately by
+// transaction id, and the waits-for deadlock Detector sits behind its
+// own dedicated mutex that is touched only on block/unblock transitions,
+// never on the uncontended-grant fast path. With one shard the table
+// behaves exactly as the historical single-mutex implementation (the
+// simulation model keeps that default, so golden runs are unaffected).
 type Table struct {
+	shards []*shard
+	mask   uint64
+	txns   []*txnShard
+	strict bool
+
+	// The waits-for graph is global (deadlock cycles cross shards) and
+	// guarded by its own mutex, ordered after every shard and txn-stripe
+	// lock. detEdges mirrors det.Edges() so release paths can skip the
+	// detector entirely while nothing in the table is blocked.
+	detMu    sync.Mutex
+	det      *Detector
+	detEdges atomic.Int64
+
+	// claimSeq orders parked conservative claims globally. It is drawn
+	// while holding every shard of the claim, so per-shard queue order
+	// always agrees with seq order for claims that share a shard.
+	claimSeq atomic.Uint64
+
+	om *tableMetrics // nil unless WithMetrics attached
+}
+
+// shard is one granule stripe: a slice of the lock table guarded by its
+// own mutex.
+type shard struct {
 	mu       sync.Mutex
 	granules map[Granule]*granuleState
-	held     map[TxnID]map[Granule]Mode
-	claimQ   []*claimWaiter // FIFO queue of conservative preclaims
-	strict   bool
-	detector *Detector
+	claimQ   []*claimWaiter // FIFO (by claim seq) of parked claims touching this shard
 	stats    Stats
-	om       *tableMetrics // nil unless WithMetrics attached
+}
+
+// txnShard is one stripe of the per-transaction hold sets, keyed by
+// transaction-id hash. Its lock is only ever taken while holding the
+// relevant granule-shard locks or alone, one txn stripe at a time, so it
+// cannot participate in a lock-order cycle.
+type txnShard struct {
+	mu   sync.Mutex
+	held map[TxnID]map[Granule]Mode
 }
 
 // tableMetrics mirrors the Stats counters into an obs.Registry, the
@@ -104,6 +155,9 @@ func newTableMetrics(reg *obs.Registry, t *Table) *tableMetrics {
 	reg.NewGaugeFunc("granulock_lockmgr_waiters",
 		"Requests currently parked (conservative claims plus incremental waiters).",
 		func() float64 { return float64(t.WaitersCount()) })
+	reg.NewGaugeFunc("granulock_lockmgr_shards",
+		"Granule stripes in the lock table (power of two).",
+		func() float64 { return float64(len(t.shards)) })
 	return &tableMetrics{
 		grants: reg.NewCounter("granulock_lockmgr_grants_total",
 			"Acquire calls satisfied, immediately or after waiting."),
@@ -114,24 +168,23 @@ func newTableMetrics(reg *obs.Registry, t *Table) *tableMetrics {
 	}
 }
 
-// incGrant, incWait and incDeadlock bump the Stats counters and, when a
-// registry is attached, their exported twins. Callers hold t.mu.
-func (t *Table) incGrant() {
-	t.stats.Grants++
+// omGrant, omWait and omDeadlock bump the registry twins of the
+// per-shard Stats counters. They take no locks (obs counters are
+// atomic); the Stats counters themselves are incremented under the
+// owning shard's mutex.
+func (t *Table) omGrant() {
 	if t.om != nil {
 		t.om.grants.Inc()
 	}
 }
 
-func (t *Table) incWait() {
-	t.stats.Blocks++
+func (t *Table) omWait() {
 	if t.om != nil {
 		t.om.waits.Inc()
 	}
 }
 
-func (t *Table) incDeadlock() {
-	t.stats.Deadlocks++
+func (t *Table) omDeadlock() {
 	if t.om != nil {
 		t.om.deadlocks.Inc()
 	}
@@ -143,11 +196,17 @@ type granuleState struct {
 	waiters []*stepWaiter // FIFO
 }
 
-// claimWaiter is a parked conservative AcquireAll request.
+// claimWaiter is a parked conservative AcquireAll request. It sits in
+// the claim queue of every shard its granules hash onto; resolution
+// (grant, duplicate failure, withdrawal) always happens while holding
+// all of those shard locks, which is what guards the resolved flag.
 type claimWaiter struct {
-	txn  TxnID
-	reqs []Request
-	ch   chan error
+	seq      uint64
+	txn      TxnID
+	reqs     []Request
+	shards   []uint64 // sorted unique shard indexes of reqs
+	ch       chan error
+	resolved bool
 }
 
 // stepWaiter is a parked incremental Acquire request.
@@ -159,80 +218,249 @@ type stepWaiter struct {
 }
 
 // Option configures a Table.
-type Option func(*Table)
+type Option func(*tableConfig)
+
+type tableConfig struct {
+	strict bool
+	shards int
+	reg    *obs.Registry
+}
 
 // StrictFIFO makes conservative preclaim grants strictly first-come,
 // first-served: a parked claim blocks every claim behind it, trading
-// concurrency for starvation freedom. The default allows compatible later
-// claims to overtake.
-func StrictFIFO() Option { return func(t *Table) { t.strict = true } }
+// concurrency for starvation freedom. With multiple shards the
+// guarantee is per stripe: a parked claim blocks later claims that
+// touch any of its shards. The default allows compatible later claims
+// to overtake.
+func StrictFIFO() Option { return func(c *tableConfig) { c.strict = true } }
+
+// WithShards stripes the table over n granule shards (rounded up to the
+// next power of two, minimum 1). More shards let independent granule
+// traffic proceed on independent mutexes; shards=1 reproduces the
+// historical single-mutex behavior exactly.
+func WithShards(n int) Option { return func(c *tableConfig) { c.shards = n } }
 
 // WithMetrics mirrors the table's activity into reg: grant/wait/
 // deadlock counters plus scrape-time gauges for holders, locked
-// granules and parked waiters (family prefix granulock_lockmgr_).
-// One table per registry: the gauges read this table's state.
+// granules, parked waiters and the shard count (family prefix
+// granulock_lockmgr_). One table per registry: the gauges read this
+// table's state.
 func WithMetrics(reg *obs.Registry) Option {
-	return func(t *Table) { t.om = newTableMetrics(reg, t) }
+	return func(c *tableConfig) { c.reg = reg }
+}
+
+// nextPow2 rounds n up to the next power of two, minimum 1.
+func nextPow2(n int) int {
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p
 }
 
 // NewTable returns an empty lock table.
 func NewTable(opts ...Option) *Table {
-	t := &Table{
-		granules: make(map[Granule]*granuleState),
-		held:     make(map[TxnID]map[Granule]Mode),
-		detector: NewDetector(),
-	}
+	cfg := tableConfig{shards: 1}
 	for _, o := range opts {
-		o(t)
+		o(&cfg)
+	}
+	n := nextPow2(cfg.shards)
+	t := &Table{
+		shards: make([]*shard, n),
+		mask:   uint64(n - 1),
+		txns:   make([]*txnShard, n),
+		strict: cfg.strict,
+		det:    NewDetector(),
+	}
+	for i := range t.shards {
+		t.shards[i] = &shard{granules: make(map[Granule]*granuleState)}
+		t.txns[i] = &txnShard{held: make(map[TxnID]map[Granule]Mode)}
+	}
+	if cfg.reg != nil {
+		t.om = newTableMetrics(cfg.reg, t)
 	}
 	return t
 }
 
-// Stats returns a snapshot of the activity counters.
+// Shards returns the number of granule stripes (a power of two).
+func (t *Table) Shards() int { return len(t.shards) }
+
+// mix64 is the splitmix64 finalizer: granule and transaction ids are
+// often small and sequential, so stripe selection needs a real mixer to
+// spread them across shards.
+func mix64(x uint64) uint64 {
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	x *= 0xc4ceb9fe1a85ec53
+	x ^= x >> 33
+	return x
+}
+
+// shardIndex returns the stripe index of a granule.
+func (t *Table) shardIndex(g Granule) uint64 {
+	if t.mask == 0 {
+		return 0
+	}
+	return mix64(uint64(g)) & t.mask
+}
+
+// shardFor returns the stripe owning a granule.
+func (t *Table) shardFor(g Granule) *shard { return t.shards[t.shardIndex(g)] }
+
+// txnShardFor returns the stripe owning a transaction's hold set.
+func (t *Table) txnShardFor(txn TxnID) *txnShard {
+	if t.mask == 0 {
+		return t.txns[0]
+	}
+	return t.txns[mix64(uint64(txn))&t.mask]
+}
+
+// shardSet returns the sorted, deduplicated stripe indexes touched by a
+// request set — the canonical lock order for multi-granule operations.
+func (t *Table) shardSet(reqs []Request) []uint64 {
+	if t.mask == 0 {
+		return zeroShard
+	}
+	idx := make([]uint64, 0, len(reqs))
+	for _, r := range reqs {
+		idx = append(idx, t.shardIndex(r.Granule))
+	}
+	return sortDedup(idx)
+}
+
+// granuleShardSet is shardSet over bare granules (the release path).
+func (t *Table) granuleShardSet(gs []Granule) []uint64 {
+	if t.mask == 0 {
+		return zeroShard
+	}
+	idx := make([]uint64, 0, len(gs))
+	for _, g := range gs {
+		idx = append(idx, t.shardIndex(g))
+	}
+	return sortDedup(idx)
+}
+
+// zeroShard is the shared single-stripe index set: immutable, so every
+// single-shard operation can use it without allocating.
+var zeroShard = []uint64{0}
+
+func sortDedup(idx []uint64) []uint64 {
+	sort.Slice(idx, func(i, j int) bool { return idx[i] < idx[j] })
+	out := idx[:0]
+	var last uint64
+	for i, v := range idx {
+		if i == 0 || v != last {
+			out = append(out, v)
+			last = v
+		}
+	}
+	return out
+}
+
+// lockShards locks the given stripes; idx must be sorted ascending and
+// deduplicated (the canonical order).
+func (t *Table) lockShards(idx []uint64) {
+	for _, i := range idx {
+		t.shards[i].mu.Lock()
+	}
+}
+
+// unlockShards releases stripes locked by lockShards.
+func (t *Table) unlockShards(idx []uint64) {
+	for j := len(idx) - 1; j >= 0; j-- {
+		t.shards[idx[j]].mu.Unlock()
+	}
+}
+
+// Stats returns a snapshot of the activity counters, aggregated across
+// shards. The snapshot is per-shard-consistent, not globally atomic:
+// each stripe's counters are read under that stripe's lock, but
+// activity may land in an already-read stripe while later stripes are
+// being read. Counters only ever increase, so the aggregate is a valid
+// lower bound at the time the last stripe was read.
 func (t *Table) Stats() Stats {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	return t.stats
+	var s Stats
+	for _, sh := range t.shards {
+		sh.mu.Lock()
+		s.add(sh.stats)
+		sh.mu.Unlock()
+	}
+	return s
 }
 
 // HeldBy returns the number of granules txn currently holds.
 func (t *Table) HeldBy(txn TxnID) int {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	return len(t.held[txn])
+	ts := t.txnShardFor(txn)
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	return len(ts.held[txn])
 }
 
 // HoldersCount returns the number of transactions currently holding at
 // least one granule. A clean table reports 0; after a drain this is the
-// residual-holder count a lock service must bring to zero.
+// residual-holder count a lock service must bring to zero. Like Stats,
+// the count is per-stripe-consistent rather than globally atomic.
 func (t *Table) HoldersCount() int {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	return len(t.held)
+	n := 0
+	for _, ts := range t.txns {
+		ts.mu.Lock()
+		for _, hm := range ts.held {
+			if len(hm) > 0 {
+				n++
+			}
+		}
+		ts.mu.Unlock()
+	}
+	return n
 }
 
 // LockedGranules returns the number of granules with at least one
-// holder.
+// holder (per-stripe-consistent).
 func (t *Table) LockedGranules() int {
-	t.mu.Lock()
-	defer t.mu.Unlock()
 	n := 0
-	for _, gs := range t.granules {
-		if len(gs.holders) > 0 {
-			n++
+	for _, sh := range t.shards {
+		sh.mu.Lock()
+		for _, gs := range sh.granules {
+			if len(gs.holders) > 0 {
+				n++
+			}
 		}
+		sh.mu.Unlock()
 	}
 	return n
 }
 
 // WaitersCount returns the number of requests currently parked: both
-// conservative whole-claim waiters and incremental per-granule waiters.
+// conservative whole-claim waiters and incremental per-granule waiters
+// (per-stripe-consistent). A claim parked across several stripes is
+// counted once, in its home stripe (the lowest-indexed shard it
+// touches).
 func (t *Table) WaitersCount() int {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	n := len(t.claimQ)
-	for _, gs := range t.granules {
-		n += len(gs.waiters)
+	n := 0
+	for i, sh := range t.shards {
+		sh.mu.Lock()
+		for _, w := range sh.claimQ {
+			if w.shards[0] == uint64(i) {
+				n++
+			}
+		}
+		for _, gs := range sh.granules {
+			n += len(gs.waiters)
+		}
+		sh.mu.Unlock()
+	}
+	return n
+}
+
+// granuleRecords counts granule entries across all stripes, including
+// empty ones awaiting GC (test hook for the release-path GC).
+func (t *Table) granuleRecords() int {
+	n := 0
+	for _, sh := range t.shards {
+		sh.mu.Lock()
+		n += len(sh.granules)
+		sh.mu.Unlock()
 	}
 	return n
 }
@@ -240,9 +468,10 @@ func (t *Table) WaitersCount() int {
 // HoldsAtLeast reports whether txn holds granule g in mode want or
 // stronger.
 func (t *Table) HoldsAtLeast(txn TxnID, g Granule, want Mode) bool {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	have, ok := t.held[txn][g]
+	ts := t.txnShardFor(txn)
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	have, ok := ts.held[txn][g]
 	return ok && have >= want
 }
 
@@ -271,46 +500,115 @@ func coalesce(reqs []Request) []Request {
 // it waits. Duplicate granules are coalesced to their strongest mode.
 // AcquireAll returns early with ctx.Err() if the context is cancelled
 // while parked.
+//
+// The claim locks every stripe its granules hash onto, in ascending
+// index order. A blocked claim is queued on all of those stripes and
+// re-evaluated whenever a release touches any of them.
 func (t *Table) AcquireAll(ctx context.Context, txn TxnID, reqs []Request) error {
 	reqs = coalesce(reqs)
-	t.mu.Lock()
-	if len(t.held[txn]) != 0 {
-		t.mu.Unlock()
+	ts := t.txnShardFor(txn)
+	if len(reqs) == 0 {
+		// An empty claim conflicts with nothing; it only has to respect
+		// the first-acquisition rule.
+		ts.mu.Lock()
+		already := len(ts.held[txn]) != 0
+		ts.mu.Unlock()
+		if already {
+			return fmt.Errorf("lockmgr: transaction %d: %w", txn, ErrAlreadyHolds)
+		}
+		return nil
+	}
+	sh := t.shardSet(reqs)
+	t.lockShards(sh)
+	ts.mu.Lock()
+	if len(ts.held[txn]) != 0 {
+		ts.mu.Unlock()
+		t.unlockShards(sh)
 		return fmt.Errorf("lockmgr: transaction %d: %w", txn, ErrAlreadyHolds)
 	}
 	if t.grantable(txn, reqs) {
-		t.grantAll(txn, reqs)
-		t.incGrant()
-		t.mu.Unlock()
+		t.grantAll(ts, txn, reqs)
+		ts.mu.Unlock()
+		t.shards[sh[0]].stats.Grants++
+		t.unlockShards(sh)
+		t.omGrant()
 		return nil
 	}
-	w := &claimWaiter{txn: txn, reqs: reqs, ch: make(chan error, 1)}
-	t.claimQ = append(t.claimQ, w)
-	t.incWait()
-	t.mu.Unlock()
+	ts.mu.Unlock()
+	w := &claimWaiter{
+		seq:    t.claimSeq.Add(1),
+		txn:    txn,
+		reqs:   reqs,
+		shards: sh,
+		ch:     make(chan error, 1),
+	}
+	for _, i := range sh {
+		s := t.shards[i]
+		s.claimQ = append(s.claimQ, w)
+	}
+	t.shards[sh[0]].stats.Blocks++
+	t.unlockShards(sh)
+	t.omWait()
 
 	select {
 	case err := <-w.ch:
 		return err
 	case <-ctx.Done():
-		t.mu.Lock()
-		removed := t.removeClaim(w)
-		t.mu.Unlock()
-		if !removed {
-			// The claim was resolved before we could withdraw it —
-			// granted, or failed by wakeClaims as a duplicate of a
-			// same-txn grant — so report that outcome.
-			return <-w.ch
+		if t.withdrawClaim(w) {
+			return ctx.Err()
 		}
-		return ctx.Err()
+		// The claim was resolved before we could withdraw it — granted,
+		// or failed as a duplicate of a same-txn grant — so report that
+		// outcome.
+		return <-w.ch
 	}
 }
 
+// TryAcquireAll attempts the conservative claim without parking: it
+// grants atomically if every granule is free right now and otherwise
+// changes nothing, reporting granted=false. The error return carries
+// only protocol violations (ErrAlreadyHolds); a claim that would block
+// is not an error. This is AcquireAll's fast path exposed on its own so
+// callers measuring wait times can skip the clock entirely for grants
+// that never waited.
+func (t *Table) TryAcquireAll(txn TxnID, reqs []Request) (bool, error) {
+	reqs = coalesce(reqs)
+	ts := t.txnShardFor(txn)
+	if len(reqs) == 0 {
+		ts.mu.Lock()
+		already := len(ts.held[txn]) != 0
+		ts.mu.Unlock()
+		if already {
+			return false, fmt.Errorf("lockmgr: transaction %d: %w", txn, ErrAlreadyHolds)
+		}
+		return true, nil
+	}
+	sh := t.shardSet(reqs)
+	t.lockShards(sh)
+	ts.mu.Lock()
+	if len(ts.held[txn]) != 0 {
+		ts.mu.Unlock()
+		t.unlockShards(sh)
+		return false, fmt.Errorf("lockmgr: transaction %d: %w", txn, ErrAlreadyHolds)
+	}
+	if t.grantable(txn, reqs) {
+		t.grantAll(ts, txn, reqs)
+		ts.mu.Unlock()
+		t.shards[sh[0]].stats.Grants++
+		t.unlockShards(sh)
+		t.omGrant()
+		return true, nil
+	}
+	ts.mu.Unlock()
+	t.unlockShards(sh)
+	return false, nil
+}
+
 // grantable reports whether every request is compatible with current
-// holders other than txn itself.
+// holders other than txn itself. Caller holds every involved stripe.
 func (t *Table) grantable(txn TxnID, reqs []Request) bool {
 	for _, r := range reqs {
-		gs := t.granules[r.Granule]
+		gs := t.shardFor(r.Granule).granules[r.Granule]
 		if gs == nil {
 			continue
 		}
@@ -326,18 +624,20 @@ func (t *Table) grantable(txn TxnID, reqs []Request) bool {
 	return true
 }
 
-// grantAll records txn as holder of every request. Caller holds t.mu.
-func (t *Table) grantAll(txn TxnID, reqs []Request) {
-	hm := t.held[txn]
+// grantAll records txn as holder of every request. Caller holds every
+// involved stripe plus ts (txn's hold-set stripe).
+func (t *Table) grantAll(ts *txnShard, txn TxnID, reqs []Request) {
+	hm := ts.held[txn]
 	if hm == nil {
 		hm = make(map[Granule]Mode, len(reqs))
-		t.held[txn] = hm
+		ts.held[txn] = hm
 	}
 	for _, r := range reqs {
-		gs := t.granules[r.Granule]
+		s := t.shardFor(r.Granule)
+		gs := s.granules[r.Granule]
 		if gs == nil {
 			gs = &granuleState{holders: make(map[TxnID]Mode, 1)}
-			t.granules[r.Granule] = gs
+			s.granules[r.Granule] = gs
 		}
 		if have, ok := gs.holders[txn]; !ok || r.Mode > have {
 			gs.holders[txn] = r.Mode
@@ -348,80 +648,115 @@ func (t *Table) grantAll(txn TxnID, reqs []Request) {
 	}
 }
 
-// removeClaim withdraws a parked claim; it reports whether the claim was
-// still parked. Caller holds t.mu.
-func (t *Table) removeClaim(w *claimWaiter) bool {
-	for i, c := range t.claimQ {
-		if c == w {
-			t.claimQ = append(t.claimQ[:i], t.claimQ[i+1:]...)
-			return true
+// withdrawClaim removes a parked claim from every stripe queue it sits
+// in; it reports whether the claim was still parked.
+func (t *Table) withdrawClaim(w *claimWaiter) bool {
+	t.lockShards(w.shards)
+	defer t.unlockShards(w.shards)
+	if w.resolved {
+		return false
+	}
+	t.removeClaimLocked(w)
+	w.resolved = true
+	return true
+}
+
+// removeClaimLocked deletes w from the claim queue of every stripe it
+// touches. Caller holds all of w's stripes.
+func (t *Table) removeClaimLocked(w *claimWaiter) {
+	for _, i := range w.shards {
+		s := t.shards[i]
+		for j, c := range s.claimQ {
+			if c == w {
+				s.claimQ = append(s.claimQ[:j], s.claimQ[j+1:]...)
+				break
+			}
 		}
 	}
-	return false
 }
 
 // Acquire incrementally acquires one granule (the claim-as-needed
 // protocol). It may wait; if the wait would close a cycle in the
 // waits-for graph the request fails with ErrDeadlock and the caller is
 // the victim. Lock upgrades (S held, X requested) are supported and wait
-// for concurrent readers to drain.
+// for concurrent readers to drain. The uncontended path touches only the
+// granule's stripe and the transaction's hold-set stripe — never the
+// detector.
 func (t *Table) Acquire(ctx context.Context, txn TxnID, g Granule, mode Mode) error {
-	t.mu.Lock()
-	gs := t.granules[g]
+	s := t.shardFor(g)
+	s.mu.Lock()
+	gs := s.granules[g]
 	if gs == nil {
 		gs = &granuleState{holders: make(map[TxnID]Mode, 1)}
-		t.granules[g] = gs
+		s.granules[g] = gs
 	}
 	if have, ok := gs.holders[txn]; ok && have >= mode {
-		t.mu.Unlock()
+		s.mu.Unlock()
 		return nil // already held strongly enough
 	}
 	if t.stepGrantable(gs, txn, mode) {
 		t.grantStep(gs, txn, g, mode)
-		t.incGrant()
-		// An upgrade strengthens the holder set without a release; the
-		// waits-for edges of parked requests must track the change.
-		t.syncWaiterEdges(gs)
-		t.mu.Unlock()
+		s.stats.Grants++
+		if len(gs.waiters) > 0 {
+			// An upgrade strengthens the holder set without a release;
+			// the waits-for edges of parked requests must track the
+			// change.
+			t.detMu.Lock()
+			t.syncWaiterEdgesLocked(s, gs)
+			t.mirrorEdges()
+			t.detMu.Unlock()
+		}
+		s.mu.Unlock()
+		t.omGrant()
 		return nil
 	}
 	w := &stepWaiter{txn: txn, granule: g, mode: mode, ch: make(chan error, 1)}
 	gs.waiters = append(gs.waiters, w)
-	t.incWait()
-	t.refreshEdges(gs, w, len(gs.waiters)-1)
-	if t.detector.InCycle(txn) {
+	s.stats.Blocks++
+	t.detMu.Lock()
+	t.refreshEdgesLocked(gs, w, len(gs.waiters)-1)
+	if t.det.InCycle(txn) {
 		// The newest edge closed a cycle: this requester is the victim.
 		t.dropWaiter(gs, w)
-		t.detector.RemoveWaiter(txn)
-		t.incDeadlock()
-		t.mu.Unlock()
+		t.det.RemoveWaiter(txn)
+		s.stats.Deadlocks++
+		t.mirrorEdges()
+		t.detMu.Unlock()
+		s.mu.Unlock()
+		t.omDeadlock()
 		return ErrDeadlock
 	}
-	t.mu.Unlock()
+	t.mirrorEdges()
+	t.detMu.Unlock()
+	s.mu.Unlock()
+	t.omWait()
 
 	select {
 	case err := <-w.ch:
 		return err
 	case <-ctx.Done():
-		t.mu.Lock()
+		s.mu.Lock()
 		if t.dropWaiter(gs, w) {
-			t.detector.RemoveWaiter(txn)
+			t.detMu.Lock()
+			t.det.RemoveWaiter(txn)
 			// Waiters queued behind w held an ahead-edge to it; refresh
 			// so the withdrawn wait cannot fabricate a cycle.
-			t.syncWaiterEdges(gs)
-			t.mu.Unlock()
+			t.syncWaiterEdgesLocked(s, gs)
+			t.mirrorEdges()
+			t.detMu.Unlock()
+			s.mu.Unlock()
 			return ctx.Err()
 		}
-		t.mu.Unlock()
+		s.mu.Unlock()
 		return <-w.ch
 	}
 }
 
 // stepGrantable reports whether txn may take g in mode now. Caller holds
-// t.mu. FIFO fairness: a request must also not overtake earlier waiters
-// unless it is compatible with them too (readers may join readers even if
-// a writer waits only when they precede the writer; we keep it simple and
-// strict to avoid writer starvation).
+// the granule's stripe. FIFO fairness: a request must also not overtake
+// earlier waiters unless it is compatible with them too (readers may join
+// readers even if a writer waits only when they precede the writer; we
+// keep it simple and strict to avoid writer starvation).
 func (t *Table) stepGrantable(gs *granuleState, txn TxnID, mode Mode) bool {
 	for holder, held := range gs.holders {
 		if holder == txn {
@@ -439,23 +774,34 @@ func (t *Table) stepGrantable(gs *granuleState, txn TxnID, mode Mode) bool {
 	return true
 }
 
-// grantStep records txn as holder of g. Caller holds t.mu.
+// grantStep records txn as holder of g, in both the granule's stripe and
+// txn's hold-set stripe. Caller holds the granule's stripe; the hold-set
+// stripe is taken nested (granule stripes are never acquired while a
+// hold-set stripe is held, so the nesting cannot cycle).
 func (t *Table) grantStep(gs *granuleState, txn TxnID, g Granule, mode Mode) {
 	if have, ok := gs.holders[txn]; !ok || mode > have {
 		gs.holders[txn] = mode
 	}
-	hm := t.held[txn]
+	t.recordHeld(txn, g, mode)
+}
+
+// recordHeld updates txn's hold set with g at mode (strengthen only).
+func (t *Table) recordHeld(txn TxnID, g Granule, mode Mode) {
+	ts := t.txnShardFor(txn)
+	ts.mu.Lock()
+	hm := ts.held[txn]
 	if hm == nil {
 		hm = make(map[Granule]Mode, 4)
-		t.held[txn] = hm
+		ts.held[txn] = hm
 	}
 	if have, ok := hm[g]; !ok || mode > have {
 		hm[g] = mode
 	}
+	ts.mu.Unlock()
 }
 
 // dropWaiter removes w from its granule's wait queue; reports whether it
-// was still parked. Caller holds t.mu.
+// was still parked. Caller holds the granule's stripe.
 func (t *Table) dropWaiter(gs *granuleState, w *stepWaiter) bool {
 	for i, x := range gs.waiters {
 		if x == w {
@@ -466,25 +812,27 @@ func (t *Table) dropWaiter(gs *granuleState, w *stepWaiter) bool {
 	return false
 }
 
-// refreshEdges points w's waits-for edges at the current incompatible
-// holders of its granule and at every waiter queued ahead of it (the
-// no-overtaking rule makes those real blockers too). idx is w's position
-// in gs.waiters. Caller holds t.mu.
-func (t *Table) refreshEdges(gs *granuleState, w *stepWaiter, idx int) {
-	t.detector.RemoveWaiter(w.txn)
+// refreshEdgesLocked points w's waits-for edges at the current
+// incompatible holders of its granule and at every waiter queued ahead
+// of it (the no-overtaking rule makes those real blockers too). idx is
+// w's position in gs.waiters. Caller holds the granule's stripe and
+// detMu.
+func (t *Table) refreshEdgesLocked(gs *granuleState, w *stepWaiter, idx int) {
+	t.det.RemoveWaiter(w.txn)
 	for holder, held := range gs.holders {
 		if holder != w.txn && !Compatible(w.mode, held) {
-			t.detector.AddEdge(w.txn, holder)
+			t.det.AddEdge(w.txn, holder)
 		}
 	}
 	for i := 0; i < idx && i < len(gs.waiters); i++ {
-		t.detector.AddEdge(w.txn, gs.waiters[i].txn)
+		t.det.AddEdge(w.txn, gs.waiters[i].txn)
 	}
 }
 
-// syncWaiterEdges refreshes the edges of every waiter of gs and aborts
-// any whose refreshed edges close a cycle. Caller holds t.mu.
-func (t *Table) syncWaiterEdges(gs *granuleState) {
+// syncWaiterEdgesLocked refreshes the edges of every waiter of gs and
+// aborts any whose refreshed edges close a cycle. Caller holds the
+// granule's stripe and detMu.
+func (t *Table) syncWaiterEdgesLocked(s *shard, gs *granuleState) {
 	remaining := append([]*stepWaiter(nil), gs.waiters...)
 	for _, w := range remaining {
 		idx := -1
@@ -497,51 +845,127 @@ func (t *Table) syncWaiterEdges(gs *granuleState) {
 		if idx < 0 {
 			continue // aborted by an earlier iteration
 		}
-		t.refreshEdges(gs, w, idx)
-		if t.detector.InCycle(w.txn) {
+		t.refreshEdgesLocked(gs, w, idx)
+		if t.det.InCycle(w.txn) {
 			t.dropWaiter(gs, w)
-			t.detector.RemoveWaiter(w.txn)
-			t.incDeadlock()
+			t.det.RemoveWaiter(w.txn)
+			s.stats.Deadlocks++
+			t.omDeadlock()
 			w.ch <- ErrDeadlock
 		}
 	}
 }
 
-// ReleaseAll releases every granule held by txn, wakes whatever can now
-// run, and clears txn from the waits-for graph.
-func (t *Table) ReleaseAll(txn TxnID) {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	touched := make([]Granule, 0, len(t.held[txn]))
-	for g := range t.held[txn] {
-		gs := t.granules[g]
-		delete(gs.holders, txn)
-		touched = append(touched, g)
-	}
-	delete(t.held, txn)
-	t.detector.RemoveTxn(txn)
+// mirrorEdges refreshes the lock-free edge-count mirror. Caller holds
+// detMu.
+func (t *Table) mirrorEdges() {
+	t.detEdges.Store(int64(t.det.Edges()))
+}
 
-	for _, g := range touched {
-		t.wakeStepWaiters(g)
+// detForget clears txn from the waits-for graph. It skips the detector
+// lock entirely when the graph is empty — the common case for
+// conservative workloads, whose claims never create edges.
+func (t *Table) detForget(txn TxnID) {
+	if t.detEdges.Load() == 0 {
+		return
 	}
-	t.wakeClaims()
+	t.detMu.Lock()
+	t.det.RemoveTxn(txn)
+	t.mirrorEdges()
+	t.detMu.Unlock()
+}
+
+// ReleaseAll releases every granule held by txn, wakes whatever can now
+// run, and clears txn from the waits-for graph. It locks the stripes of
+// txn's held granules in canonical ascending order; parked claims on
+// those stripes are re-evaluated (in global claim arrival order) after
+// the stripe locks are dropped.
+func (t *Table) ReleaseAll(txn TxnID) {
+	ts := t.txnShardFor(txn)
+	var snapshot []Granule
+	var sh []uint64
+	for {
+		ts.mu.Lock()
+		hm := ts.held[txn]
+		if len(hm) == 0 {
+			delete(ts.held, txn)
+			ts.mu.Unlock()
+			t.detForget(txn)
+			return
+		}
+		snapshot = snapshot[:0]
+		for g := range hm {
+			snapshot = append(snapshot, g)
+		}
+		// Canonical (ascending) wake order: map iteration order is
+		// randomized, and the order in which granules wake their waiters
+		// can influence deadlock-victim selection. Releases must make the
+		// same decisions on every run and at every stripe count.
+		sort.Slice(snapshot, func(i, j int) bool { return snapshot[i] < snapshot[j] })
+		ts.mu.Unlock()
+		sh = t.granuleShardSet(snapshot)
+		t.lockShards(sh)
+		ts.mu.Lock()
+		if sameGranules(ts.held[txn], snapshot) {
+			break
+		}
+		// txn's hold set changed between snapshot and stripe lock (a
+		// racing same-txn grant, e.g. a duplicate claim waking): retry
+		// with fresh stripes.
+		ts.mu.Unlock()
+		t.unlockShards(sh)
+	}
+	for _, g := range snapshot {
+		delete(t.shardFor(g).granules[g].holders, txn)
+	}
+	delete(ts.held, txn)
+	ts.mu.Unlock()
+	t.detForget(txn)
+
+	for _, g := range snapshot {
+		t.wakeStepWaiters(t.shardFor(g), g)
+	}
+	// Snapshot parked claims on the touched stripes; they are resolved
+	// after the stripe locks drop, in claim arrival order.
+	var cands []*claimWaiter
+	for _, i := range sh {
+		cands = append(cands, t.shards[i].claimQ...)
+	}
 	// Garbage-collect empty granule entries so long-running tables do not
 	// accumulate one record per granule ever touched.
-	for _, g := range touched {
-		if gs := t.granules[g]; gs != nil && len(gs.holders) == 0 && len(gs.waiters) == 0 {
-			delete(t.granules, g)
+	for _, g := range snapshot {
+		s := t.shardFor(g)
+		if gs := s.granules[g]; gs != nil && len(gs.holders) == 0 && len(gs.waiters) == 0 {
+			delete(s.granules, g)
 		}
 	}
+	t.unlockShards(sh)
+	t.resolveClaims(cands)
+}
+
+// sameGranules reports whether hm's key set equals the snapshot slice.
+func sameGranules(hm map[Granule]Mode, snapshot []Granule) bool {
+	if len(hm) != len(snapshot) {
+		return false
+	}
+	for _, g := range snapshot {
+		if _, ok := hm[g]; !ok {
+			return false
+		}
+	}
+	return true
 }
 
 // wakeStepWaiters grants incremental waiters of g in FIFO order while
 // compatible, refreshing the waits-for edges of those still blocked and
-// aborting any whose refreshed edges close a cycle. Caller holds t.mu.
-func (t *Table) wakeStepWaiters(g Granule) {
-	gs := t.granules[g]
-	if gs == nil {
+// aborting any whose refreshed edges close a cycle. Caller holds the
+// granule's stripe.
+func (t *Table) wakeStepWaiters(s *shard, g Granule) {
+	gs := s.granules[g]
+	if gs == nil || len(gs.waiters) == 0 {
 		return
 	}
+	var woken []*stepWaiter
 	for len(gs.waiters) > 0 {
 		w := gs.waiters[0]
 		granted := true
@@ -556,42 +980,110 @@ func (t *Table) wakeStepWaiters(g Granule) {
 		}
 		gs.waiters = gs.waiters[1:]
 		t.grantStep(gs, w.txn, g, w.mode)
-		t.detector.RemoveWaiter(w.txn)
-		t.incGrant()
+		s.stats.Grants++
+		woken = append(woken, w)
+	}
+	// Detector bookkeeping in one batch: woken waiters stop waiting, and
+	// the blockers of those still parked changed.
+	if len(woken) > 0 || len(gs.waiters) > 0 {
+		t.detMu.Lock()
+		for _, w := range woken {
+			t.det.RemoveWaiter(w.txn)
+		}
+		t.syncWaiterEdgesLocked(s, gs)
+		t.mirrorEdges()
+		t.detMu.Unlock()
+	}
+	for _, w := range woken {
+		t.omGrant()
 		w.ch <- nil
 	}
-	// Refresh edges of those still waiting: their blockers changed.
-	t.syncWaiterEdges(gs)
 }
 
-// wakeClaims grants parked conservative claims that are now fully
-// compatible. Caller holds t.mu.
-func (t *Table) wakeClaims() {
-	for i := 0; i < len(t.claimQ); {
-		w := t.claimQ[i]
-		if len(t.held[w.txn]) != 0 {
-			// The txn already holds locks, so this parked claim is a
-			// duplicate: a retried claim (new session) racing its
-			// predecessor's withdrawal. grantable ignores self-conflicts,
-			// so granting it too would double-book the txn and let the
-			// predecessor's teardown strip locks the duplicate believes
-			// it holds. Fail it exactly as AcquireAll's entry check
-			// would have; the lock service's orphan-retry loop handles
-			// ErrAlreadyHolds.
-			t.claimQ = append(t.claimQ[:i], t.claimQ[i+1:]...)
-			w.ch <- fmt.Errorf("lockmgr: transaction %d: %w", w.txn, ErrAlreadyHolds)
+// resolveClaims re-evaluates parked claims in global arrival order,
+// granting those that became compatible and failing duplicates. cands
+// may contain a claim several times (once per touched stripe) and must
+// not be assumed still parked. No stripe locks are held on entry.
+func (t *Table) resolveClaims(cands []*claimWaiter) {
+	if len(cands) == 0 {
+		return
+	}
+	sort.Slice(cands, func(i, j int) bool { return cands[i].seq < cands[j].seq })
+	var blocked map[uint64]struct{}
+	for i, w := range cands {
+		if i > 0 && cands[i-1] == w {
+			continue // deduplicate: one entry per touched stripe
+		}
+		if t.strict && intersects(blocked, w.shards) {
+			// Strict FIFO: a still-parked claim blocks everything queued
+			// behind it on its stripes.
+			blocked = markBlocked(blocked, w.shards)
 			continue
 		}
-		if t.grantable(w.txn, w.reqs) {
-			t.grantAll(w.txn, w.reqs)
-			t.claimQ = append(t.claimQ[:i], t.claimQ[i+1:]...)
-			t.incGrant()
-			w.ch <- nil
-			continue // re-examine the claim now at index i
+		if t.tryResolveClaim(w) {
+			continue
 		}
 		if t.strict {
-			return // strict FIFO: nothing may overtake a blocked claim
+			blocked = markBlocked(blocked, w.shards)
 		}
-		i++
 	}
+}
+
+func intersects(blocked map[uint64]struct{}, sh []uint64) bool {
+	for _, i := range sh {
+		if _, ok := blocked[i]; ok {
+			return true
+		}
+	}
+	return false
+}
+
+func markBlocked(blocked map[uint64]struct{}, sh []uint64) map[uint64]struct{} {
+	if blocked == nil {
+		blocked = make(map[uint64]struct{}, len(sh))
+	}
+	for _, i := range sh {
+		blocked[i] = struct{}{}
+	}
+	return blocked
+}
+
+// tryResolveClaim attempts to resolve one parked claim: grant it, or
+// fail it as a duplicate of a same-txn grant. It reports whether the
+// claim was resolved (true) or remains parked (false).
+func (t *Table) tryResolveClaim(w *claimWaiter) bool {
+	t.lockShards(w.shards)
+	defer t.unlockShards(w.shards)
+	if w.resolved {
+		return true
+	}
+	ts := t.txnShardFor(w.txn)
+	ts.mu.Lock()
+	if len(ts.held[w.txn]) != 0 {
+		ts.mu.Unlock()
+		// The txn already holds locks, so this parked claim is a
+		// duplicate: a retried claim (new session) racing its
+		// predecessor's withdrawal. grantable ignores self-conflicts,
+		// so granting it too would double-book the txn and let the
+		// predecessor's teardown strip locks the duplicate believes
+		// it holds. Fail it exactly as AcquireAll's entry check
+		// would have; the lock service's orphan-retry loop handles
+		// ErrAlreadyHolds.
+		t.removeClaimLocked(w)
+		w.resolved = true
+		w.ch <- fmt.Errorf("lockmgr: transaction %d: %w", w.txn, ErrAlreadyHolds)
+		return true
+	}
+	if !t.grantable(w.txn, w.reqs) {
+		ts.mu.Unlock()
+		return false
+	}
+	t.grantAll(ts, w.txn, w.reqs)
+	ts.mu.Unlock()
+	t.removeClaimLocked(w)
+	w.resolved = true
+	t.shards[w.shards[0]].stats.Grants++
+	t.omGrant()
+	w.ch <- nil
+	return true
 }

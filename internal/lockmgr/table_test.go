@@ -425,9 +425,7 @@ func TestTableGarbageCollectsGranules(t *testing.T) {
 		mustAcquireAll(t, tab, 1, reqs(ModeExclusive, Granule(i)))
 		tab.ReleaseAll(1)
 	}
-	tab.mu.Lock()
-	n := len(tab.granules)
-	tab.mu.Unlock()
+	n := tab.granuleRecords()
 	if n != 0 {
 		t.Fatalf("%d granule records leaked", n)
 	}

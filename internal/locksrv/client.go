@@ -1,6 +1,7 @@
 package locksrv
 
 import (
+	"bytes"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -45,65 +46,93 @@ var (
 // release is idempotent. Lock-protocol errors (timeout, not_owner,
 // bad_request) come back as typed errors and are never retried here.
 type Client struct {
-	addr string
-	dial func(addr string) (net.Conn, error)
+	clientCfg
 
 	// connMu guards the conn pointer handoff between the request
 	// goroutine (connect/dropConn) and Close, which may be called from
-	// another goroutine to abort an in-flight blocking acquire. dec/enc
-	// are touched only by the request goroutine.
+	// another goroutine to abort an in-flight blocking acquire. dec,
+	// encBuf and enc are touched only by the request goroutine.
 	connMu sync.Mutex
 	conn   net.Conn
 	closed atomic.Bool
 
 	dec *json.Decoder
-	enc *json.Encoder
+	// encBuf is the reused request encode buffer: each request is
+	// marshaled into it and written to the connection with one Write,
+	// instead of allocating an encoder buffer per call.
+	encBuf bytes.Buffer
+	enc    *json.Encoder
+
+	// timer is the reusable backoff timer behind the default sleep; the
+	// client is single-goroutine, so one per session suffices and no
+	// backoff allocates a timer per call.
+	timer *time.Timer
+
+	reconnects int64
+	retried    int64
+}
+
+// clientCfg is the configuration shared by the v1 Client and the
+// pipelined ClientV2; ClientOption values apply to either.
+type clientCfg struct {
+	addr string
+	dial func(addr string) (net.Conn, error)
 
 	retries     int // transport retries per request, beyond the first attempt
 	backoffBase time.Duration
 	backoffMax  time.Duration
 	jitter      *rng.Source
-	sleep       func(time.Duration) // test seam
+	sleep       func(time.Duration) // test seam; nil means the default timer-backed sleep
 
-	reconnects int64
-	retried    int64
-
-	// Registry twins of the two counters above, nil without
+	// Registry twins of the reconnect/retry counters, nil without
 	// WithClientMetrics. Registration is idempotent, so a fleet of
 	// workers sharing one registry aggregates into the same series.
 	mReconnects *obs.Counter
 	mRetries    *obs.Counter
 }
 
-// ClientOption configures a Client.
-type ClientOption func(*Client)
+func defaultClientCfg(addr string) clientCfg {
+	return clientCfg{
+		addr: addr,
+		dial: func(addr string) (net.Conn, error) {
+			return net.Dial("tcp", addr)
+		},
+		retries:     4,
+		backoffBase: 10 * time.Millisecond,
+		backoffMax:  time.Second,
+		jitter:      rng.New(1),
+	}
+}
+
+// ClientOption configures a Client or ClientV2.
+type ClientOption func(*clientCfg)
 
 // WithRetries sets how many times a request is retried after a
 // transport failure (dial, send or receive). Default 4. Zero disables
 // reconnection entirely: the first transport error is final.
 func WithRetries(n int) ClientOption {
-	return func(c *Client) { c.retries = n }
+	return func(c *clientCfg) { c.retries = n }
 }
 
 // WithBackoff sets the reconnect backoff: attempt k sleeps for
 // base·2^k, capped at max, with deterministic jitter in [d/2, d).
 // Default 10ms base, 1s cap.
 func WithBackoff(base, max time.Duration) ClientOption {
-	return func(c *Client) { c.backoffBase, c.backoffMax = base, max }
+	return func(c *clientCfg) { c.backoffBase, c.backoffMax = base, max }
 }
 
 // WithJitterSeed seeds the deterministic backoff jitter stream, so a
 // fleet of workers with distinct seeds desynchronizes its reconnect
 // storms reproducibly. Default seed 1.
 func WithJitterSeed(seed uint64) ClientOption {
-	return func(c *Client) { c.jitter = rng.New(seed) }
+	return func(c *clientCfg) { c.jitter = rng.New(seed) }
 }
 
 // WithDialer replaces the transport dialer — how the client (re)opens
 // its connection. Fault-injection tests wrap the returned conn (see
 // FaultyDialer).
 func WithDialer(dial func(addr string) (net.Conn, error)) ClientOption {
-	return func(c *Client) { c.dial = dial }
+	return func(c *clientCfg) { c.dial = dial }
 }
 
 // WithClientMetrics mirrors the client's reconnect and retry counters
@@ -111,7 +140,7 @@ func WithDialer(dial func(addr string) (net.Conn, error)) ClientOption {
 // granulock_locksrv_client_retries_total). Clients sharing a registry
 // aggregate into the same series, one series per fleet.
 func WithClientMetrics(reg *obs.Registry) ClientOption {
-	return func(c *Client) {
+	return func(c *clientCfg) {
 		c.mReconnects = reg.NewCounter("granulock_locksrv_client_reconnects_total",
 			"Connections re-established after a transport failure.")
 		c.mRetries = reg.NewCounter("granulock_locksrv_client_retries_total",
@@ -121,24 +150,34 @@ func WithClientMetrics(reg *obs.Registry) ClientOption {
 
 // Dial connects to a lock server.
 func Dial(addr string, opts ...ClientOption) (*Client, error) {
-	c := &Client{
-		addr: addr,
-		dial: func(addr string) (net.Conn, error) {
-			return net.Dial("tcp", addr)
-		},
-		retries:     4,
-		backoffBase: 10 * time.Millisecond,
-		backoffMax:  time.Second,
-		jitter:      rng.New(1),
-		sleep:       time.Sleep,
-	}
+	c := &Client{clientCfg: defaultClientCfg(addr)}
 	for _, o := range opts {
-		o(c)
+		o(&c.clientCfg)
 	}
 	if err := c.connect(); err != nil {
 		return nil, err
 	}
 	return c, nil
+}
+
+// doSleep sleeps for d using the test seam if set, else the client's
+// reusable timer.
+func (c *Client) doSleep(d time.Duration) {
+	if c.sleep != nil {
+		c.sleep(d)
+		return
+	}
+	if d <= 0 {
+		return
+	}
+	if c.timer == nil {
+		c.timer = time.NewTimer(d)
+	} else {
+		// The timer always fired before reuse (the only reader drains
+		// it below), so Reset is safe without a drain.
+		c.timer.Reset(d)
+	}
+	<-c.timer.C
 }
 
 // connect opens a fresh connection, replacing any previous one. It
@@ -159,7 +198,9 @@ func (c *Client) connect() error {
 	// json.Decoder buffers internally; decoding straight off the conn
 	// keeps reconnect simple (no external buffer to lose bytes in).
 	c.dec = json.NewDecoder(conn)
-	c.enc = json.NewEncoder(conn)
+	if c.enc == nil {
+		c.enc = json.NewEncoder(&c.encBuf)
+	}
 	return nil
 }
 
@@ -215,7 +256,7 @@ func (c *Client) roundTrip(req Request) (Response, error) {
 			if c.mRetries != nil {
 				c.mRetries.Inc()
 			}
-			c.sleep(c.backoffDelay(attempt - 1))
+			c.doSleep(c.backoffDelay(attempt - 1))
 		}
 		if !c.haveConn() {
 			if err := c.connect(); err != nil {
@@ -230,7 +271,23 @@ func (c *Client) roundTrip(req Request) (Response, error) {
 				c.mReconnects.Inc()
 			}
 		}
+		// Encode into the reused buffer, then write the request in one
+		// call. The conn pointer is re-read under connMu so a concurrent
+		// Close cannot hand us a stale non-nil conn.
+		c.encBuf.Reset()
 		if err := c.enc.Encode(req); err != nil {
+			c.dropConn()
+			lastErr = fmt.Errorf("locksrv: send: %w", err)
+			continue
+		}
+		c.connMu.Lock()
+		conn := c.conn
+		c.connMu.Unlock()
+		if conn == nil {
+			lastErr = fmt.Errorf("locksrv: send: %w", net.ErrClosed)
+			continue
+		}
+		if _, err := conn.Write(c.encBuf.Bytes()); err != nil {
 			c.dropConn()
 			lastErr = fmt.Errorf("locksrv: send: %w", err)
 			continue

@@ -1,0 +1,592 @@
+package locksrv
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"granulock/internal/lockmgr"
+)
+
+// errConnLost is the internal transport-retry signal for a request that
+// raced a connection teardown.
+var errConnLost = errors.New("locksrv: connection lost")
+
+// ClientV2 speaks the binary pipelined protocol. Unlike the v1 Client,
+// its methods ARE safe for concurrent use: calls from many goroutines
+// multiplex over one connection, each tagged with a request id, and
+// responses are matched back as they arrive — out of order when the
+// server completes them out of order. That multiplexing is the whole
+// point: N concurrent calls cost one connection and, thanks to write
+// coalescing on both sides, far fewer than 2N syscalls.
+//
+// Transport fault handling mirrors the v1 client: a dead connection
+// fails every in-flight call with a transport error, and each call
+// retries on a fresh connection (single-flight redial) with capped
+// exponential backoff and deterministic jitter, up to the retry budget.
+// Retrying is safe for the same reason as in v1 — a dead session's
+// grants are force-released by the server. Lock-protocol errors
+// (timeout, not_owner, bad_request) are returned typed and never
+// retried.
+type ClientV2 struct {
+	cfg clientCfg
+
+	// mu guards the connection state and the pending map. The write
+	// path is a per-connection writer goroutine fed through wch: callers
+	// enqueue frames, the writer copies them into a bufio buffer and
+	// flushes only when the queue runs dry, so a burst of concurrent
+	// calls becomes one syscall. (Flushing inline from the caller cannot
+	// coalesce on few CPUs: the sender reaches its own flush before the
+	// next sender has run at all.)
+	mu      sync.Mutex
+	conn    net.Conn
+	wch     chan *frameBuf // current connection's writer queue
+	wdone   chan struct{}  // closed when the current connection dies
+	gen     uint64         // bumped on every (re)connect; stale failures are ignored
+	pending map[uint64]chan v2Reply
+	closed  bool
+	everUp  bool // a connection has succeeded before (reconnect accounting)
+
+	// dialMu single-flights redials so a burst of failed calls does not
+	// stampede the server with parallel dials.
+	dialMu sync.Mutex
+
+	idSeq atomic.Uint64
+
+	reconnects atomic.Int64
+	retried    atomic.Int64
+}
+
+// v2Reply is one matched response: a status byte plus its body, or a
+// transport error.
+type v2Reply struct {
+	status byte
+	body   []byte // copied out of the frame buffer; nil unless needed
+	err    error
+}
+
+// replyChPool recycles the one-shot channels calls wait on. A channel
+// goes back to the pool only after its single value was consumed, so a
+// pooled channel is always empty.
+var replyChPool = sync.Pool{New: func() any { return make(chan v2Reply, 1) }}
+
+// DialV2 connects to a lock server speaking protocol v2. It accepts the
+// same options as Dial.
+func DialV2(addr string, opts ...ClientOption) (*ClientV2, error) {
+	c := &ClientV2{
+		cfg:     defaultClientCfg(addr),
+		pending: make(map[uint64]chan v2Reply),
+	}
+	for _, o := range opts {
+		o(&c.cfg)
+	}
+	if _, err := c.ensureConn(); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// ensureConn returns the generation of a live connection, dialing one
+// if needed. Dials are single-flighted: concurrent callers wait for the
+// first dial instead of racing their own.
+func (c *ClientV2) ensureConn() (uint64, error) {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return 0, ErrClientClosed
+	}
+	if c.conn != nil {
+		gen := c.gen
+		c.mu.Unlock()
+		return gen, nil
+	}
+	c.mu.Unlock()
+
+	c.dialMu.Lock()
+	defer c.dialMu.Unlock()
+	// Re-check under the dial lock: another caller may have connected.
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return 0, ErrClientClosed
+	}
+	if c.conn != nil {
+		gen := c.gen
+		c.mu.Unlock()
+		return gen, nil
+	}
+	c.mu.Unlock()
+
+	conn, err := c.cfg.dial(c.cfg.addr)
+	if err != nil {
+		return 0, fmt.Errorf("locksrv: dial: %w", err)
+	}
+	if _, err := conn.Write([]byte(protoMagic)); err != nil {
+		conn.Close()
+		return 0, fmt.Errorf("locksrv: send magic: %w", err)
+	}
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		conn.Close()
+		return 0, ErrClientClosed
+	}
+	c.conn = conn
+	c.wch = make(chan *frameBuf, v2MaxInflight)
+	c.wdone = make(chan struct{})
+	c.gen++
+	gen := c.gen
+	wch, wdone := c.wch, c.wdone
+	if c.everUp {
+		c.reconnects.Add(1)
+		if c.cfg.mReconnects != nil {
+			c.cfg.mReconnects.Inc()
+		}
+	}
+	c.everUp = true
+	c.mu.Unlock()
+	go c.readLoop(conn, gen)
+	go c.writeLoop(conn, wch, wdone, gen)
+	return gen, nil
+}
+
+// writeLoop owns one connection's write side: it drains queued frames
+// into a buffered writer and flushes only when the queue is empty — the
+// syscall count tracks bursts, not frames.
+func (c *ClientV2) writeLoop(conn net.Conn, wch chan *frameBuf, wdone chan struct{}, gen uint64) {
+	bw := bufio.NewWriterSize(conn, 64<<10)
+	for {
+		select {
+		case fb := <-wch:
+			_, err := bw.Write(fb.bytes())
+			putFrame(fb)
+			if err == nil && len(wch) == 0 {
+				// An enqueueing caller hands the scheduler straight to
+				// this goroutine, so the queue can look empty while the
+				// rest of a burst is runnable but hasn't run; yield one
+				// scheduler round before paying the flush syscall.
+				runtime.Gosched()
+			}
+			if err == nil && len(wch) == 0 {
+				err = bw.Flush()
+			}
+			if err != nil {
+				c.failConn(gen, fmt.Errorf("locksrv: send: %w", err))
+				// failConn closed wdone; fall through to the drain below
+				// on the next iteration.
+			}
+		case <-wdone:
+			for {
+				select {
+				case fb := <-wch:
+					putFrame(fb)
+				default:
+					return
+				}
+			}
+		}
+	}
+}
+
+// readLoop owns one connection's read side: it matches response frames
+// to pending calls until the connection dies, then fails whatever is
+// still in flight.
+func (c *ClientV2) readLoop(conn net.Conn, gen uint64) {
+	br := bufio.NewReaderSize(conn, 64<<10)
+	for {
+		fb, status, id, body, err := readFrame(br)
+		if err != nil {
+			c.failConn(gen, fmt.Errorf("locksrv: receive: %w", err))
+			return
+		}
+		var bodyCopy []byte
+		if len(body) > 0 {
+			bodyCopy = append([]byte(nil), body...)
+		}
+		putFrame(fb)
+		c.mu.Lock()
+		ch, ok := c.pending[id]
+		if ok {
+			delete(c.pending, id)
+		}
+		c.mu.Unlock()
+		if ok {
+			ch <- v2Reply{status: status, body: bodyCopy}
+		}
+	}
+}
+
+// failConn tears down the generation's connection (if still current)
+// and fails every in-flight call with a transport error, which their
+// retry loops handle.
+func (c *ClientV2) failConn(gen uint64, err error) {
+	c.mu.Lock()
+	if c.gen != gen || c.conn == nil {
+		c.mu.Unlock()
+		return // already superseded
+	}
+	conn := c.conn
+	c.conn = nil
+	c.wch = nil
+	wdone := c.wdone
+	c.wdone = nil
+	calls := c.pending
+	c.pending = make(map[uint64]chan v2Reply)
+	c.mu.Unlock()
+	close(wdone)
+	conn.Close()
+	for _, ch := range calls {
+		ch <- v2Reply{err: err}
+	}
+}
+
+// send registers the call and hands its frame to the connection's
+// writer. Ownership of fb passes to send.
+func (c *ClientV2) send(gen, id uint64, fb *frameBuf, ch chan v2Reply) error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		putFrame(fb)
+		return ErrClientClosed
+	}
+	if c.conn == nil || c.gen != gen {
+		c.mu.Unlock()
+		putFrame(fb)
+		return errConnLost
+	}
+	c.pending[id] = ch
+	wch, wdone := c.wch, c.wdone
+	c.mu.Unlock()
+	select {
+	case wch <- fb:
+		return nil
+	case <-wdone:
+		// The connection died between registration and enqueue; failConn
+		// already failed (or will fail) the registered channel, so the
+		// caller still gets its transport error from ch.
+		putFrame(fb)
+		return nil
+	}
+}
+
+// roundTrip2 performs one request with transport retries. build encodes
+// the request body into the supplied frame (already started).
+func (c *ClientV2) roundTrip2(op byte, build func(fb *frameBuf)) (v2Reply, error) {
+	var lastErr error
+	timer := newSleeper(c.cfg.sleep)
+	defer timer.stop()
+	for attempt := 0; attempt <= c.cfg.retries; attempt++ {
+		if c.isClosed() {
+			if lastErr != nil {
+				return v2Reply{}, fmt.Errorf("%w (after: %v)", ErrClientClosed, lastErr)
+			}
+			return v2Reply{}, ErrClientClosed
+		}
+		if attempt > 0 {
+			c.retried.Add(1)
+			if c.cfg.mRetries != nil {
+				c.cfg.mRetries.Inc()
+			}
+			timer.sleep(c.backoffDelay(attempt - 1))
+		}
+		gen, err := c.ensureConn()
+		if err != nil {
+			if errors.Is(err, ErrClientClosed) {
+				return v2Reply{}, err
+			}
+			lastErr = err
+			continue
+		}
+		id := c.idSeq.Add(1)
+		ch := replyChPool.Get().(chan v2Reply)
+		fb := getFrame()
+		fb.start(op, id)
+		build(fb)
+		fb.finish()
+		if err := c.send(gen, id, fb, ch); err != nil {
+			// send failed before registering the call: ch is still empty.
+			replyChPool.Put(ch)
+			if errors.Is(err, ErrClientClosed) {
+				return v2Reply{}, err
+			}
+			lastErr = err
+			continue
+		}
+		reply := <-ch
+		replyChPool.Put(ch)
+		if reply.err != nil {
+			lastErr = reply.err
+			continue
+		}
+		return reply, nil
+	}
+	return v2Reply{}, fmt.Errorf("locksrv: retry budget exhausted after %d attempts: %w", c.cfg.retries+1, lastErr)
+}
+
+// backoffDelay mirrors Client.backoffDelay. The jitter source is not
+// concurrency-safe, so draws are serialized under mu.
+func (c *ClientV2) backoffDelay(attempt int) time.Duration {
+	d := c.cfg.backoffBase
+	for i := 0; i < attempt && d < c.cfg.backoffMax; i++ {
+		d *= 2
+	}
+	if d > c.cfg.backoffMax {
+		d = c.cfg.backoffMax
+	}
+	if d <= 0 {
+		return 0
+	}
+	half := d / 2
+	c.mu.Lock()
+	j := c.cfg.jitter.Intn(int(half) + 1)
+	c.mu.Unlock()
+	return half + time.Duration(j)
+}
+
+func (c *ClientV2) isClosed() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.closed
+}
+
+// sleeper wraps the backoff sleep: the test seam if set, else one
+// reusable timer per call site (per roundTrip, not per attempt).
+type sleeper struct {
+	seam  func(time.Duration)
+	timer *time.Timer
+}
+
+func newSleeper(seam func(time.Duration)) *sleeper { return &sleeper{seam: seam} }
+
+func (s *sleeper) sleep(d time.Duration) {
+	if s.seam != nil {
+		s.seam(d)
+		return
+	}
+	if d <= 0 {
+		return
+	}
+	if s.timer == nil {
+		s.timer = time.NewTimer(d)
+	} else {
+		s.timer.Reset(d) // always fired before reuse; no drain needed
+	}
+	<-s.timer.C
+}
+
+func (s *sleeper) stop() {
+	if s.timer != nil {
+		s.timer.Stop()
+	}
+}
+
+// replyErr maps a v2 status onto the shared typed-error taxonomy.
+func replyErr(op string, r v2Reply) error {
+	if r.status == statusOK {
+		return nil
+	}
+	return respErr(op, Response{Code: statusToCode(r.status), Err: string(r.body)})
+}
+
+// appendAcquireBody encodes one acquire body onto fb.
+func appendAcquireBody(fb *frameBuf, txn int64, reqs []lockmgr.Request, timeoutMS int64) {
+	fb.appendU64(uint64(txn))
+	fb.appendU64(uint64(timeoutMS))
+	fb.appendU32(uint32(len(reqs)))
+	for _, r := range reqs {
+		fb.appendU64(uint64(r.Granule))
+		if r.Mode == lockmgr.ModeExclusive {
+			fb.appendByte(1)
+		} else {
+			fb.appendByte(0)
+		}
+	}
+}
+
+// wireTimeoutMS rounds a sub-millisecond timeout up to the wire's 1ms
+// resolution; 0 means wait indefinitely.
+func wireTimeoutMS(timeout time.Duration) int64 {
+	ms := int64(timeout / time.Millisecond)
+	if timeout > 0 && ms == 0 {
+		ms = 1
+	}
+	return ms
+}
+
+// AcquireAll conservatively claims the lock set for txn, blocking until
+// granted. Safe for concurrent use; concurrent calls pipeline.
+func (c *ClientV2) AcquireAll(txn int64, reqs []lockmgr.Request) error {
+	return c.AcquireAllTimeout(txn, reqs, 0)
+}
+
+// AcquireAllTimeout is AcquireAll with a wait deadline, mirroring the
+// v1 client's semantics (ErrTimeout on expiry, nothing held).
+func (c *ClientV2) AcquireAllTimeout(txn int64, reqs []lockmgr.Request, timeout time.Duration) error {
+	ms := wireTimeoutMS(timeout)
+	reply, err := c.roundTrip2(opAcquire, func(fb *frameBuf) {
+		appendAcquireBody(fb, txn, reqs, ms)
+	})
+	if err != nil {
+		return err
+	}
+	return replyErr("acquire", reply)
+}
+
+// ReleaseAll releases everything txn holds. Semantics match the v1
+// client: foreign transactions fail with ErrNotOwner, unknown ones are
+// an idempotent no-op.
+func (c *ClientV2) ReleaseAll(txn int64) error {
+	reply, err := c.roundTrip2(opRelease, func(fb *frameBuf) {
+		fb.appendU64(uint64(txn))
+	})
+	if err != nil {
+		return err
+	}
+	return replyErr("release", reply)
+}
+
+// Claim is one sub-claim of a batched AcquireN.
+type Claim struct {
+	Txn     int64
+	Reqs    []lockmgr.Request
+	Timeout time.Duration // zero: wait indefinitely
+}
+
+// AcquireN sends a batch of independent conservative claims in one
+// frame. The server runs them concurrently and responds once, when the
+// last completes. The returned slice has one entry per claim, nil for
+// granted (typed errors otherwise); the error return is transport-level
+// and means no per-claim outcomes exist.
+func (c *ClientV2) AcquireN(claims []Claim) ([]error, error) {
+	if len(claims) == 0 {
+		return nil, nil
+	}
+	reply, err := c.roundTrip2(opAcquireN, func(fb *frameBuf) {
+		fb.appendU32(uint32(len(claims)))
+		for _, cl := range claims {
+			appendAcquireBody(fb, cl.Txn, cl.Reqs, wireTimeoutMS(cl.Timeout))
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	return parseBatchReply("acquire", reply, len(claims))
+}
+
+// ReleaseN releases a batch of transactions in one frame, returning one
+// outcome per transaction (same contract as AcquireN).
+func (c *ClientV2) ReleaseN(txns []int64) ([]error, error) {
+	if len(txns) == 0 {
+		return nil, nil
+	}
+	reply, err := c.roundTrip2(opReleaseN, func(fb *frameBuf) {
+		fb.appendU32(uint32(len(txns)))
+		for _, txn := range txns {
+			fb.appendU64(uint64(txn))
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	return parseBatchReply("release", reply, len(txns))
+}
+
+// parseBatchReply decodes the per-item statuses of an acquireN/releaseN
+// response.
+func parseBatchReply(op string, reply v2Reply, want int) ([]error, error) {
+	if reply.status != statusOK {
+		return nil, replyErr(op, reply)
+	}
+	fr := frameReader{b: reply.body}
+	k := int(fr.u32())
+	if fr.bad || k != want {
+		return nil, fmt.Errorf("locksrv: %sN: malformed batch response (%d items, want %d)", op, k, want)
+	}
+	out := make([]error, k)
+	for i := 0; i < k; i++ {
+		st := fr.byte()
+		msg := fr.take(int(fr.u32()))
+		if fr.bad {
+			return nil, fmt.Errorf("locksrv: %sN: malformed batch response item %d", op, i)
+		}
+		out[i] = replyErr(op, v2Reply{status: st, body: msg})
+	}
+	if !fr.done() {
+		return nil, fmt.Errorf("locksrv: %sN: trailing bytes in batch response", op)
+	}
+	return out, nil
+}
+
+// Stats fetches the server's lock-table counters.
+func (c *ClientV2) Stats() (lockmgr.Stats, error) {
+	table, _, err := c.FullStats()
+	return table, err
+}
+
+// FullStats fetches both halves of the stats op (shared JSON schema
+// with v1).
+func (c *ClientV2) FullStats() (lockmgr.Stats, ServerStats, error) {
+	reply, err := c.roundTrip2(opStats, func(fb *frameBuf) {})
+	if err != nil {
+		return lockmgr.Stats{}, ServerStats{}, err
+	}
+	if reply.status != statusOK {
+		return lockmgr.Stats{}, ServerStats{}, replyErr("stats", reply)
+	}
+	var resp Response
+	if err := json.Unmarshal(reply.body, &resp); err != nil {
+		return lockmgr.Stats{}, ServerStats{}, fmt.Errorf("locksrv: stats: %w", err)
+	}
+	if resp.Stats == nil {
+		return lockmgr.Stats{}, ServerStats{}, fmt.Errorf("locksrv: stats: empty payload")
+	}
+	var srv ServerStats
+	if resp.Server != nil {
+		srv = *resp.Server
+	}
+	return *resp.Stats, srv, nil
+}
+
+// Reconnects returns how many times the client re-established its
+// connection after a transport failure.
+func (c *ClientV2) Reconnects() int64 { return c.reconnects.Load() }
+
+// Retries returns how many request attempts were retries.
+func (c *ClientV2) Retries() int64 { return c.retried.Load() }
+
+// Close ends the session; the server releases any locks its
+// transactions still hold. In-flight calls fail with ErrClientClosed,
+// and no further reconnects are attempted.
+func (c *ClientV2) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	c.closed = true
+	conn := c.conn
+	c.conn = nil
+	c.wch = nil
+	wdone := c.wdone
+	c.wdone = nil
+	calls := c.pending
+	c.pending = make(map[uint64]chan v2Reply)
+	c.mu.Unlock()
+	var err error
+	if wdone != nil {
+		close(wdone)
+	}
+	if conn != nil {
+		err = conn.Close()
+	}
+	for _, ch := range calls {
+		ch <- v2Reply{err: ErrClientClosed}
+	}
+	return err
+}

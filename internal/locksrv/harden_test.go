@@ -525,7 +525,7 @@ func TestRetryBudgetExhausted(t *testing.T) {
 // TestBackoffDeterminism: the jitter stream is deterministic per seed.
 func TestBackoffDeterminism(t *testing.T) {
 	mk := func(seed uint64) []time.Duration {
-		c := &Client{backoffBase: 10 * time.Millisecond, backoffMax: time.Second, jitter: rng.New(seed)}
+		c := &Client{clientCfg: clientCfg{backoffBase: 10 * time.Millisecond, backoffMax: time.Second, jitter: rng.New(seed)}}
 		out := make([]time.Duration, 8)
 		for i := range out {
 			out[i] = c.backoffDelay(i)

@@ -1,0 +1,208 @@
+package locksrv
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"sync"
+)
+
+// Wire protocol v2: length-prefixed binary frames with request ids, so
+// requests pipeline and responses may return out of order. A v2 client
+// announces itself by sending the 4-byte magic "GLK2" immediately after
+// connecting; the server tells the protocols apart by the first byte
+// ('{' can only open a v1 JSON request). After the magic, the
+// connection carries nothing but frames in both directions:
+//
+//	uint32 BE  payload length (not counting these 4 bytes)
+//	byte       op (request) or status (response)
+//	uint64 BE  request id, echoed verbatim in the response
+//	...        op-specific body
+//
+// The header is fixed-width — no varints — so framing never depends on
+// body contents and a reader can skip a frame it does not understand.
+// Bodies use fixed-width big-endian integers throughout; only the
+// "stats" response carries JSON (the stats schema is shared with v1 and
+// changes more often than the hot-path ops).
+//
+// See docs/LOCKSRV.md for the full layout of every op.
+const protoMagic = "GLK2"
+
+// v2 request ops.
+const (
+	opAcquire  = 1 // txn(8) timeout_ms(8) n(4) then n × (granule(8) mode(1))
+	opRelease  = 2 // txn(8)
+	opStats    = 3 // empty body
+	opAcquireN = 4 // k(4) then k × acquire bodies
+	opReleaseN = 5 // k(4) then k × txn(8)
+)
+
+// v2 response statuses. statusOK covers batch responses too: the frame
+// succeeded even when individual sub-ops failed (their statuses travel
+// in the body).
+const (
+	statusOK         = 0
+	statusTimeout    = 1
+	statusClosed     = 2
+	statusNotOwner   = 3
+	statusBadRequest = 4
+	statusUnknownOp  = 5
+)
+
+// statusToCode maps a v2 status byte onto the shared v1 error taxonomy.
+func statusToCode(st byte) string {
+	switch st {
+	case statusOK:
+		return ""
+	case statusTimeout:
+		return CodeTimeout
+	case statusClosed:
+		return CodeClosed
+	case statusNotOwner:
+		return CodeNotOwner
+	case statusBadRequest:
+		return CodeBadRequest
+	default:
+		return CodeUnknownOp
+	}
+}
+
+// codeToStatus is the inverse of statusToCode; unknown codes map to
+// statusUnknownOp.
+func codeToStatus(code string) byte {
+	switch code {
+	case "":
+		return statusOK
+	case CodeTimeout:
+		return statusTimeout
+	case CodeClosed:
+		return statusClosed
+	case CodeNotOwner:
+		return statusNotOwner
+	case CodeBadRequest:
+		return statusBadRequest
+	default:
+		return statusUnknownOp
+	}
+}
+
+// frameHeader is the fixed header length after the 4-byte length prefix:
+// op/status byte plus the 8-byte request id.
+const frameHeader = 1 + 8
+
+// maxFrame bounds a frame payload so a corrupt or hostile length prefix
+// cannot make a reader allocate unbounded memory.
+const maxFrame = 4 << 20
+
+// frameBuf is a pooled, reusable frame being built or read. The first 4
+// bytes are always the length prefix, so a finished frame is written to
+// the connection with a single Write.
+type frameBuf struct {
+	b []byte
+}
+
+var framePool = sync.Pool{New: func() any { return &frameBuf{b: make([]byte, 0, 256)} }}
+
+func getFrame() *frameBuf  { return framePool.Get().(*frameBuf) }
+func putFrame(f *frameBuf) { f.b = f.b[:0]; framePool.Put(f) }
+
+// start begins a frame with the given op/status and request id, leaving
+// the length prefix to be patched by finish.
+func (f *frameBuf) start(op byte, id uint64) {
+	f.b = append(f.b[:0], 0, 0, 0, 0, op)
+	f.b = binary.BigEndian.AppendUint64(f.b, id)
+}
+
+// finish patches the length prefix; the frame is ready to write.
+func (f *frameBuf) finish() {
+	binary.BigEndian.PutUint32(f.b[:4], uint32(len(f.b)-4))
+}
+
+// bytes returns the wire form (length prefix included).
+func (f *frameBuf) bytes() []byte { return f.b }
+
+func (f *frameBuf) appendU64(v uint64) { f.b = binary.BigEndian.AppendUint64(f.b, v) }
+func (f *frameBuf) appendU32(v uint32) { f.b = binary.BigEndian.AppendUint32(f.b, v) }
+func (f *frameBuf) appendByte(v byte)  { f.b = append(f.b, v) }
+func (f *frameBuf) appendBytes(p []byte) {
+	f.b = append(f.b, p...)
+}
+
+// readFrame reads one frame into a pooled frameBuf. On success the
+// returned body aliases the frameBuf; the caller must putFrame it when
+// done. A torn frame (short header, short payload, oversized length)
+// returns an error — connection-fatal, as framing is lost.
+func readFrame(r *bufio.Reader) (fb *frameBuf, op byte, id uint64, body []byte, err error) {
+	var hdr [4]byte
+	if _, err = io.ReadFull(r, hdr[:]); err != nil {
+		return nil, 0, 0, nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n < frameHeader || n > maxFrame {
+		return nil, 0, 0, nil, fmt.Errorf("locksrv: bad frame length %d", n)
+	}
+	fb = getFrame()
+	if cap(fb.b) < int(n) {
+		fb.b = make([]byte, n)
+	}
+	fb.b = fb.b[:n]
+	if _, err = io.ReadFull(r, fb.b); err != nil {
+		putFrame(fb)
+		return nil, 0, 0, nil, err
+	}
+	op = fb.b[0]
+	id = binary.BigEndian.Uint64(fb.b[1:9])
+	return fb, op, id, fb.b[frameHeader:], nil
+}
+
+// frameReader is a cursor over a frame body for fixed-width decoding.
+type frameReader struct {
+	b   []byte
+	off int
+	bad bool
+}
+
+func (r *frameReader) u64() uint64 {
+	if r.off+8 > len(r.b) {
+		r.bad = true
+		return 0
+	}
+	v := binary.BigEndian.Uint64(r.b[r.off:])
+	r.off += 8
+	return v
+}
+
+func (r *frameReader) u32() uint32 {
+	if r.off+4 > len(r.b) {
+		r.bad = true
+		return 0
+	}
+	v := binary.BigEndian.Uint32(r.b[r.off:])
+	r.off += 4
+	return v
+}
+
+func (r *frameReader) byte() byte {
+	if r.off >= len(r.b) {
+		r.bad = true
+		return 0
+	}
+	v := r.b[r.off]
+	r.off++
+	return v
+}
+
+func (r *frameReader) take(n int) []byte {
+	if n < 0 || r.off+n > len(r.b) {
+		r.bad = true
+		return nil
+	}
+	v := r.b[r.off : r.off+n]
+	r.off += n
+	return v
+}
+
+// done reports whether the body was consumed exactly and without
+// overruns — trailing garbage is as malformed as a short body.
+func (r *frameReader) done() bool { return !r.bad && r.off == len(r.b) }

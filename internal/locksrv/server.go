@@ -6,12 +6,18 @@
 // all-or-nothing claims, blocking grants, and release, with the same
 // semantics as calling internal/lockmgr in-process.
 //
-// The wire protocol is newline-delimited JSON, one request and one
-// response per line, processed in order per connection. Blocking
-// acquisitions block the connection's request loop (a connection is a
-// session, like one database worker); concurrency comes from multiple
-// connections. A dropped connection releases every lock its
-// transactions still hold, so client crashes cannot strand granules.
+// Two wire protocols share the port, told apart by the first byte a
+// client sends. Protocol v1 is newline-delimited JSON, one request and
+// one response per line, processed in order per connection; blocking
+// acquisitions block the connection's request loop, and concurrency
+// comes from multiple connections. Protocol v2 (first bytes "GLK2") is
+// length-prefixed binary frames with request ids: requests pipeline,
+// execute concurrently, and responses return out of order as each
+// completes, so one connection carries many in-flight operations —
+// including batched acquireN/releaseN — with responses coalesced into
+// few writes (see proto2.go and docs/LOCKSRV.md). Under either
+// protocol a dropped connection releases every lock its transactions
+// still hold, so client crashes cannot strand granules.
 //
 // The service is hardened for real deployments: acquires carry an
 // optional wait deadline (timeout_ms) and fail with a distinguishable
@@ -29,6 +35,7 @@ package locksrv
 
 import (
 	"bufio"
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
@@ -163,6 +170,41 @@ func (r *waitRing) quantiles() (p50, p90, p99 float64, n int64) {
 	return qs[0], qs[1], qs[2], n
 }
 
+// ownedSet tracks the transactions granted on one session. Protocol v1
+// executes one request at a time, but v2 executors run concurrently, so
+// the set carries its own mutex.
+type ownedSet struct {
+	mu sync.Mutex
+	m  map[lockmgr.TxnID]struct{}
+}
+
+func newOwnedSet() *ownedSet {
+	return &ownedSet{m: make(map[lockmgr.TxnID]struct{})}
+}
+
+func (o *ownedSet) add(txn lockmgr.TxnID) {
+	o.mu.Lock()
+	o.m[txn] = struct{}{}
+	o.mu.Unlock()
+}
+
+func (o *ownedSet) remove(txn lockmgr.TxnID) {
+	o.mu.Lock()
+	delete(o.m, txn)
+	o.mu.Unlock()
+}
+
+// snapshot returns the owned transactions at teardown time.
+func (o *ownedSet) snapshot() []lockmgr.TxnID {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	out := make([]lockmgr.TxnID, 0, len(o.m))
+	for txn := range o.m {
+		out = append(out, txn)
+	}
+	return out
+}
+
 // session is one connection's server-side state.
 type session struct {
 	conn   net.Conn
@@ -200,6 +242,8 @@ type Server struct {
 	closed   bool
 	wg       sync.WaitGroup
 
+	inflight atomic.Int64 // requests decoded but not yet responded to
+
 	om    *serverMetrics // always non-nil after NewServer
 	waits waitRing
 }
@@ -217,6 +261,12 @@ type serverMetrics struct {
 	foreignReleases *obs.Counter
 	idleReaps       *obs.Counter
 	waitMS          *obs.Histogram
+
+	// Protocol v2 pipeline families.
+	v2Sessions    *obs.Counter
+	framesRead    *obs.Counter
+	framesWritten *obs.Counter
+	batchOps      *obs.Counter
 }
 
 // newServerMetrics registers the locksrv families on reg for s. The
@@ -239,6 +289,9 @@ func newServerMetrics(reg *obs.Registry, s *Server) *serverMetrics {
 	reg.NewGaugeFunc("granulock_locksrv_waiters",
 		"Requests currently parked in the served table.",
 		func() float64 { return float64(s.table.WaitersCount()) })
+	reg.NewGaugeFunc("granulock_locksrv_inflight",
+		"Requests decoded but not yet responded to, across all sessions.",
+		func() float64 { return float64(s.inflight.Load()) })
 	return &serverMetrics{
 		sessionsTotal: reg.NewCounter("granulock_locksrv_sessions_opened_total",
 			"Sessions ever opened."),
@@ -257,6 +310,14 @@ func newServerMetrics(reg *obs.Registry, s *Server) *serverMetrics {
 		waitMS: reg.NewHistogram("granulock_locksrv_acquire_wait_ms",
 			"Acquire wait time in milliseconds (granted or timed out).",
 			obs.ExpBuckets(0.5, 2, 16)), // 0.5ms .. ~16s
+		v2Sessions: reg.NewCounter("granulock_locksrv_v2_sessions_total",
+			"Sessions negotiated onto the binary pipelined protocol v2."),
+		framesRead: reg.NewCounter("granulock_locksrv_v2_frames_read_total",
+			"Protocol v2 request frames read."),
+		framesWritten: reg.NewCounter("granulock_locksrv_v2_frames_written_total",
+			"Protocol v2 response frames written."),
+		batchOps: reg.NewCounter("granulock_locksrv_v2_batch_subops_total",
+			"Sub-operations carried inside acquireN/releaseN batch frames."),
 	}
 }
 
@@ -449,24 +510,83 @@ func (r *sessionReader) Read(p []byte) (int, error) {
 	}
 }
 
-// handle runs one session as a reader/executor pair. The reader decodes
-// requests and hands them to the executor, so a disconnect is noticed
-// even while the executor is parked inside a blocking acquire — the
-// reader cancels the session context, the acquire aborts, and the
-// waiter's queue slot is freed immediately instead of at grant time.
+// handle runs one session: it sniffs the first byte to negotiate the
+// protocol — '{' can only open a v1 JSON request, the magic "GLK2"
+// selects the binary pipelined v2 — then runs the matching loop.
 // Transactions granted on this session are tracked and force-released
 // when it ends, however it ends.
 func (s *Server) handle(ctx context.Context, sess *session) {
 	defer s.wg.Done()
 	conn := sess.conn
-	owned := make(map[lockmgr.TxnID]struct{})
-	reqCh := make(chan Request)
+	owned := newOwnedSet()
 	var pending atomic.Int64
+	sr := &sessionReader{s: s, conn: conn, pending: &pending}
+	br := bufio.NewReader(sr)
+	defer s.teardown(sess, owned)
+
+	first, err := br.Peek(1)
+	if err != nil {
+		if sr.reaped {
+			s.om.idleReaps.Inc()
+		}
+		return
+	}
+	if first[0] == '{' {
+		s.handleV1(ctx, sess, br, sr, owned, &pending)
+		return
+	}
+	s.handleV2(ctx, sess, br, sr, owned, &pending)
+}
+
+// teardown ends a session: condemn it, close its connection, and
+// force-release every transaction it still owns.
+func (s *Server) teardown(sess *session, owned *ownedSet) {
+	sess.shutdown()
+	sess.conn.Close()
+	s.mu.Lock()
+	delete(s.sessions, sess)
+	s.mu.Unlock()
+	forced := int64(0)
+	for _, txn := range owned.snapshot() {
+		// Ownership check and release are one atomic step under
+		// s.mu: a transaction this session was granted may since
+		// have been re-granted on a live successor session (the
+		// client retried an acquire whose response a transport
+		// fault ate, and the retry won before this teardown ran).
+		// Those locks are the successor's; force-releasing them
+		// here would strip a live session's grants and break mutual
+		// exclusion. Holding s.mu across ReleaseAll keeps a
+		// successor's grant-then-record from interleaving with the
+		// check (grant recording also runs under s.mu).
+		s.mu.Lock()
+		if owner, ok := s.owners[txn]; ok && owner != sess {
+			s.mu.Unlock()
+			continue
+		}
+		delete(s.owners, txn)
+		if s.table.HeldBy(txn) > 0 {
+			forced++
+		}
+		s.table.ReleaseAll(txn)
+		s.mu.Unlock()
+	}
+	if forced > 0 {
+		s.om.forceReleases.Add(forced)
+	}
+}
+
+// handleV1 runs the JSON protocol as a reader/executor pair. The reader
+// decodes requests and hands them to the executor, so a disconnect is
+// noticed even while the executor is parked inside a blocking acquire —
+// the reader cancels the session context, the acquire aborts, and the
+// waiter's queue slot is freed immediately instead of at grant time.
+func (s *Server) handleV1(ctx context.Context, sess *session, br *bufio.Reader, sr *sessionReader, owned *ownedSet, pending *atomic.Int64) {
+	conn := sess.conn
+	reqCh := make(chan Request)
 
 	go func() {
 		defer close(reqCh)
-		sr := &sessionReader{s: s, conn: conn, pending: &pending}
-		dec := json.NewDecoder(bufio.NewReader(sr))
+		dec := json.NewDecoder(br)
 		for {
 			var req Request
 			if err := dec.Decode(&req); err != nil {
@@ -483,9 +603,12 @@ func (s *Server) handle(ctx context.Context, sess *session) {
 				return
 			}
 			pending.Add(1)
+			s.inflight.Add(1)
 			select {
 			case reqCh <- req:
 			case <-ctx.Done():
+				pending.Add(-1)
+				s.inflight.Add(-1)
 				return
 			}
 		}
@@ -497,47 +620,28 @@ func (s *Server) handle(ctx context.Context, sess *session) {
 		// Unblock a reader parked on its channel send, then wait for it
 		// to observe the dead conn and close reqCh.
 		for range reqCh {
-		}
-		s.mu.Lock()
-		delete(s.sessions, sess)
-		s.mu.Unlock()
-		forced := int64(0)
-		for txn := range owned {
-			// Ownership check and release are one atomic step under
-			// s.mu: a transaction this session was granted may since
-			// have been re-granted on a live successor session (the
-			// client retried an acquire whose response a transport
-			// fault ate, and the retry won before this teardown ran).
-			// Those locks are the successor's; force-releasing them
-			// here would strip a live session's grants and break mutual
-			// exclusion. Holding s.mu across ReleaseAll keeps a
-			// successor's grant-then-record from interleaving with the
-			// check (grant recording also runs under s.mu).
-			s.mu.Lock()
-			if owner, ok := s.owners[txn]; ok && owner != sess {
-				s.mu.Unlock()
-				continue
-			}
-			delete(s.owners, txn)
-			if s.table.HeldBy(txn) > 0 {
-				forced++
-			}
-			s.table.ReleaseAll(txn)
-			s.mu.Unlock()
-		}
-		if forced > 0 {
-			s.om.forceReleases.Add(forced)
+			pending.Add(-1)
+			s.inflight.Add(-1)
 		}
 	}()
 
-	enc := json.NewEncoder(conn)
+	// Responses are encoded into a reused buffer and written in one
+	// syscall each; v1 stays strictly request-response, so there is
+	// nothing to coalesce beyond that.
+	var encBuf bytes.Buffer
+	enc := json.NewEncoder(&encBuf)
 	for req := range reqCh {
 		resp := s.execute(ctx, sess, &req, owned)
 		if s.writeTimeout > 0 {
 			conn.SetWriteDeadline(time.Now().Add(s.writeTimeout))
 		}
-		err := enc.Encode(resp)
+		encBuf.Reset()
+		if err := enc.Encode(resp); err != nil {
+			return
+		}
+		_, err := conn.Write(encBuf.Bytes())
 		pending.Add(-1)
+		s.inflight.Add(-1)
 		if err != nil {
 			return
 		}
@@ -556,13 +660,32 @@ func (s *Server) draining() bool {
 	return s.closed
 }
 
-// execute performs one request against the table.
-func (s *Server) execute(ctx context.Context, sess *session, req *Request, owned map[lockmgr.TxnID]struct{}) Response {
+// execute performs one v1 request against the table.
+func (s *Server) execute(ctx context.Context, sess *session, req *Request, owned *ownedSet) Response {
 	switch req.Op {
 	case "acquire":
-		return s.executeAcquire(ctx, sess, req, owned)
+		if len(req.Exclusive) != len(req.Granules) {
+			return Response{Err: "granules and exclusive lengths differ", Code: CodeBadRequest}
+		}
+		reqs := make([]lockmgr.Request, len(req.Granules))
+		for i, g := range req.Granules {
+			mode := lockmgr.ModeShared
+			if req.Exclusive[i] {
+				mode = lockmgr.ModeExclusive
+			}
+			reqs[i] = lockmgr.Request{Granule: lockmgr.Granule(g), Mode: mode}
+		}
+		code, msg := s.acquireCore(ctx, sess, lockmgr.TxnID(req.Txn), reqs, req.TimeoutMS, owned)
+		if code == "" {
+			return Response{OK: true}
+		}
+		return Response{Err: msg, Code: code}
 	case "release":
-		return s.executeRelease(ctx, sess, req, owned)
+		code, msg := s.releaseCore(ctx, sess, lockmgr.TxnID(req.Txn), owned)
+		if code == "" {
+			return Response{OK: true}
+		}
+		return Response{Err: msg, Code: code}
 	case "stats":
 		ls := s.table.Stats()
 		ss := s.serverStats()
@@ -572,39 +695,45 @@ func (s *Server) execute(ctx context.Context, sess *session, req *Request, owned
 	}
 }
 
-// executeRelease releases everything txn holds, guarding ownership per
-// session. A release whose transaction is owned by a live peer session
-// is foreign and rejected with not_owner. But if the recorded owner is
-// a condemned session whose teardown hasn't run yet, this is the
-// transport-fault retry shape — the send of a release died mid-flight,
-// the client reconnected and resent on a fresh session — so instead of
-// rejecting a legitimate retry with a terminal error, wait out the
-// predecessor's teardown and complete idempotently (mirroring
-// executeAcquire's orphan handling).
-func (s *Server) executeRelease(ctx context.Context, sess *session, req *Request, owned map[lockmgr.TxnID]struct{}) Response {
-	txn := lockmgr.TxnID(req.Txn)
-	raceDeadline := time.Now().Add(ownerRaceWait)
+// releaseCore releases everything txn holds, guarding ownership per
+// session. It returns ("", "") on success, else an error code from the
+// shared taxonomy plus detail. A release whose transaction is owned by
+// a live peer session is foreign and rejected with not_owner. But if
+// the recorded owner is a condemned session whose teardown hasn't run
+// yet, this is the transport-fault retry shape — the send of a release
+// died mid-flight, the client reconnected and resent on a fresh session
+// — so instead of rejecting a legitimate retry with a terminal error,
+// wait out the predecessor's teardown and complete idempotently
+// (mirroring acquireCore's orphan handling).
+func (s *Server) releaseCore(ctx context.Context, sess *session, txn lockmgr.TxnID, owned *ownedSet) (string, string) {
+	// The race deadline is only needed once a foreign owner is actually
+	// observed; reading the clock lazily keeps the common case — a
+	// release by the rightful owner — free of time syscalls.
+	var raceDeadline time.Time
+	var tick *time.Timer
+	defer func() { stopTimer(tick) }()
 	for {
 		s.mu.Lock()
 		if owner, ok := s.owners[txn]; ok && owner != sess {
 			closing := owner.closing.Load()
 			s.mu.Unlock()
+			if raceDeadline.IsZero() {
+				raceDeadline = time.Now().Add(ownerRaceWait)
+			}
 			if !closing && time.Now().After(raceDeadline) {
 				// Still owned by a session that looks alive after the
 				// race bound: a genuine foreign release.
 				s.om.foreignReleases.Inc()
-				return Response{
-					Err:  fmt.Sprintf("transaction %d was granted on another session", req.Txn),
-					Code: CodeNotOwner,
-				}
+				return CodeNotOwner, fmt.Sprintf("transaction %d was granted on another session", txn)
 			}
 			// Owner condemned (teardown clears the entry shortly) or
 			// apparently alive but possibly an undetected disconnect;
 			// wait and re-check.
+			tick = resetTimer(tick, time.Millisecond)
 			select {
 			case <-ctx.Done():
-				return Response{Err: "session closed", Code: CodeClosed}
-			case <-time.After(time.Millisecond):
+				return CodeClosed, "session closed"
+			case <-tick.C:
 			}
 			continue
 		}
@@ -613,40 +742,42 @@ func (s *Server) executeRelease(ctx context.Context, sess *session, req *Request
 		// the release (same discipline as session teardown).
 		s.table.ReleaseAll(txn)
 		s.mu.Unlock()
-		delete(owned, txn)
-		return Response{OK: true}
+		owned.remove(txn)
+		return "", ""
 	}
 }
 
-// executeAcquire runs one conservative claim with the request's wait
-// deadline, records its wait time, and classifies the outcome.
-func (s *Server) executeAcquire(ctx context.Context, sess *session, req *Request, owned map[lockmgr.TxnID]struct{}) Response {
-	if len(req.Granules) == 0 {
-		return Response{Err: "acquire without granules", Code: CodeBadRequest}
+// acquireCore runs one conservative claim with the request's wait
+// deadline, records its wait time, and classifies the outcome. It
+// returns ("", "") on grant, else an error code from the shared
+// taxonomy plus detail.
+func (s *Server) acquireCore(ctx context.Context, sess *session, txn lockmgr.TxnID, reqs []lockmgr.Request, timeoutMS int64, owned *ownedSet) (string, string) {
+	if len(reqs) == 0 {
+		return CodeBadRequest, "acquire without granules"
 	}
-	if len(req.Exclusive) != len(req.Granules) {
-		return Response{Err: "granules and exclusive lengths differ", Code: CodeBadRequest}
+	if timeoutMS < 0 {
+		return CodeBadRequest, "negative timeout_ms"
 	}
-	if req.TimeoutMS < 0 {
-		return Response{Err: "negative timeout_ms", Code: CodeBadRequest}
-	}
-	reqs := make([]lockmgr.Request, len(req.Granules))
-	for i, g := range req.Granules {
-		mode := lockmgr.ModeShared
-		if req.Exclusive[i] {
-			mode = lockmgr.ModeExclusive
-		}
-		reqs[i] = lockmgr.Request{Granule: lockmgr.Granule(g), Mode: mode}
-	}
-	txn := lockmgr.TxnID(req.Txn)
 	actx := ctx
-	if req.TimeoutMS > 0 {
+	if timeoutMS > 0 {
 		var cancel context.CancelFunc
-		actx, cancel = context.WithTimeout(ctx, time.Duration(req.TimeoutMS)*time.Millisecond)
+		actx, cancel = context.WithTimeout(ctx, time.Duration(timeoutMS)*time.Millisecond)
 		defer cancel()
 	}
+	// Fast path: an immediate grant waited zero time by definition, so
+	// record the zero sample without reading the clock — at service
+	// rates the two time syscalls per acquire are a measurable tax.
+	granted, err := s.table.TryAcquireAll(txn, reqs)
+	if granted {
+		s.waits.add(0)
+		s.om.waitMS.Observe(0)
+		return s.finishAcquire(sess, txn, timeoutMS, nil, owned)
+	}
 	start := time.Now()
-	var err error
+	// The orphan-retry loop below polls every millisecond; the timer is
+	// allocated once per call and reset, not once per poll.
+	var tick *time.Timer
+	defer func() { stopTimer(tick) }()
 	for {
 		err = s.table.AcquireAll(actx, txn, reqs)
 		if err == nil || !errors.Is(err, lockmgr.ErrAlreadyHolds) {
@@ -673,10 +804,11 @@ func (s *Server) executeAcquire(ctx context.Context, sess *session, req *Request
 		// (TCP orders nothing across connections). Its ReleaseAll is
 		// imminent; wait it out within the deadline rather than failing
 		// a legitimate retry.
+		tick = resetTimer(tick, time.Millisecond)
 		select {
 		case <-actx.Done():
 			err = actx.Err()
-		case <-time.After(time.Millisecond):
+		case <-tick.C:
 			continue
 		}
 		break
@@ -684,31 +816,52 @@ func (s *Server) executeAcquire(ctx context.Context, sess *session, req *Request
 	waitMS := float64(time.Since(start)) / float64(time.Millisecond)
 	s.waits.add(waitMS)
 	s.om.waitMS.Observe(waitMS)
+	return s.finishAcquire(sess, txn, timeoutMS, err, owned)
+}
+
+// finishAcquire records ownership and classifies the acquire outcome,
+// shared by the zero-wait fast path and the blocking path.
+func (s *Server) finishAcquire(sess *session, txn lockmgr.TxnID, timeoutMS int64, err error, owned *ownedSet) (string, string) {
 	switch {
 	case err == nil:
 		s.mu.Lock()
 		s.owners[txn] = sess
 		s.mu.Unlock()
-		owned[txn] = struct{}{}
+		owned.add(txn)
 		s.om.grants.Inc()
-		return Response{OK: true}
+		return "", ""
 	case errors.Is(err, context.DeadlineExceeded):
 		// The per-acquire deadline expired; the claim was withdrawn and
 		// the transaction holds nothing.
 		s.om.timeouts.Inc()
-		return Response{
-			Err:  fmt.Sprintf("acquire timed out after %dms", req.TimeoutMS),
-			Code: CodeTimeout,
-		}
+		return CodeTimeout, fmt.Sprintf("acquire timed out after %dms", timeoutMS)
 	case errors.Is(err, context.Canceled):
 		// The session's context was cancelled: disconnect or forced
 		// drain.
 		s.om.cancels.Inc()
-		return Response{Err: "session closed", Code: CodeClosed}
+		return CodeClosed, "session closed"
 	default:
 		// Protocol misuse (e.g. a second conservative claim while the
 		// first is still held).
-		return Response{Err: err.Error(), Code: CodeBadRequest}
+		return CodeBadRequest, err.Error()
+	}
+}
+
+// resetTimer arms t for d, allocating it on first use. The timer's
+// channel must have been drained or fired (the select discipline in the
+// poll loops guarantees it).
+func resetTimer(t *time.Timer, d time.Duration) *time.Timer {
+	if t == nil {
+		return time.NewTimer(d)
+	}
+	t.Reset(d)
+	return t
+}
+
+// stopTimer releases a possibly-nil poll timer.
+func stopTimer(t *time.Timer) {
+	if t != nil {
+		t.Stop()
 	}
 }
 

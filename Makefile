@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race bench benchsrv locknet verify
+.PHONY: build test vet race bench benchsrv benchlock locknet verify
 
 build:
 	$(GO) build ./...
@@ -27,6 +27,13 @@ bench:
 benchsrv:
 	$(GO) run ./cmd/bench -suite locksrv -out BENCH_locksrv.json
 
+# benchlock regenerates BENCH_lockmgr.json, the lock-table fast-path
+# report (lock-free CAS path vs stripe-locked path; see DESIGN.md).
+# The headline comparison carries a 5x acceptance target, so a
+# regenerate on a machine where the fast path has regressed fails.
+benchlock:
+	$(GO) run ./cmd/bench -suite lockmgr -out BENCH_lockmgr.json
+
 # locknet is the ISSUE 3 acceptance scenario: 1000 transactions through
 # the network lock service behind the fault-injecting transport (drops,
 # delays, partial writes); runNet fails unless the drain strands zero
@@ -42,10 +49,14 @@ locknet:
 # traffic scraped through /metrics and validated as Prometheus text),
 # the faulty network lock-service smoke run under both wire protocols,
 # and quick benchmark smoke runs: the model suite regenerates
-# BENCH_model.json with shortened figure sweeps, and the lock-service
+# BENCH_model.json with shortened figure sweeps, the lock-service
 # suite exercises both protocols and stripe counts end to end (its
 # quick report goes to a scratch path — the checked-in
-# BENCH_locksrv.json is full-fidelity only, via `make benchsrv`).
+# BENCH_locksrv.json is full-fidelity only, via `make benchsrv`), and
+# the lockmgr suite is diffed against the checked-in baseline: quick
+# vs full reports compare machine-independent speedup ratios, failing
+# on a >25% ratio drop or any acceptance target missed (the fast-path
+# headline carries a hard 5x floor).
 verify:
 	$(GO) vet ./...
 	$(GO) test -race ./...
@@ -54,3 +65,4 @@ verify:
 	$(GO) run ./cmd/locksim -net 8 -nettxns 1000 -netfaults -netproto v2 -ltot 100
 	$(GO) run ./cmd/bench -suite model -quick -out BENCH_model.json
 	$(GO) run ./cmd/bench -suite locksrv -quick -out /tmp/BENCH_locksrv.quick.json
+	$(GO) run ./cmd/bench -suite lockmgr -quick -out /tmp/BENCH_lockmgr.quick.json -compare BENCH_lockmgr.json

@@ -39,6 +39,7 @@ type lsEntry struct {
 	Workers int    `json:"workers,omitempty"` // concurrent request loops per connection
 	Batch   int    `json:"batch,omitempty"`   // claims per acquireN frame (batched mode)
 	Pool    int    `json:"pool,omitempty"`    // shared granule pool (contended runs)
+	Fast    bool   `json:"fast,omitempty"`    // lock-free fast path enabled (lockmgr suite)
 
 	Ops         int64   `json:"ops"` // acquire+release pairs completed
 	NsPerOp     float64 `json:"ns_per_op"`

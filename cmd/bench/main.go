@@ -4,15 +4,22 @@
 //
 //	go run ./cmd/bench -suite model   -out BENCH_model.json
 //	go run ./cmd/bench -suite locksrv -out BENCH_locksrv.json
+//	go run ./cmd/bench -suite lockmgr -out BENCH_lockmgr.json
 //
 // The model suite measures the simulation engine and two representative
 // figure sweeps. The locksrv suite measures the network lock service —
 // wire protocol v1 vs v2, serial vs pipelined vs batched, lock table
-// sharded vs not — plus lockmgr microbenchmarks (see locksrv.go).
+// sharded vs not — plus lockmgr microbenchmarks (see locksrv.go). The
+// lockmgr suite measures the in-process lock table with the lock-free
+// fast path enabled vs force-disabled (see lockmgr.go).
 //
 // The -quick flag shortens the workloads for CI smoke runs; -compare
 // OLD.json re-reads a previous report and exits nonzero if any
-// benchmark's throughput regressed by more than 10%.
+// benchmark's throughput regressed by more than 10%. When the two
+// reports disagree on the quick flag (a CI smoke run diffed against a
+// checked-in full run from a different machine), absolute throughput
+// is not comparable; the diff falls back to the reports' recorded
+// speedup ratios, which are machine-independent.
 package main
 
 import (
@@ -182,7 +189,7 @@ func record(name string, r testing.BenchmarkResult, eventsPerOp float64) entry {
 }
 
 func main() {
-	suite := flag.String("suite", "model", "benchmark suite: model or locksrv")
+	suite := flag.String("suite", "model", "benchmark suite: model, locksrv or lockmgr")
 	out := flag.String("out", "", "output path (default BENCH_<suite>.json)")
 	quick := flag.Bool("quick", false, "shorten workloads for CI smoke runs")
 	compare := flag.String("compare", "", "previous report to diff against; exit nonzero on >10% throughput regression")
@@ -212,8 +219,10 @@ func main() {
 		data, err = runModel(*quick)
 	case "locksrv":
 		data, err = runLocksrv(*quick)
+	case "lockmgr":
+		data, err = runLockmgr(*quick)
 	default:
-		err = fmt.Errorf("unknown suite %q (want model or locksrv)", *suite)
+		err = fmt.Errorf("unknown suite %q (want model, locksrv or lockmgr)", *suite)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "bench:", err)
@@ -298,14 +307,33 @@ func (b compBench) throughput() float64 {
 	return b.EventsPerSec
 }
 
+// compComparison is the slice of a recorded comparison the ratio
+// fallback needs: the named speedup plus its acceptance floor.
+type compComparison struct {
+	Name    string  `json:"name"`
+	Speedup float64 `json:"speedup"`
+	Target  float64 `json:"target"`
+	Pass    bool    `json:"pass"`
+}
+
 type comparable struct {
-	Benchmarks []compBench `json:"benchmarks"`
+	Quick       bool             `json:"quick"`
+	Benchmarks  []compBench      `json:"benchmarks"`
+	Comparisons []compComparison `json:"comparisons"`
 }
 
 // compareReports diffs the fresh report against a previous one and
 // fails on any benchmark whose throughput dropped more than 10%.
 // Benchmarks present on only one side are reported but never fail the
 // run (suites grow).
+//
+// When the reports disagree on the quick flag — the CI smoke case,
+// where a quick run on an arbitrary runner is diffed against the
+// checked-in full-fidelity report from another machine — absolute
+// throughput is not comparable and the diff uses the reports' recorded
+// speedup ratios instead (fast vs slow measured within one process on
+// one machine), with the same 10% tolerance. Either way, any recorded
+// comparison carrying an acceptance target must pass in the fresh run.
 func compareReports(newData []byte, oldPath string) error {
 	oldData, err := os.ReadFile(oldPath)
 	if err != nil {
@@ -316,6 +344,14 @@ func compareReports(newData []byte, oldPath string) error {
 		return fmt.Errorf("%s: %w", oldPath, err)
 	}
 	if err := json.Unmarshal(newData, &newRep); err != nil {
+		return err
+	}
+	if oldRep.Quick != newRep.Quick && len(oldRep.Comparisons) > 0 {
+		fmt.Printf("compare: quick flags differ (old=%v new=%v); comparing speedup ratios, not throughput\n",
+			oldRep.Quick, newRep.Quick)
+		return compareRatios(oldRep, newRep, oldPath)
+	}
+	if err := checkTargets(newRep); err != nil {
 		return err
 	}
 	newBy := make(map[string]float64, len(newRep.Benchmarks))
@@ -344,6 +380,62 @@ func compareReports(newData []byte, oldPath string) error {
 	}
 	if len(regressed) > 0 {
 		return fmt.Errorf("%d benchmark(s) regressed more than %.0f%%: %v", len(regressed), tolerance*100, regressed)
+	}
+	return nil
+}
+
+// compareRatios diffs the recorded speedup ratios of two reports.
+// Ratios divide out the machine: a fast-vs-slow speedup measured on a
+// CI runner is directly comparable to the same speedup measured on the
+// baseline machine, while their absolute ops/sec are not. The
+// tolerance is wider than the throughput diff's because a ratio
+// compounds the noise of two measurements; the hard floor is the
+// recorded acceptance targets, which checkTargets enforces on the
+// fresh run regardless of drift.
+func compareRatios(oldRep, newRep comparable, oldPath string) error {
+	newBy := make(map[string]compComparison, len(newRep.Comparisons))
+	for _, c := range newRep.Comparisons {
+		newBy[c.Name] = c
+	}
+	const tolerance = 0.25
+	var regressed []string
+	for _, old := range oldRep.Comparisons {
+		now, ok := newBy[old.Name]
+		if !ok {
+			fmt.Printf("compare: %-58s only in %s\n", old.Name, oldPath)
+			continue
+		}
+		if old.Speedup <= 0 {
+			continue
+		}
+		ratio := now.Speedup / old.Speedup
+		status := "ok"
+		if ratio < 1-tolerance {
+			status = "REGRESSED"
+			regressed = append(regressed, old.Name)
+		}
+		fmt.Printf("compare: %-58s %6.2fx -> %6.2fx  (%.2fx) %s\n", old.Name, old.Speedup, now.Speedup, ratio, status)
+	}
+	if err := checkTargets(newRep); err != nil {
+		return err
+	}
+	if len(regressed) > 0 {
+		return fmt.Errorf("%d speedup ratio(s) regressed more than %.0f%%: %v", len(regressed), tolerance*100, regressed)
+	}
+	return nil
+}
+
+// checkTargets fails if any comparison in the fresh report missed its
+// recorded acceptance floor.
+func checkTargets(rep comparable) error {
+	var missed []string
+	for _, c := range rep.Comparisons {
+		if c.Target > 0 && !c.Pass {
+			missed = append(missed, fmt.Sprintf("%s: %.2fx < target %.0fx", c.Name, c.Speedup, c.Target))
+		}
+	}
+	if len(missed) > 0 {
+		return fmt.Errorf("%d comparison(s) below their acceptance target: %v", len(missed), missed)
 	}
 	return nil
 }

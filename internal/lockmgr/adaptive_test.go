@@ -1,0 +1,202 @@
+package lockmgr
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+// Tests for WithAdaptiveEscalation: hot-parent suppression and
+// de-escalation of coarse locks that block other transactions.
+
+func TestAdaptiveEscalationStillEscalatesWhenCold(t *testing.T) {
+	h := NewHierTable(WithAdaptiveEscalation(3, 5))
+	ctx := context.Background()
+	for i := 0; i < 3; i++ {
+		if err := h.Lock(ctx, 1, path("db", "rel", string(rune('a'+i))), GModeX); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n := h.Escalations(); n != 1 {
+		t.Fatalf("escalations = %d, want 1", n)
+	}
+	if m, ok := h.Held(1, "rel"); !ok || m != GModeX {
+		t.Fatalf("rel held as %v, want X", m)
+	}
+}
+
+// TestDeescalationUnblocksReader: a writer escalates to X on the
+// relation; a reader arriving later must not park behind the coarse
+// lock — the table rolls the escalation back and the reader proceeds
+// against ordinary fine-grained compatibility.
+func TestDeescalationUnblocksReader(t *testing.T) {
+	h := NewHierTable(WithAdaptiveEscalation(2, 100))
+	ctx := context.Background()
+	if err := h.Lock(ctx, 1, path("db", "rel", "g1"), GModeX); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Lock(ctx, 1, path("db", "rel", "g2"), GModeX); err != nil {
+		t.Fatal(err)
+	}
+	if n := h.Escalations(); n != 1 {
+		t.Fatalf("escalations = %d, want 1", n)
+	}
+	// The reader targets an untouched granule; the only obstacle is the
+	// escalated X on "rel". With plain WithEscalation it would block
+	// (see TestEscalationReaderGetsS); adaptively it must proceed.
+	done := make(chan error, 1)
+	go func() { done <- h.Lock(ctx, 2, path("db", "rel", "g3"), GModeS) }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("reader failed: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("reader blocked: escalated lock was not de-escalated")
+	}
+	if n := h.Deescalations(); n != 1 {
+		t.Fatalf("deescalations = %d, want 1", n)
+	}
+	// The writer is back to its fine-grained shape: IX on rel.
+	if m, ok := h.Held(1, "rel"); !ok || m != GModeIX {
+		t.Fatalf("writer holds %v on rel after de-escalation, want IX", m)
+	}
+	// Its real child locks were never touched.
+	if m, ok := h.Held(1, "g1"); !ok || m != GModeX {
+		t.Fatalf("writer's child lock g1 = %v (held=%v), want X", m, ok)
+	}
+	h.ReleaseAll(1)
+	h.ReleaseAll(2)
+}
+
+// TestDeescalationMaterializesAbsorbedLocks: accesses absorbed by the
+// coarse lock must be re-granted as real locks when it is rolled back,
+// or the absorbed access would silently lose its cover.
+func TestDeescalationMaterializesAbsorbedLocks(t *testing.T) {
+	h := NewHierTable(WithAdaptiveEscalation(2, 100))
+	ctx := context.Background()
+	if err := h.Lock(ctx, 1, path("db", "rel", "g1"), GModeX); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Lock(ctx, 1, path("db", "rel", "g2"), GModeX); err != nil {
+		t.Fatal(err)
+	}
+	// Absorbed by the escalated X: no real lock is taken on g9.
+	if err := h.Lock(ctx, 1, path("db", "rel", "g9"), GModeX); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := h.Held(1, "g9"); ok {
+		t.Fatal("absorbed access should not hold a real lock yet")
+	}
+	// A reader on g3 forces de-escalation; g9's cover must materialize.
+	if err := h.Lock(ctx, 2, path("db", "rel", "g3"), GModeS); err != nil {
+		t.Fatal(err)
+	}
+	if m, ok := h.Held(1, "g9"); !ok || m != GModeX {
+		t.Fatalf("absorbed lock not materialized: g9 = %v (held=%v), want X", m, ok)
+	}
+	// And it really excludes: a reader on g9 must now block.
+	blocked := make(chan error, 1)
+	go func() { blocked <- h.Lock(ctx, 3, path("db", "rel", "g9"), GModeS) }()
+	select {
+	case err := <-blocked:
+		t.Fatalf("reader on materialized g9 should block, got %v", err)
+	case <-time.After(50 * time.Millisecond):
+	}
+	h.ReleaseAll(1)
+	if err := <-blocked; err != nil {
+		t.Fatal(err)
+	}
+	h.ReleaseAll(2)
+	h.ReleaseAll(3)
+}
+
+// TestHotParentNotEscalated: a parent that keeps blocking requests is
+// too contended for a coarse lock; escalation must be suppressed until
+// it cools.
+func TestHotParentNotEscalated(t *testing.T) {
+	h := NewHierTable(WithAdaptiveEscalation(2, 1))
+	ctx := context.Background()
+	// Heat "rel": txn 2 parks against txn 1's granule lock, which sits
+	// under the same parent. Each park heats every node it parks on —
+	// here the conflict is on the granule, so heat the parent directly
+	// instead: txn 2 requests S on rel while txn 1 holds IX.
+	if err := h.Lock(ctx, 1, path("db", "rel", "g1"), GModeX); err != nil {
+		t.Fatal(err)
+	}
+	parked := make(chan error, 1)
+	cctx, cancel := context.WithCancel(ctx)
+	go func() { parked <- h.Lock(cctx, 2, path("db", "rel"), GModeS) }()
+	time.Sleep(50 * time.Millisecond) // let the reader park: rel.heat becomes 1
+	cancel()
+	if err := <-parked; err == nil {
+		t.Fatal("reader should have been cancelled while parked")
+	}
+	// Crossing the escalation threshold on the now-hot parent must NOT
+	// escalate.
+	if err := h.Lock(ctx, 1, path("db", "rel", "g2"), GModeX); err != nil {
+		t.Fatal(err)
+	}
+	if n := h.Escalations(); n != 0 {
+		t.Fatalf("escalations = %d on a hot parent, want 0", n)
+	}
+	h.ReleaseAll(1)
+}
+
+// TestExplicitLockOnEscalatedNodeNotDeescalated: once a transaction
+// explicitly requests the coarse mode it was escalated to, the lock is
+// a direct one and must survive contention.
+func TestExplicitLockOnEscalatedNodeNotDeescalated(t *testing.T) {
+	h := NewHierTable(WithAdaptiveEscalation(2, 100))
+	ctx := context.Background()
+	if err := h.Lock(ctx, 1, path("db", "rel", "g1"), GModeX); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Lock(ctx, 1, path("db", "rel", "g2"), GModeX); err != nil {
+		t.Fatal(err)
+	}
+	// Explicitly lock the relation in X: converts the escalated grant.
+	if err := h.Lock(ctx, 1, path("db", "rel"), GModeX); err != nil {
+		t.Fatal(err)
+	}
+	// A reader must now genuinely block (no de-escalation available).
+	blocked := make(chan error, 1)
+	go func() { blocked <- h.Lock(ctx, 2, path("db", "rel", "g3"), GModeS) }()
+	select {
+	case err := <-blocked:
+		t.Fatalf("reader should block behind the explicit X, got %v", err)
+	case <-time.After(50 * time.Millisecond):
+	}
+	if n := h.Deescalations(); n != 0 {
+		t.Fatalf("deescalations = %d, want 0", n)
+	}
+	h.ReleaseAll(1)
+	if err := <-blocked; err != nil {
+		t.Fatal(err)
+	}
+	h.ReleaseAll(2)
+}
+
+// TestAdaptiveStateClearedOnRelease: escalation records must not leak
+// across transaction lifetimes.
+func TestAdaptiveStateClearedOnRelease(t *testing.T) {
+	h := NewHierTable(WithAdaptiveEscalation(2, 100))
+	ctx := context.Background()
+	for round := 0; round < 3; round++ {
+		if err := h.Lock(ctx, 1, path("db", "rel", "g1"), GModeX); err != nil {
+			t.Fatal(err)
+		}
+		if err := h.Lock(ctx, 1, path("db", "rel", "g2"), GModeX); err != nil {
+			t.Fatal(err)
+		}
+		h.ReleaseAll(1)
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if len(h.escaped) != 0 {
+		t.Fatalf("%d escalation records leaked", len(h.escaped))
+	}
+	if len(h.held) != 0 || len(h.nodes) != 0 {
+		t.Fatalf("state leaked: held=%d nodes=%d", len(h.held), len(h.nodes))
+	}
+}

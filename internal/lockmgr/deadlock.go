@@ -11,6 +11,13 @@ package lockmgr
 type Detector struct {
 	out   map[TxnID]map[TxnID]struct{}
 	edges int // running edge count, so Edges() is O(1)
+
+	// DFS scratch, reused across InCycle calls. Callers already
+	// serialize detector access (Table under detMu, HierTable under its
+	// table mutex), so a per-call allocation buys nothing but GC work —
+	// and InCycle runs on every block, squarely on the contended path.
+	visited map[TxnID]struct{}
+	stack   []TxnID
 }
 
 // NewDetector returns an empty waits-for graph.
@@ -68,8 +75,17 @@ func (d *Detector) InCycle(txn TxnID) bool {
 		return false
 	}
 	// Iterative DFS from txn looking for a path back to txn.
-	visited := make(map[TxnID]struct{}, 8)
-	stack := make([]TxnID, 0, 8)
+	if d.visited == nil {
+		d.visited = make(map[TxnID]struct{}, 8)
+	}
+	visited := d.visited
+	stack := d.stack[:0]
+	defer func() {
+		for v := range visited {
+			delete(visited, v)
+		}
+		d.stack = stack[:0]
+	}()
 	for next := range d.out[txn] {
 		stack = append(stack, next)
 	}

@@ -1,0 +1,532 @@
+package lockmgr
+
+import (
+	"runtime"
+	"sync/atomic"
+)
+
+// The lock-free uncontended fast path.
+//
+// The stripe mutex is the residual hot-path cost of the sharded table:
+// even a perfectly uncontended acquire/release pair pays two mutex
+// round trips plus map traffic on the granule stripe. The fast path
+// removes both for the common case the paper's trade-off curves hinge
+// on — a single-granule S or X request against a granule nobody else
+// holds — by granting through one compare-and-swap on a packed atomic
+// word, and falling back to the existing stripe-locked machinery the
+// moment any conflict, waiter, or multi-granule request is observed.
+//
+// # Packed word
+//
+// Each fast-eligible granule owns one 64-bit word in a per-shard
+// lock-free index. The word fully describes the granule's fast-path
+// state, so CAS ABA is benign (a word that reads the same *is* the
+// same state):
+//
+//	0                                  FREE: no holder, fast grants allowed
+//	fpSlowBit                          SLOW: state lives in the stripe-locked
+//	                                   map; fast ops must take the slow path
+//	fpSlowBit|fpTombBit                TOMB: index entry evicted; terminal
+//	fpFastBit [|fpModeXBit] | txn      FAST: exactly one holder (txn, in S
+//	                                   or X); no waiters, no map entry
+//
+// Transactions outside (0, 1<<fpTxnBits) cannot be packed and simply
+// never use the fast path.
+//
+// # Invariants
+//
+//   - Map state authoritative ⇔ word is SLOW. Every slow-path operation
+//     demotes the granules it touches (demoteLocked) before reading or
+//     writing the map, materializing a FAST holder into the holders map.
+//     While a word is SLOW only stripe-mutex holders may write it.
+//   - FAST or FREE ⇒ no map entry, no step waiters, and no parked claim
+//     names the granule: promotion back out of SLOW (promoteLocked)
+//     requires zero holders, zero waiters and no claim-queue reference.
+//     A fast grant therefore can never overtake a parked request.
+//   - The per-transaction hold set is updated in the same ts.mu critical
+//     section as the word CAS, so ReleaseAll and the duplicate-claim
+//     check serialize against fast grants exactly as against slow ones.
+//
+// # Waiting discipline
+//
+// A conflicting request that finds a FAST single holder spins a bounded
+// number of times (runtime.Gosched between probes) before parking
+// through the slow path — the spin-then-park discipline of the Oracle
+// retrial-spinlock study in PAPERS.md. The budget adapts per granule
+// from observed outcomes, which proxy the holder's hold time: a spin
+// that wins (hold shorter than the spin window) doubles the budget, a
+// spin that exhausts (hold longer) halves it, so long-hold granules
+// converge to park-immediately and short-hold granules to spin-and-win.
+
+const (
+	fpSlowBit  = 1 << 63
+	fpTombBit  = 1 << 62
+	fpFastBit  = 1 << 61
+	fpModeXBit = 1 << 60
+
+	fpSlow = fpSlowBit
+	fpTomb = fpSlowBit | fpTombBit
+
+	fpTxnBits = 48
+	fpTxnMask = (1 << fpTxnBits) - 1
+
+	// fpSlots is the per-shard fast-index capacity (power of two) and
+	// fpProbe the linear-probe window. Hot granules live in the index;
+	// an acquire whose granule cannot claim a slot just uses the slow
+	// path, so the cap bounds memory without affecting correctness.
+	fpSlots = 2048
+	fpMask  = fpSlots - 1
+	fpProbe = 4
+
+	// Adaptive spin bounds. The seed is deliberately small: a granule
+	// must demonstrate short hold times before the table burns cycles
+	// on it, and fpSpinMax keeps the worst-case pre-park delay far
+	// below any wait a caller could observe as a decision change.
+	fpSpinSeed = 8
+	fpSpinMin  = 1
+	fpSpinMax  = 64
+)
+
+// fpPack builds a FAST word: single holder txn in the given mode.
+func fpPack(txn TxnID, mode Mode) uint64 {
+	w := uint64(fpFastBit) | uint64(txn)
+	if mode == ModeExclusive {
+		w |= fpModeXBit
+	}
+	return w
+}
+
+// fpIsFast reports whether w encodes a single fast holder.
+func fpIsFast(w uint64) bool { return w&fpFastBit != 0 && w&fpSlowBit == 0 }
+
+// fpTxnOf extracts the holder of a FAST word.
+func fpTxnOf(w uint64) TxnID { return TxnID(w & fpTxnMask) }
+
+// fpModeOf extracts the holder's mode from a FAST word.
+func fpModeOf(w uint64) Mode {
+	if w&fpModeXBit != 0 {
+		return ModeExclusive
+	}
+	return ModeShared
+}
+
+// fpPackable reports whether txn can be encoded in a FAST word.
+func fpPackable(txn TxnID) bool { return txn > 0 && txn <= fpTxnMask }
+
+// fastState is one granule's fast-path record. The granule field is
+// immutable after publication; all coordination goes through word.
+type fastState struct {
+	granule Granule
+	word    atomic.Uint64
+	// spin is the adaptive spin budget for conflicting requests, in
+	// Gosched-separated probes (see the waiting-discipline comment).
+	spin atomic.Int32
+}
+
+// FastPathStats counts fast-path activity. All fields are cumulative.
+type FastPathStats struct {
+	Grants    int64 // acquisitions granted by CAS alone (claims, steps, upgrades)
+	Releases  int64 // ReleaseAll calls completed without any stripe mutex
+	Fallbacks int64 // fast attempts that deferred to the stripe-locked path
+	SpinWins  int64 // conflicting requests granted while spinning
+	SpinParks int64 // conflicting requests that exhausted their spin budget
+}
+
+// FastStats returns a snapshot of the fast-path counters.
+func (t *Table) FastStats() FastPathStats {
+	return FastPathStats{
+		Grants:    t.fpGrants.Load(),
+		Releases:  t.fpReleases.Load(),
+		Fallbacks: t.fpFallbacks.Load(),
+		SpinWins:  t.fpSpinWins.Load(),
+		SpinParks: t.fpSpinParks.Load(),
+	}
+}
+
+// SetFastPath enables or disables the lock-free fast path at runtime.
+// Disabling never strands state: granules granted through the fast path
+// are migrated into the stripe-locked map lazily, the next time any
+// slow-path operation touches them.
+func (t *Table) SetFastPath(on bool) { t.fastOn.Store(on) }
+
+// FastPathEnabled reports whether the fast path is active.
+func (t *Table) FastPathEnabled() bool { return t.fastOn.Load() }
+
+// fastLookup finds g's fast record without any lock. Slots are only
+// ever written nil→non-nil (eviction replaces the pointer, never
+// clears it), so a nil slot proves g was never inserted in its window.
+func (s *shard) fastLookup(g Granule) *fastState {
+	h := mix64(uint64(g))
+	for i := uint64(0); i < fpProbe; i++ {
+		fs := s.fast[(h+i)&fpMask].Load()
+		if fs == nil {
+			return nil
+		}
+		if fs.granule == g {
+			return fs
+		}
+	}
+	return nil
+}
+
+// fastInsert publishes a fast record for g, evicting an idle tenant if
+// the probe window is full. Caller holds s.mu, which serializes all
+// slot writes for the shard; eviction is safe against lock-free fast
+// ops because the victim's word is tombstoned by CAS first — an
+// in-flight CAS on the victim either lands before (aborting the
+// eviction) or fails against the tombstone and falls back. Returns nil
+// when no slot can be claimed (g simply stays slow-path only).
+func (s *shard) fastInsert(g Granule) *fastState {
+	h := mix64(uint64(g))
+	var victim *atomic.Pointer[fastState]
+	for i := uint64(0); i < fpProbe; i++ {
+		slot := &s.fast[(h+i)&fpMask]
+		fs := slot.Load()
+		if fs == nil {
+			nfs := &fastState{granule: g}
+			nfs.spin.Store(fpSpinSeed)
+			slot.Store(nfs)
+			return nfs
+		}
+		if fs.granule == g {
+			return fs
+		}
+		if victim == nil && fs.word.Load() == 0 {
+			victim = slot
+		}
+	}
+	if victim == nil {
+		return nil
+	}
+	old := victim.Load()
+	if !old.word.CompareAndSwap(0, fpTomb) {
+		return nil // tenant got busy between probe and eviction
+	}
+	nfs := &fastState{granule: g}
+	nfs.spin.Store(fpSpinSeed)
+	victim.Store(nfs)
+	return nfs
+}
+
+// demoteLocked forces g's word to SLOW, materializing a fast holder
+// into the stripe map so every existing slow-path routine sees it.
+// Caller holds s.mu. Must be called before any slow-path read or write
+// of g's map state; returns after which the map is authoritative.
+func (t *Table) demoteLocked(s *shard, g Granule) {
+	fs := s.fastLookup(g)
+	if fs == nil {
+		return // no fast record ⇒ no fast grants possible ⇒ map already authoritative
+	}
+	for {
+		w := fs.word.Load()
+		if w&fpSlowBit != 0 {
+			return // already SLOW (or tombstoned; a tomb never resurrects)
+		}
+		if fs.word.CompareAndSwap(w, fpSlow) {
+			if fpIsFast(w) {
+				gs := s.granules[g]
+				if gs == nil {
+					gs = &granuleState{holders: make(map[TxnID]Mode, 1)}
+					s.granules[g] = gs
+				}
+				gs.holders[fpTxnOf(w)] = fpModeOf(w)
+			}
+			return
+		}
+		// A fast op won the race; its CAS produced a new valid state.
+		// Re-read and try again — the mutex guarantees we eventually win.
+	}
+}
+
+// promoteLocked returns g to fast-path eligibility (word FREE) if it
+// ended a slow-path episode with no holders, no waiters, and no parked
+// claim naming it; an empty map entry is garbage-collected regardless
+// (preserving the historical GC). A granule a parked claim wants must
+// stay SLOW: its eventual release has to run the claim-resolution
+// sweep, which a fast release deliberately skips. Caller holds s.mu.
+func (t *Table) promoteLocked(s *shard, g Granule) {
+	if gs := s.granules[g]; gs != nil {
+		if len(gs.holders) != 0 || len(gs.waiters) != 0 {
+			return
+		}
+		delete(s.granules, g)
+	}
+	for _, c := range s.claimQ {
+		for _, r := range c.reqs {
+			if r.Granule == g {
+				return
+			}
+		}
+	}
+	fs := s.fastLookup(g)
+	if fs == nil {
+		// First promotion is what makes a granule fast-eligible; the
+		// insert publishes the word already FREE.
+		s.fastInsert(g)
+		return
+	}
+	// While SLOW, only stripe-mutex holders write the word.
+	fs.word.Store(0)
+}
+
+// fastOutcome classifies one lock-free attempt.
+type fastOutcome int8
+
+const (
+	fastFallback fastOutcome = iota // defer to the stripe-locked path
+	fastGranted                     // lock granted (hold set updated)
+	fastAlready                     // conservative claim: txn already holds locks
+	fastSpin                        // conflicting single holder: spinning may pay
+	fastBlocked                     // definitively blocked right now (no-wait callers)
+)
+
+// fastTryStep is one lock-free attempt at an incremental Acquire.
+// It handles re-acquire and sole-holder upgrade; any state it cannot
+// prove safe defers to the slow path.
+func (t *Table) fastTryStep(fs *fastState, txn TxnID, g Granule, mode Mode) fastOutcome {
+	for {
+		w := fs.word.Load()
+		switch {
+		case w == 0:
+			ts := t.txnShardFor(txn)
+			ts.mu.Lock()
+			if fs.word.CompareAndSwap(0, fpPack(txn, mode)) {
+				t.recordHeldLocked(ts, txn, g, mode)
+				ts.mu.Unlock()
+				t.fpGrants.Add(1)
+				t.omFastGrant()
+				return fastGranted
+			}
+			ts.mu.Unlock()
+			continue // word moved under us; re-evaluate
+		case fpIsFast(w) && fpTxnOf(w) == txn:
+			if fpModeOf(w) >= mode {
+				return fastGranted // already held strongly enough
+			}
+			// Sole holder upgrading S→X: grantable by definition.
+			ts := t.txnShardFor(txn)
+			ts.mu.Lock()
+			if fs.word.CompareAndSwap(w, fpPack(txn, ModeExclusive)) {
+				t.recordHeldLocked(ts, txn, g, ModeExclusive)
+				ts.mu.Unlock()
+				t.fpGrants.Add(1)
+				t.omFastGrant()
+				return fastGranted
+			}
+			ts.mu.Unlock()
+			return fastFallback // demoted mid-upgrade; slow path resolves it
+		case fpIsFast(w):
+			if Compatible(mode, fpModeOf(w)) {
+				// S alongside S: the word cannot encode two holders; the
+				// slow path grants it against the materialized holder set.
+				return fastFallback
+			}
+			return fastSpin
+		default:
+			return fastFallback // SLOW or TOMB
+		}
+	}
+}
+
+// fastAcquire runs the lock-free attempt plus the adaptive
+// spin-then-park discipline for Acquire. Returns (true, nil) when the
+// grant completed without the stripe mutex; (false, _) defers to the
+// slow path.
+func (t *Table) fastAcquire(txn TxnID, g Granule, mode Mode) bool {
+	fs := t.shardFor(g).fastLookup(g)
+	if fs == nil {
+		return false
+	}
+	switch t.fastTryStep(fs, txn, g, mode) {
+	case fastGranted:
+		return true
+	case fastSpin:
+		if t.fastSpinThenTry(fs, txn, g, mode) {
+			return true
+		}
+	}
+	t.fpFallbacks.Add(1)
+	t.omFastFallback()
+	return false
+}
+
+// fastSpinThenTry spins on a conflicting FAST holder, retrying the
+// grant after each yield, and adapts the granule's budget from the
+// outcome. It reports whether the lock was won while spinning.
+func (t *Table) fastSpinThenTry(fs *fastState, txn TxnID, g Granule, mode Mode) bool {
+	budget := int(fs.spin.Load())
+	for i := 0; i < budget; i++ {
+		runtime.Gosched()
+		switch t.fastTryStep(fs, txn, g, mode) {
+		case fastGranted:
+			t.fpSpinWins.Add(1)
+			t.omFastSpinWin()
+			grow := int32(budget * 2)
+			if grow > fpSpinMax {
+				grow = fpSpinMax
+			}
+			fs.spin.Store(grow)
+			return true
+		case fastSpin:
+			continue // still the same shape of conflict; keep probing
+		default:
+			// SLOW appeared (a waiter is queuing) or another fallback
+			// condition: stop spinning immediately, FIFO order beckons.
+			return false
+		}
+	}
+	t.fpSpinParks.Add(1)
+	t.omFastSpinPark()
+	shrink := int32(budget / 2)
+	if shrink < fpSpinMin {
+		shrink = fpSpinMin
+	}
+	fs.spin.Store(shrink)
+	return false
+}
+
+// fastClaim is the lock-free attempt at a single-granule conservative
+// claim: the first-acquisition check, the CAS and the hold-set record
+// happen in one ts.mu critical section, so duplicate-claim resolution
+// and ReleaseAll serialize against it exactly as against the slow path.
+func (t *Table) fastClaim(txn TxnID, g Granule, mode Mode, spin bool) fastOutcome {
+	fs := t.shardFor(g).fastLookup(g)
+	if fs == nil {
+		return fastFallback
+	}
+	out := t.fastTryClaimOnce(fs, txn, g, mode)
+	if out == fastSpin {
+		if !spin {
+			// A no-wait caller treats the incompatible holder as a
+			// definitive "blocked now" without touching any stripe.
+			return fastBlocked
+		}
+		budget := int(fs.spin.Load())
+		for i := 0; i < budget; i++ {
+			runtime.Gosched()
+			out = t.fastTryClaimOnce(fs, txn, g, mode)
+			if out != fastSpin {
+				break
+			}
+		}
+		switch out {
+		case fastGranted:
+			t.fpSpinWins.Add(1)
+			t.omFastSpinWin()
+			grow := int32(budget * 2)
+			if grow > fpSpinMax {
+				grow = fpSpinMax
+			}
+			fs.spin.Store(grow)
+		case fastSpin:
+			t.fpSpinParks.Add(1)
+			t.omFastSpinPark()
+			shrink := int32(budget / 2)
+			if shrink < fpSpinMin {
+				shrink = fpSpinMin
+			}
+			fs.spin.Store(shrink)
+			out = fastFallback
+		}
+	}
+	if out == fastFallback {
+		t.fpFallbacks.Add(1)
+		t.omFastFallback()
+	}
+	return out
+}
+
+// fastTryClaimOnce is one attempt of fastClaim.
+func (t *Table) fastTryClaimOnce(fs *fastState, txn TxnID, g Granule, mode Mode) fastOutcome {
+	for {
+		w := fs.word.Load()
+		switch {
+		case w == 0:
+			ts := t.txnShardFor(txn)
+			ts.mu.Lock()
+			hs := ts.held[txn]
+			if hs.size() != 0 {
+				ts.mu.Unlock()
+				return fastAlready
+			}
+			if fs.word.CompareAndSwap(0, fpPack(txn, mode)) {
+				if hs == nil {
+					hs = ts.allocLocked(1)
+					ts.held[txn] = hs
+				}
+				hs.set(g, mode)
+				ts.mu.Unlock()
+				t.fpGrants.Add(1)
+				t.omFastGrant()
+				return fastGranted
+			}
+			ts.mu.Unlock()
+			continue // word moved under us; re-evaluate
+		case fpIsFast(w) && fpTxnOf(w) != txn && !Compatible(mode, fpModeOf(w)):
+			return fastSpin
+		case fpIsFast(w) && fpTxnOf(w) == txn:
+			// The word says txn already holds this granule, so the
+			// first-acquisition rule is violated whatever path we take.
+			return fastAlready
+		default:
+			return fastFallback // compatible share, SLOW, or TOMB
+		}
+	}
+}
+
+// fastReleaseAll releases txn's entire hold set by CAS alone when every
+// held granule is in FAST state. On any obstacle it restores nothing —
+// granules already freed were genuinely released (release is not
+// atomic across granules; 2PL only needs acquire-side atomicity) — and
+// reports false so the caller finishes through the slow path, which
+// re-snapshots the shrunken hold set. Fast-freed granules can have no
+// waiters and no parked claims (see the invariants), so skipping the
+// wake/claim sweeps is sound, not just fast.
+func (t *Table) fastReleaseAll(txn TxnID) bool {
+	ts := t.txnShardFor(txn)
+	ts.mu.Lock()
+	hs := ts.held[txn]
+	if hs.size() == 0 {
+		delete(ts.held, txn)
+		ts.recycleLocked(hs)
+		ts.mu.Unlock()
+		t.detForget(txn)
+		return true
+	}
+	// Walk the entry vector from the tail so a partial release keeps it
+	// exact: each freed granule is pruned by truncation, and on an
+	// obstacle everything not yet freed is still present for the slow
+	// path's re-snapshot.
+	for i := len(hs.entries) - 1; i >= 0; i-- {
+		e := hs.entries[i]
+		fs := t.shardFor(e.g).fastLookup(e.g)
+		if fs == nil || !fs.word.CompareAndSwap(fpPack(txn, e.mode), 0) {
+			ts.mu.Unlock()
+			return false // this granule is slow-path business now
+		}
+		if hs.m != nil {
+			delete(hs.m, e.g)
+		}
+		hs.entries = hs.entries[:i]
+	}
+	delete(ts.held, txn)
+	ts.recycleLocked(hs)
+	ts.mu.Unlock()
+	t.fpReleases.Add(1)
+	t.omFastRelease()
+	t.detForget(txn)
+	return true
+}
+
+// lockedFastGranules counts FAST-held granules in the shard's index.
+// Caller holds s.mu (which pins slot assignments; the words themselves
+// may still move, making the count a snapshot like the rest of Stats).
+func (s *shard) lockedFastGranules() int {
+	n := 0
+	for i := range s.fast {
+		if fs := s.fast[i].Load(); fs != nil && fpIsFast(fs.word.Load()) {
+			n++
+		}
+	}
+	return n
+}

@@ -98,13 +98,40 @@ type HierTable struct {
 	stats    Stats
 	escAt    int // escalation threshold; 0 = off
 	escCount int64
-	// children tracks, per transaction and parent node, the distinct
-	// child nodes currently locked — the escalation trigger.
-	children map[TxnID]map[NodeID]map[NodeID]struct{}
+	// children tracks, per transaction and parent node, the child nodes
+	// currently locked and the mode each is held in — the escalation
+	// trigger, and (adaptive mode) the record needed to undo one.
+	children map[TxnID]map[NodeID]map[NodeID]GMode
+
+	// Adaptive contention management (WithAdaptiveEscalation): hot
+	// parents are not escalated, and an escalated coarse lock that
+	// blocks another transaction is rolled back to its fine-grained
+	// form instead of making the requester wait.
+	hotAt      int  // node heat at which escalation is suppressed; 0 = off
+	deesc      bool // de-escalate coarse locks that block others
+	deescCount int64
+	escaped    map[TxnID]map[NodeID]*escRecord
 }
 
 type hierNode struct {
 	holders map[TxnID]GMode
+	// heat estimates data contention on this node: parking against it
+	// heats it, grants cool it. Heat gates escalation in adaptive mode —
+	// Thomasian's observation that coarsening under high data contention
+	// multiplies conflicts instead of saving overhead.
+	heat int
+}
+
+// escRecord remembers what an escalation replaced, so it can be undone.
+type escRecord struct {
+	prev GMode // the parent's (intention) mode before the coarse grant
+	// absorbed accumulates descendant locks that Lock skipped because
+	// the coarse lock covered them; de-escalation must materialize them
+	// or the absorbed accesses would lose their cover. While the coarse
+	// lock is held these grants are vacuously compatible (an X parent
+	// excludes all other subtree holders; an S parent limits co-holders
+	// to reads, and only reads are absorbed).
+	absorbed map[NodeID]GMode
 }
 
 // hierWait is one parked hierarchical request (on one node).
@@ -132,6 +159,32 @@ func WithEscalation(threshold int) HierOption {
 	return func(h *HierTable) { h.escAt = threshold }
 }
 
+// WithAdaptiveEscalation enables escalation as WithEscalation does, plus
+// two contention adaptations:
+//
+//   - Hot-granule suppression: a parent whose heat (blocks observed
+//     against it, cooled by grants) has reached hotAt is not escalated —
+//     under high data contention a coarse lock multiplies conflicts, so
+//     the table keeps fine granularity exactly where the paper's
+//     trade-off says fine granularity earns its overhead. hotAt <= 0
+//     disables suppression.
+//   - De-escalation: when a request blocks against an escalated coarse
+//     lock, the coarse lock is rolled back to the intention mode it
+//     replaced (re-granting any absorbed descendant locks) and the
+//     request re-evaluates, usually proceeding under ordinary
+//     fine-grained compatibility.
+//
+// Adaptive escalation changes blocking decisions (a request that would
+// have parked against a coarse lock may now proceed), so it is a
+// separate opt-in from the decision-preserving WithEscalation.
+func WithAdaptiveEscalation(threshold, hotAt int) HierOption {
+	return func(h *HierTable) {
+		h.escAt = threshold
+		h.hotAt = hotAt
+		h.deesc = true
+	}
+}
+
 // NewHierTable returns an empty hierarchical lock table.
 func NewHierTable(opts ...HierOption) *HierTable {
 	h := &HierTable{
@@ -139,7 +192,8 @@ func NewHierTable(opts ...HierOption) *HierTable {
 		held:     make(map[TxnID]map[NodeID]GMode),
 		detector: NewDetector(),
 		waiters:  make(map[*hierWait]struct{}),
-		children: make(map[TxnID]map[NodeID]map[NodeID]struct{}),
+		children: make(map[TxnID]map[NodeID]map[NodeID]GMode),
+		escaped:  make(map[TxnID]map[NodeID]*escRecord),
 	}
 	for _, o := range opts {
 		o(h)
@@ -152,6 +206,15 @@ func (h *HierTable) Escalations() int64 {
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	return h.escCount
+}
+
+// Deescalations returns the number of coarse locks rolled back to their
+// fine-grained form because they blocked another transaction (only
+// possible under WithAdaptiveEscalation).
+func (h *HierTable) Deescalations() int64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.deescCount
 }
 
 // absorbs reports whether holding `held` on an ancestor makes a request
@@ -201,6 +264,29 @@ func (h *HierTable) Lock(ctx context.Context, txn TxnID, path []NodeID, mode GMo
 		// escalation) absorbs the rest of the path.
 		h.mu.Lock()
 		if held, ok := h.held[txn][node]; ok && absorbs(held, mode) {
+			if rec := h.escaped[txn][node]; rec != nil {
+				if i == len(path)-1 {
+					// The caller explicitly requested a mode on the
+					// escalated node itself. If the pre-escalation mode
+					// would not cover it, the coarse lock is now held by
+					// request, not by adaptation: make it direct so a
+					// later de-escalation cannot strip it.
+					if combine(rec.prev, mode) != rec.prev {
+						delete(h.escaped[txn], node)
+					}
+				} else {
+					// The cover is an escalated lock that may later be
+					// rolled back: remember the locks this access would
+					// have taken so de-escalation can materialize them.
+					for j := i + 1; j < len(path); j++ {
+						want := mode
+						if j < len(path)-1 {
+							want = IntentionFor(mode)
+						}
+						rec.absorbed[path[j]] = combine(rec.absorbed[path[j]], want)
+					}
+				}
+			}
 			h.mu.Unlock()
 			return nil
 		}
@@ -225,15 +311,15 @@ func (h *HierTable) noteChild(txn TxnID, parent, child NodeID) {
 	defer h.mu.Unlock()
 	perTxn := h.children[txn]
 	if perTxn == nil {
-		perTxn = make(map[NodeID]map[NodeID]struct{})
+		perTxn = make(map[NodeID]map[NodeID]GMode)
 		h.children[txn] = perTxn
 	}
 	set := perTxn[parent]
 	if set == nil {
-		set = make(map[NodeID]struct{})
+		set = make(map[NodeID]GMode)
 		perTxn[parent] = set
 	}
-	set[child] = struct{}{}
+	set[child] = h.held[txn][child]
 	if len(set) < h.escAt {
 		return
 	}
@@ -244,17 +330,64 @@ func (h *HierTable) noteChild(txn TxnID, parent, child NodeID) {
 	if ok && absorbs(parentHeld, GModeX) {
 		return // already escalated
 	}
+	n := h.nodes[parent]
+	if n == nil {
+		return
+	}
+	if h.hotAt > 0 && n.heat >= h.hotAt {
+		// Hot parent: other transactions keep colliding here, so a
+		// coarse lock would convert overhead savings into blocking.
+		// Keep fine granularity and try again once the node cools.
+		return
+	}
 	target := GModeS
 	if parentHeld == GModeIX || parentHeld == GModeSIX {
 		target = GModeX
 	}
-	n := h.nodes[parent]
-	if n == nil || !h.nodeCompatible(n, txn, target) {
+	if !h.nodeCompatible(n, txn, target) {
 		return // best-effort: skip rather than wait
+	}
+	if h.deesc {
+		perEsc := h.escaped[txn]
+		if perEsc == nil {
+			perEsc = make(map[NodeID]*escRecord)
+			h.escaped[txn] = perEsc
+		}
+		perEsc[parent] = &escRecord{prev: parentHeld, absorbed: make(map[NodeID]GMode)}
 	}
 	h.grantNode(n, txn, parent, target)
 	h.escCount++
 	delete(perTxn, parent)
+}
+
+// deescalateLocked rolls holder's escalated lock on node back to the
+// intention mode it replaced, first materializing any absorbed
+// descendant locks (compatibility is vacuous while the coarse lock
+// still excludes conflicting subtree holders). Returns false when
+// holder has no escalation to undo on node. Caller holds h.mu.
+func (h *HierTable) deescalateLocked(holder TxnID, node NodeID) bool {
+	rec := h.escaped[holder][node]
+	if rec == nil {
+		return false
+	}
+	delete(h.escaped[holder], node)
+	for child, m := range rec.absorbed {
+		cn := h.nodes[child]
+		if cn == nil {
+			cn = &hierNode{holders: make(map[TxnID]GMode, 1)}
+			h.nodes[child] = cn
+		}
+		if have, ok := cn.holders[holder]; ok {
+			m = combine(have, m)
+		}
+		cn.holders[holder] = m
+		h.held[holder][child] = m
+	}
+	n := h.nodes[node]
+	n.holders[holder] = rec.prev
+	h.held[holder][node] = rec.prev
+	h.deescCount++
+	return true
 }
 
 // lockNode acquires one mode on one node, waiting as needed.
@@ -267,15 +400,46 @@ func (h *HierTable) lockNode(ctx context.Context, txn TxnID, node NodeID, mode G
 			h.nodes[node] = n
 		}
 		if have, ok := n.holders[txn]; ok && combine(have, mode) == have {
+			if rec := h.escaped[txn][node]; rec != nil && combine(rec.prev, mode) != rec.prev {
+				// The request is covered only because of the escalated
+				// coarse lock. The caller asked for this mode explicitly,
+				// so a later de-escalation must not strip it: convert the
+				// escalated grant into a direct one.
+				delete(h.escaped[txn], node)
+			}
 			h.mu.Unlock()
 			return nil // already held strongly enough
 		}
 		if h.nodeCompatible(n, txn, mode) {
 			h.grantNode(n, txn, node, mode)
+			// An explicit grant on a node this txn had escalated makes
+			// the coarse hold a direct one; it is no longer undoable.
+			delete(h.escaped[txn], node)
 			h.stats.Grants++
+			if n.heat > 0 {
+				n.heat--
+			}
 			h.mu.Unlock()
 			return nil
 		}
+		if h.deesc {
+			// Before parking, check whether any blocker's incompatibility
+			// exists only because of an escalated coarse lock — if so,
+			// undo the escalation and re-evaluate instead of waiting.
+			undone := false
+			for holder, held := range n.holders {
+				if holder == txn || GCompatible(mode, held) {
+					continue
+				}
+				if h.deescalateLocked(holder, node) {
+					undone = true
+				}
+			}
+			if undone {
+				continue
+			}
+		}
+		n.heat++
 		// Park: record waits-for edges to incompatible holders, check for
 		// a cycle (requester is victim), then wait for any release.
 		w := &hierWait{txn: txn, node: node, mode: mode, ch: make(chan error, 1)}
@@ -362,6 +526,7 @@ func (h *HierTable) ReleaseAll(txn TxnID) {
 	}
 	delete(h.held, txn)
 	delete(h.children, txn)
+	delete(h.escaped, txn)
 	h.detector.RemoveTxn(txn)
 	for w := range h.waiters {
 		select {

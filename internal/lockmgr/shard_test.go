@@ -89,12 +89,45 @@ func TestShardedConservativeStress(t *testing.T) {
 			}
 		}()
 	}
+	// Aggregation sampler: the documented semantics of Stats,
+	// HoldersCount, LockedGranules and WaitersCount are an approximate
+	// (per-stripe-consistent) snapshot — never a negative one. Sample
+	// them continuously while the stress traffic runs.
+	samplerDone := make(chan struct{})
+	go func() {
+		defer close(samplerDone)
+		for {
+			select {
+			case <-done:
+				return
+			default:
+			}
+			st := tab.Stats()
+			if st.Grants < 0 || st.Blocks < 0 || st.Deadlocks < 0 {
+				t.Errorf("negative stats snapshot: %+v", st)
+				return
+			}
+			if n := tab.HoldersCount(); n < 0 {
+				t.Errorf("negative holders count %d", n)
+				return
+			}
+			if n := tab.LockedGranules(); n < 0 {
+				t.Errorf("negative locked-granule count %d", n)
+				return
+			}
+			if n := tab.WaitersCount(); n < 0 {
+				t.Errorf("negative waiter count %d", n)
+				return
+			}
+		}
+	}()
 	go func() { wg.Wait(); close(done) }()
 	select {
 	case <-done:
 	case <-time.After(60 * time.Second):
 		t.Fatal("stress run wedged: possible cross-stripe lock-order inversion")
 	}
+	<-samplerDone
 	if n := tab.HoldersCount(); n != 0 {
 		t.Fatalf("%d holders leaked", n)
 	}

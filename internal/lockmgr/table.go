@@ -114,6 +114,16 @@ type Table struct {
 	claimSeq atomic.Uint64
 
 	om *tableMetrics // nil unless WithMetrics attached
+
+	// Lock-free fast path (fastpath.go). fastOn gates it at runtime; the
+	// counters are table-global atomics because fast operations never
+	// hold a stripe mutex to attribute activity under.
+	fastOn      atomic.Bool
+	fpGrants    atomic.Int64
+	fpReleases  atomic.Int64
+	fpFallbacks atomic.Int64
+	fpSpinWins  atomic.Int64
+	fpSpinParks atomic.Int64
 }
 
 // shard is one granule stripe: a slice of the lock table guarded by its
@@ -123,15 +133,134 @@ type shard struct {
 	granules map[Granule]*granuleState
 	claimQ   []*claimWaiter // FIFO (by claim seq) of parked claims touching this shard
 	stats    Stats
+	// fast is the shard's lock-free granule index (fastpath.go). Slots
+	// move nil→non-nil or are replaced under mu; lookups are lock-free.
+	fast [fpSlots]atomic.Pointer[fastState]
 }
 
 // txnShard is one stripe of the per-transaction hold sets, keyed by
 // transaction-id hash. Its lock is only ever taken while holding the
 // relevant granule-shard locks or alone, one txn stripe at a time, so it
 // cannot participate in a lock-order cycle.
+// holdSet is one transaction's hold set: granule → strongest mode
+// held. Storage is a flat entry vector: hold sets are tiny for the
+// dominant transaction shapes, and a vector keeps the claim/release
+// cycle free of map traffic — hashing, assignment, and Go's
+// randomized iteration setup were the largest costs of a fast-path
+// acquire/release pair. A set that outgrows holdSpill gains a lookup
+// map maintained alongside the vector; the vector stays authoritative
+// for iteration order and modes, the map only accelerates membership
+// tests. Hold sets are grow-only until teardown (2PL releases
+// everything at once); the one per-granule removal, fastReleaseAll,
+// prunes from the tail, which a vector supports by truncation.
+type holdSet struct {
+	entries []holdEntry
+	m       map[Granule]Mode // non-nil once len(entries) > holdSpill
+}
+
+// holdEntry is one granule of a hold set.
+type holdEntry struct {
+	g    Granule
+	mode Mode
+}
+
+// holdSpill is the vector size past which membership tests switch
+// from linear scan to a map. Below it, a scan of a cache-resident
+// vector beats a map lookup; above it, repeated scans would make a
+// large conservative claim quadratic.
+const holdSpill = 16
+
+// size is a nil-safe len.
+func (h *holdSet) size() int {
+	if h == nil {
+		return 0
+	}
+	return len(h.entries)
+}
+
+// get is a nil-safe lookup.
+func (h *holdSet) get(g Granule) (Mode, bool) {
+	if h == nil {
+		return 0, false
+	}
+	if h.m != nil {
+		mode, ok := h.m[g]
+		return mode, ok
+	}
+	for _, e := range h.entries {
+		if e.g == g {
+			return e.mode, true
+		}
+	}
+	return 0, false
+}
+
+// set joins mode into g's entry (strengthen-only, like every hold-set
+// write), appending on first acquisition.
+func (h *holdSet) set(g Granule, mode Mode) {
+	if have, ok := h.get(g); ok {
+		joined := joinMode(mode, have)
+		if joined == have {
+			return
+		}
+		// Strengthen: rare (re-acquire at a stronger mode), so the
+		// vector scan is acceptable even on spilled sets.
+		for i := range h.entries {
+			if h.entries[i].g == g {
+				h.entries[i].mode = joined
+				break
+			}
+		}
+		if h.m != nil {
+			h.m[g] = joined
+		}
+		return
+	}
+	h.entries = append(h.entries, holdEntry{g: g, mode: mode})
+	if h.m != nil {
+		h.m[g] = mode
+	} else if len(h.entries) > holdSpill {
+		h.m = make(map[Granule]Mode, 2*len(h.entries))
+		for _, e := range h.entries {
+			h.m[e.g] = e.mode
+		}
+	}
+}
+
 type txnShard struct {
 	mu   sync.Mutex
-	held map[TxnID]map[Granule]Mode
+	held map[TxnID]*holdSet
+	// pool recycles emptied hold sets: the per-transaction map is the
+	// dominant allocation of a single-granule transaction, on the fast
+	// and slow paths alike.
+	pool []*holdSet
+}
+
+// allocLocked returns an empty hold set, reusing a recycled one when
+// available. Caller holds ts.mu.
+func (ts *txnShard) allocLocked(hint int) *holdSet {
+	if n := len(ts.pool); n > 0 {
+		h := ts.pool[n-1]
+		ts.pool[n-1] = nil
+		ts.pool = ts.pool[:n-1]
+		return h
+	}
+	if hint < 4 {
+		hint = 4
+	}
+	return &holdSet{entries: make([]holdEntry, 0, hint)}
+}
+
+// recycleLocked clears hs and keeps it for reuse. Safe only once hs is
+// unreachable from ts.held — no caller retains a hold-set reference
+// across an unlock of ts.mu. Caller holds ts.mu.
+func (ts *txnShard) recycleLocked(hs *holdSet) {
+	if hs == nil || len(ts.pool) >= 64 {
+		return
+	}
+	hs.entries = hs.entries[:0]
+	hs.m = nil // spilled accelerator maps are not worth pooling
+	ts.pool = append(ts.pool, hs)
 }
 
 // tableMetrics mirrors the Stats counters into an obs.Registry, the
@@ -142,6 +271,12 @@ type tableMetrics struct {
 	grants    *obs.Counter
 	waits     *obs.Counter
 	deadlocks *obs.Counter
+
+	fpGrants    *obs.Counter
+	fpReleases  *obs.Counter
+	fpFallbacks *obs.Counter
+	fpSpinWins  *obs.Counter
+	fpSpinParks *obs.Counter
 }
 
 // newTableMetrics registers the lockmgr families on reg for t.
@@ -158,6 +293,14 @@ func newTableMetrics(reg *obs.Registry, t *Table) *tableMetrics {
 	reg.NewGaugeFunc("granulock_lockmgr_shards",
 		"Granule stripes in the lock table (power of two).",
 		func() float64 { return float64(len(t.shards)) })
+	reg.NewGaugeFunc("granulock_lockmgr_fastpath_enabled",
+		"Whether the lock-free uncontended fast path is active (0/1).",
+		func() float64 {
+			if t.FastPathEnabled() {
+				return 1
+			}
+			return 0
+		})
 	return &tableMetrics{
 		grants: reg.NewCounter("granulock_lockmgr_grants_total",
 			"Acquire calls satisfied, immediately or after waiting."),
@@ -165,6 +308,16 @@ func newTableMetrics(reg *obs.Registry, t *Table) *tableMetrics {
 			"Acquire calls that had to wait (lock conflicts)."),
 		deadlocks: reg.NewCounter("granulock_lockmgr_deadlocks_total",
 			"Claim-as-needed waits aborted as deadlock victims."),
+		fpGrants: reg.NewCounter("granulock_lockmgr_fastpath_grants_total",
+			"Acquisitions granted by the lock-free fast path (CAS alone, no stripe mutex)."),
+		fpReleases: reg.NewCounter("granulock_lockmgr_fastpath_releases_total",
+			"ReleaseAll calls completed entirely on the lock-free fast path."),
+		fpFallbacks: reg.NewCounter("granulock_lockmgr_fastpath_fallbacks_total",
+			"Fast-path attempts that deferred to the stripe-locked slow path."),
+		fpSpinWins: reg.NewCounter("granulock_lockmgr_fastpath_spin_wins_total",
+			"Conflicting requests granted while spinning, before parking."),
+		fpSpinParks: reg.NewCounter("granulock_lockmgr_fastpath_spin_parks_total",
+			"Conflicting requests that exhausted their spin budget and parked."),
 	}
 }
 
@@ -187,6 +340,40 @@ func (t *Table) omWait() {
 func (t *Table) omDeadlock() {
 	if t.om != nil {
 		t.om.deadlocks.Inc()
+	}
+}
+
+// omFastGrant counts a fast-path grant in both the aggregate grants
+// family (a grant is a grant, whatever path served it) and the
+// fastpath-specific family.
+func (t *Table) omFastGrant() {
+	if t.om != nil {
+		t.om.grants.Inc()
+		t.om.fpGrants.Inc()
+	}
+}
+
+func (t *Table) omFastRelease() {
+	if t.om != nil {
+		t.om.fpReleases.Inc()
+	}
+}
+
+func (t *Table) omFastFallback() {
+	if t.om != nil {
+		t.om.fpFallbacks.Inc()
+	}
+}
+
+func (t *Table) omFastSpinWin() {
+	if t.om != nil {
+		t.om.fpSpinWins.Inc()
+	}
+}
+
+func (t *Table) omFastSpinPark() {
+	if t.om != nil {
+		t.om.fpSpinParks.Inc()
 	}
 }
 
@@ -224,6 +411,7 @@ type tableConfig struct {
 	strict bool
 	shards int
 	reg    *obs.Registry
+	fast   bool
 }
 
 // StrictFIFO makes conservative preclaim grants strictly first-come,
@@ -249,6 +437,14 @@ func WithMetrics(reg *obs.Registry) Option {
 	return func(c *tableConfig) { c.reg = reg }
 }
 
+// WithFastPath enables or disables the lock-free uncontended fast path
+// (fastpath.go) at construction; the default is enabled. Disabled, the
+// table behaves exactly as the all-stripe-locked implementation.
+// SetFastPath flips the switch at runtime.
+func WithFastPath(on bool) Option {
+	return func(c *tableConfig) { c.fast = on }
+}
+
 // nextPow2 rounds n up to the next power of two, minimum 1.
 func nextPow2(n int) int {
 	p := 1
@@ -260,7 +456,7 @@ func nextPow2(n int) int {
 
 // NewTable returns an empty lock table.
 func NewTable(opts ...Option) *Table {
-	cfg := tableConfig{shards: 1}
+	cfg := tableConfig{shards: 1, fast: true}
 	for _, o := range opts {
 		o(&cfg)
 	}
@@ -274,8 +470,9 @@ func NewTable(opts ...Option) *Table {
 	}
 	for i := range t.shards {
 		t.shards[i] = &shard{granules: make(map[Granule]*granuleState)}
-		t.txns[i] = &txnShard{held: make(map[TxnID]map[Granule]Mode)}
+		t.txns[i] = &txnShard{held: make(map[TxnID]*holdSet)}
 	}
+	t.fastOn.Store(cfg.fast)
 	if cfg.reg != nil {
 		t.om = newTableMetrics(cfg.reg, t)
 	}
@@ -386,6 +583,10 @@ func (t *Table) Stats() Stats {
 		s.add(sh.stats)
 		sh.mu.Unlock()
 	}
+	// Fast-path grants never held a stripe mutex; they accumulate in a
+	// table-global atomic and fold in here so Grants counts every
+	// acquisition whatever path served it.
+	s.Grants += t.fpGrants.Load()
 	return s
 }
 
@@ -394,7 +595,7 @@ func (t *Table) HeldBy(txn TxnID) int {
 	ts := t.txnShardFor(txn)
 	ts.mu.Lock()
 	defer ts.mu.Unlock()
-	return len(ts.held[txn])
+	return ts.held[txn].size()
 }
 
 // HoldersCount returns the number of transactions currently holding at
@@ -406,7 +607,7 @@ func (t *Table) HoldersCount() int {
 	for _, ts := range t.txns {
 		ts.mu.Lock()
 		for _, hm := range ts.held {
-			if len(hm) > 0 {
+			if hm.size() > 0 {
 				n++
 			}
 		}
@@ -416,7 +617,10 @@ func (t *Table) HoldersCount() int {
 }
 
 // LockedGranules returns the number of granules with at least one
-// holder (per-stripe-consistent).
+// holder (per-stripe-consistent). A granule held through the fast path
+// has no map entry — its holder lives in the packed word — so both
+// populations are counted; they are disjoint by the fast-path
+// invariant (FAST word ⇔ no map entry).
 func (t *Table) LockedGranules() int {
 	n := 0
 	for _, sh := range t.shards {
@@ -426,6 +630,7 @@ func (t *Table) LockedGranules() int {
 				n++
 			}
 		}
+		n += sh.lockedFastGranules()
 		sh.mu.Unlock()
 	}
 	return n
@@ -471,11 +676,26 @@ func (t *Table) HoldsAtLeast(txn TxnID, g Granule, want Mode) bool {
 	ts := t.txnShardFor(txn)
 	ts.mu.Lock()
 	defer ts.mu.Unlock()
-	have, ok := ts.held[txn][g]
+	have, ok := ts.held[txn].get(g)
 	return ok && have >= want
 }
 
-// coalesce deduplicates requests, keeping the strongest mode per granule.
+// joinMode returns the weakest mode at least as strong as both of its
+// arguments — the join of the flat S/X mode lattice. For two modes the
+// join coincides with max, but the merge rule is spelled as a join so
+// it stays correct by construction if the lattice ever grows a mode
+// pair whose join is not the greater element — as S and IX do in the
+// hierarchical lattice, where their join is SIX (see combine in
+// multigran.go, this function's multigranular sibling).
+func joinMode(a, b Mode) Mode {
+	if b > a {
+		return b
+	}
+	return a
+}
+
+// coalesce deduplicates requests, merging duplicate granules to the
+// join of their requested modes.
 func coalesce(reqs []Request) []Request {
 	strongest := make(map[Granule]Mode, len(reqs))
 	order := make([]Granule, 0, len(reqs))
@@ -483,8 +703,8 @@ func coalesce(reqs []Request) []Request {
 		if have, ok := strongest[r.Granule]; !ok {
 			strongest[r.Granule] = r.Mode
 			order = append(order, r.Granule)
-		} else if r.Mode > have {
-			strongest[r.Granule] = r.Mode
+		} else {
+			strongest[r.Granule] = joinMode(r.Mode, have)
 		}
 	}
 	out := make([]Request, len(order))
@@ -505,13 +725,24 @@ func coalesce(reqs []Request) []Request {
 // index order. A blocked claim is queued on all of those stripes and
 // re-evaluated whenever a release touches any of them.
 func (t *Table) AcquireAll(ctx context.Context, txn TxnID, reqs []Request) error {
+	// Single-granule claims — the dominant shape at fine granularity —
+	// try the lock-free fast path first; a one-element request set needs
+	// no coalescing or stripe ordering.
+	if len(reqs) == 1 && t.fastOn.Load() && fpPackable(txn) {
+		switch t.fastClaim(txn, reqs[0].Granule, reqs[0].Mode, true) {
+		case fastGranted:
+			return nil
+		case fastAlready:
+			return fmt.Errorf("lockmgr: transaction %d: %w", txn, ErrAlreadyHolds)
+		}
+	}
 	reqs = coalesce(reqs)
 	ts := t.txnShardFor(txn)
 	if len(reqs) == 0 {
 		// An empty claim conflicts with nothing; it only has to respect
 		// the first-acquisition rule.
 		ts.mu.Lock()
-		already := len(ts.held[txn]) != 0
+		already := ts.held[txn].size() != 0
 		ts.mu.Unlock()
 		if already {
 			return fmt.Errorf("lockmgr: transaction %d: %w", txn, ErrAlreadyHolds)
@@ -520,8 +751,9 @@ func (t *Table) AcquireAll(ctx context.Context, txn TxnID, reqs []Request) error
 	}
 	sh := t.shardSet(reqs)
 	t.lockShards(sh)
+	t.demoteAllLocked(reqs)
 	ts.mu.Lock()
-	if len(ts.held[txn]) != 0 {
+	if ts.held[txn].size() != 0 {
 		ts.mu.Unlock()
 		t.unlockShards(sh)
 		return fmt.Errorf("lockmgr: transaction %d: %w", txn, ErrAlreadyHolds)
@@ -572,11 +804,24 @@ func (t *Table) AcquireAll(ctx context.Context, txn TxnID, reqs []Request) error
 // callers measuring wait times can skip the clock entirely for grants
 // that never waited.
 func (t *Table) TryAcquireAll(txn TxnID, reqs []Request) (bool, error) {
+	if len(reqs) == 1 && t.fastOn.Load() && fpPackable(txn) {
+		switch t.fastClaim(txn, reqs[0].Granule, reqs[0].Mode, false) {
+		case fastGranted:
+			return true, nil
+		case fastAlready:
+			return false, fmt.Errorf("lockmgr: transaction %d: %w", txn, ErrAlreadyHolds)
+		case fastBlocked:
+			// A single incompatible fast holder is a definitive answer:
+			// the claim would not be grantable under the stripe lock
+			// either, and TryAcquireAll never waits.
+			return false, nil
+		}
+	}
 	reqs = coalesce(reqs)
 	ts := t.txnShardFor(txn)
 	if len(reqs) == 0 {
 		ts.mu.Lock()
-		already := len(ts.held[txn]) != 0
+		already := ts.held[txn].size() != 0
 		ts.mu.Unlock()
 		if already {
 			return false, fmt.Errorf("lockmgr: transaction %d: %w", txn, ErrAlreadyHolds)
@@ -585,8 +830,9 @@ func (t *Table) TryAcquireAll(txn TxnID, reqs []Request) (bool, error) {
 	}
 	sh := t.shardSet(reqs)
 	t.lockShards(sh)
+	t.demoteAllLocked(reqs)
 	ts.mu.Lock()
-	if len(ts.held[txn]) != 0 {
+	if ts.held[txn].size() != 0 {
 		ts.mu.Unlock()
 		t.unlockShards(sh)
 		return false, fmt.Errorf("lockmgr: transaction %d: %w", txn, ErrAlreadyHolds)
@@ -600,8 +846,22 @@ func (t *Table) TryAcquireAll(txn TxnID, reqs []Request) (bool, error) {
 		return true, nil
 	}
 	ts.mu.Unlock()
+	// The failed probe demoted granules it is not going to hold; give
+	// the holderless ones their fast-path eligibility back.
+	for _, r := range reqs {
+		t.promoteLocked(t.shardFor(r.Granule), r.Granule)
+	}
 	t.unlockShards(sh)
 	return false, nil
+}
+
+// demoteAllLocked demotes every requested granule, making the stripe
+// map authoritative before a multi-granule slow-path decision. Caller
+// holds every involved stripe.
+func (t *Table) demoteAllLocked(reqs []Request) {
+	for _, r := range reqs {
+		t.demoteLocked(t.shardFor(r.Granule), r.Granule)
+	}
 }
 
 // grantable reports whether every request is compatible with current
@@ -629,7 +889,7 @@ func (t *Table) grantable(txn TxnID, reqs []Request) bool {
 func (t *Table) grantAll(ts *txnShard, txn TxnID, reqs []Request) {
 	hm := ts.held[txn]
 	if hm == nil {
-		hm = make(map[Granule]Mode, len(reqs))
+		hm = ts.allocLocked(len(reqs))
 		ts.held[txn] = hm
 	}
 	for _, r := range reqs {
@@ -639,12 +899,10 @@ func (t *Table) grantAll(ts *txnShard, txn TxnID, reqs []Request) {
 			gs = &granuleState{holders: make(map[TxnID]Mode, 1)}
 			s.granules[r.Granule] = gs
 		}
-		if have, ok := gs.holders[txn]; !ok || r.Mode > have {
-			gs.holders[txn] = r.Mode
-		}
-		if have, ok := hm[r.Granule]; !ok || r.Mode > have {
-			hm[r.Granule] = r.Mode
-		}
+		// A missing entry reads as ModeShared, the lattice bottom, so
+		// the unconditional join handles insert and strengthen alike.
+		gs.holders[txn] = joinMode(r.Mode, gs.holders[txn])
+		hm.set(r.Granule, r.Mode)
 	}
 }
 
@@ -658,6 +916,10 @@ func (t *Table) withdrawClaim(w *claimWaiter) bool {
 	}
 	t.removeClaimLocked(w)
 	w.resolved = true
+	// Granules only this claim was keeping slow can go fast again.
+	for _, r := range w.reqs {
+		t.promoteLocked(t.shardFor(r.Granule), r.Granule)
+	}
 	return true
 }
 
@@ -683,8 +945,12 @@ func (t *Table) removeClaimLocked(w *claimWaiter) {
 // granule's stripe and the transaction's hold-set stripe — never the
 // detector.
 func (t *Table) Acquire(ctx context.Context, txn TxnID, g Granule, mode Mode) error {
+	if t.fastOn.Load() && fpPackable(txn) && t.fastAcquire(txn, g, mode) {
+		return nil
+	}
 	s := t.shardFor(g)
 	s.mu.Lock()
+	t.demoteLocked(s, g)
 	gs := s.granules[g]
 	if gs == nil {
 		gs = &granuleState{holders: make(map[TxnID]Mode, 1)}
@@ -779,9 +1045,7 @@ func (t *Table) stepGrantable(gs *granuleState, txn TxnID, mode Mode) bool {
 // stripe is taken nested (granule stripes are never acquired while a
 // hold-set stripe is held, so the nesting cannot cycle).
 func (t *Table) grantStep(gs *granuleState, txn TxnID, g Granule, mode Mode) {
-	if have, ok := gs.holders[txn]; !ok || mode > have {
-		gs.holders[txn] = mode
-	}
+	gs.holders[txn] = joinMode(mode, gs.holders[txn])
 	t.recordHeld(txn, g, mode)
 }
 
@@ -789,15 +1053,20 @@ func (t *Table) grantStep(gs *granuleState, txn TxnID, g Granule, mode Mode) {
 func (t *Table) recordHeld(txn TxnID, g Granule, mode Mode) {
 	ts := t.txnShardFor(txn)
 	ts.mu.Lock()
+	t.recordHeldLocked(ts, txn, g, mode)
+	ts.mu.Unlock()
+}
+
+// recordHeldLocked is recordHeld with ts (txn's hold-set stripe)
+// already locked — the form the fast path uses to keep the hold-set
+// update inside the same critical section as its word CAS.
+func (t *Table) recordHeldLocked(ts *txnShard, txn TxnID, g Granule, mode Mode) {
 	hm := ts.held[txn]
 	if hm == nil {
-		hm = make(map[Granule]Mode, 4)
+		hm = ts.allocLocked(4)
 		ts.held[txn] = hm
 	}
-	if have, ok := hm[g]; !ok || mode > have {
-		hm[g] = mode
-	}
-	ts.mu.Unlock()
+	hm.set(g, mode)
 }
 
 // dropWaiter removes w from its granule's wait queue; reports whether it
@@ -881,21 +1150,28 @@ func (t *Table) detForget(txn TxnID) {
 // those stripes are re-evaluated (in global claim arrival order) after
 // the stripe locks are dropped.
 func (t *Table) ReleaseAll(txn TxnID) {
+	// When every held granule is fast-held, the whole release is CAS
+	// traffic; the attempt costs one hold-set scan and never undoes
+	// progress (release needs no cross-granule atomicity).
+	if t.fastOn.Load() && fpPackable(txn) && t.fastReleaseAll(txn) {
+		return
+	}
 	ts := t.txnShardFor(txn)
 	var snapshot []Granule
 	var sh []uint64
 	for {
 		ts.mu.Lock()
 		hm := ts.held[txn]
-		if len(hm) == 0 {
+		if hm.size() == 0 {
 			delete(ts.held, txn)
+			ts.recycleLocked(hm)
 			ts.mu.Unlock()
 			t.detForget(txn)
 			return
 		}
 		snapshot = snapshot[:0]
-		for g := range hm {
-			snapshot = append(snapshot, g)
+		for _, e := range hm.entries {
+			snapshot = append(snapshot, e.g)
 		}
 		// Canonical (ascending) wake order: map iteration order is
 		// randomized, and the order in which granules wake their waiters
@@ -915,10 +1191,20 @@ func (t *Table) ReleaseAll(txn TxnID) {
 		ts.mu.Unlock()
 		t.unlockShards(sh)
 	}
+	// Granules still held through the fast path (fastReleaseAll skipped
+	// or beaten to a granule) are materialized into the stripe maps
+	// before the map-based release below.
 	for _, g := range snapshot {
-		delete(t.shardFor(g).granules[g].holders, txn)
+		t.demoteLocked(t.shardFor(g), g)
 	}
+	for _, g := range snapshot {
+		if gs := t.shardFor(g).granules[g]; gs != nil {
+			delete(gs.holders, txn)
+		}
+	}
+	hm := ts.held[txn]
 	delete(ts.held, txn)
+	ts.recycleLocked(hm)
 	ts.mu.Unlock()
 	t.detForget(txn)
 
@@ -931,25 +1217,23 @@ func (t *Table) ReleaseAll(txn TxnID) {
 	for _, i := range sh {
 		cands = append(cands, t.shards[i].claimQ...)
 	}
-	// Garbage-collect empty granule entries so long-running tables do not
-	// accumulate one record per granule ever touched.
+	// Garbage-collect empty granule entries so long-running tables do
+	// not accumulate one record per granule ever touched — and promote
+	// the collected granules back to fast-path eligibility.
 	for _, g := range snapshot {
-		s := t.shardFor(g)
-		if gs := s.granules[g]; gs != nil && len(gs.holders) == 0 && len(gs.waiters) == 0 {
-			delete(s.granules, g)
-		}
+		t.promoteLocked(t.shardFor(g), g)
 	}
 	t.unlockShards(sh)
 	t.resolveClaims(cands)
 }
 
-// sameGranules reports whether hm's key set equals the snapshot slice.
-func sameGranules(hm map[Granule]Mode, snapshot []Granule) bool {
-	if len(hm) != len(snapshot) {
+// sameGranules reports whether hs's key set equals the snapshot slice.
+func sameGranules(hs *holdSet, snapshot []Granule) bool {
+	if hs.size() != len(snapshot) {
 		return false
 	}
 	for _, g := range snapshot {
-		if _, ok := hm[g]; !ok {
+		if _, ok := hs.get(g); !ok {
 			return false
 		}
 	}
@@ -1057,9 +1341,14 @@ func (t *Table) tryResolveClaim(w *claimWaiter) bool {
 	if w.resolved {
 		return true
 	}
+	// Claim granules are demoted when the claim parks and promotion
+	// skips claim-referenced granules, so they should still be slow;
+	// the demote is a cheap invariant guard against a fast grant racing
+	// in between this claim's park and its resolution.
+	t.demoteAllLocked(w.reqs)
 	ts := t.txnShardFor(w.txn)
 	ts.mu.Lock()
-	if len(ts.held[w.txn]) != 0 {
+	if ts.held[w.txn].size() != 0 {
 		ts.mu.Unlock()
 		// The txn already holds locks, so this parked claim is a
 		// duplicate: a retried claim (new session) racing its
@@ -1071,6 +1360,9 @@ func (t *Table) tryResolveClaim(w *claimWaiter) bool {
 		// ErrAlreadyHolds.
 		t.removeClaimLocked(w)
 		w.resolved = true
+		for _, r := range w.reqs {
+			t.promoteLocked(t.shardFor(r.Granule), r.Granule)
+		}
 		w.ch <- fmt.Errorf("lockmgr: transaction %d: %w", w.txn, ErrAlreadyHolds)
 		return true
 	}

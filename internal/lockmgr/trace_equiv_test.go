@@ -37,8 +37,10 @@ const (
 // runTrace replays ops on tab and returns the outcome sequence plus the
 // final occupancy snapshot. Ops that park are unblocked by later
 // releases in the trace; the generator guarantees every parked request
-// is eventually released, so the replay always terminates.
-func runTrace(t *testing.T, tab *Table, ops []traceOp) []string {
+// is eventually released, so the replay always terminates. An optional
+// beforeOp hook runs before each op is issued (used to toggle the fast
+// path mid-trace).
+func runTrace(t *testing.T, tab *Table, ops []traceOp, beforeOp ...func(i int, tab *Table)) []string {
 	t.Helper()
 	ctx := context.Background()
 	type pending struct {
@@ -80,6 +82,9 @@ func runTrace(t *testing.T, tab *Table, ops []traceOp) []string {
 		parked = still
 	}
 	for i, op := range ops {
+		for _, hook := range beforeOp {
+			hook(i, tab)
+		}
 		switch op.kind {
 		case "claim", "step":
 			ch := make(chan error, 1)
@@ -219,6 +224,48 @@ func TestShardEquivalenceOnTrace(t *testing.T) {
 					}
 				}
 			}
+		})
+	}
+}
+
+// TestFastPathEquivalenceOnTrace is the fast path's golden pin: a
+// recorded trace replayed with the lock-free fast path force-disabled
+// (the historical all-stripe-locked behavior), force-enabled, and
+// randomly toggled mid-trace must yield identical grant / park /
+// deadlock / duplicate decisions for every operation, at one stripe and
+// many. The fast path is a grant-mechanism detail; it must never change
+// which requests conflict — a fast grant is only taken in states where
+// the slow path would have granted immediately, and the demote/promote
+// protocol forbids fast grants wherever a waiter or parked claim could
+// be overtaken.
+func TestFastPathEquivalenceOnTrace(t *testing.T) {
+	for _, seed := range []uint64{1, 42, 20260805} {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			ops := genTrace(seed, 120)
+			base := runTrace(t, NewTable(WithFastPath(false)), ops)
+			check := func(variant string, got []string) {
+				t.Helper()
+				for i := range base {
+					if got[i] != base[i] {
+						t.Fatalf("%s: op %d (%s txn %d) decided %q, fast-off decided %q",
+							variant, i, ops[i].kind, ops[i].txn, got[i], base[i])
+					}
+				}
+			}
+			check("fast-on/shards=1", runTrace(t, NewTable(WithFastPath(true)), ops))
+			check("fast-on/shards=16", runTrace(t, NewTable(WithFastPath(true), WithShards(16)), ops))
+			// Random mid-trace toggling: every op may run against fast
+			// words left behind by earlier fast-enabled ops, exercising
+			// the lazy demotion protocol at both stripe counts.
+			toggler := func(toggleSeed uint64) func(int, *Table) {
+				src := rng.New(toggleSeed)
+				return func(_ int, tab *Table) { tab.SetFastPath(src.Bernoulli(0.5)) }
+			}
+			check("fast-toggled/shards=1",
+				runTrace(t, NewTable(), ops, toggler(seed^0xdead)))
+			check("fast-toggled/shards=16",
+				runTrace(t, NewTable(WithShards(16)), ops, toggler(seed^0xbeef)))
 		})
 	}
 }

@@ -1,0 +1,17 @@
+package fixture
+
+import "sync/atomic"
+
+// fastState mirrors the lockmgr packed-word record; its word may only
+// be touched in this file.
+type fastState struct {
+	word atomic.Uint64
+}
+
+const fastBit = 1 << 61
+
+func fpPack(txn uint64) uint64 { return fastBit | txn }
+
+func fastRelease(fs *fastState, txn uint64) bool {
+	return fs.word.CompareAndSwap(fpPack(txn), 0)
+}

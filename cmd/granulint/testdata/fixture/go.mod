@@ -1,0 +1,3 @@
+module granulint.fixture
+
+go 1.22

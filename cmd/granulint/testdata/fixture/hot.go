@@ -1,0 +1,26 @@
+package fixture
+
+import "fmt"
+
+// hotpath: an annotated function that defers into fmt.
+//
+//granulint:hotpath
+func hotSum(vals []int) int {
+	defer fmt.Println("done")
+	sum := 0
+	for _, v := range vals {
+		sum += v
+	}
+	return sum
+}
+
+// directive: a misspelled verb must be caught by the validator.
+//
+//granulint:hotpaths
+func coldSum(vals []int) int {
+	sum := 0
+	for _, v := range vals {
+		sum += v
+	}
+	return sum
+}

@@ -1,0 +1,22 @@
+// Package fixture seeds exactly one violation per granulint analyzer;
+// the cmd/granulint integration test asserts the multichecker catches
+// all of them and exits non-zero.
+package fixture
+
+import "sync"
+
+type shard struct {
+	mu sync.Mutex
+}
+
+type table struct {
+	shards [4]shard
+}
+
+// lockorder: stripes acquired in descending index order.
+func swapStripes(t *table) {
+	t.shards[3].mu.Lock()
+	t.shards[0].mu.Lock()
+	t.shards[0].mu.Unlock()
+	t.shards[3].mu.Unlock()
+}

@@ -1,0 +1,13 @@
+package fixture
+
+// Registry mirrors the obs registration surface by name.
+type Registry struct{}
+
+type Counter struct{}
+
+func (r *Registry) NewCounter(name, help string) *Counter { return &Counter{} }
+
+// metricname: a family outside the granulock_<subsystem>_<name> grammar.
+func register(r *Registry) *Counter {
+	return r.NewCounter("fixture_counter", "seeded violation")
+}

@@ -1,0 +1,13 @@
+package fixture
+
+import "errors"
+
+//granulint:wireboundary
+
+// errtaxonomy: a bare errors.New inside a wire-boundary function body.
+func decode(b []byte) error {
+	if len(b) == 0 {
+		return errors.New("fixture: empty frame")
+	}
+	return nil
+}

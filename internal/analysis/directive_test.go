@@ -1,0 +1,95 @@
+package analysis_test
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+
+	"granulock/internal/analysis"
+	"granulock/internal/analysis/load"
+)
+
+// analyzeSrc runs one analyzer over an in-memory source file. The
+// directive analyzer needs no type information, so the fixture is not
+// type-checked.
+func analyzeSrc(t *testing.T, a *analysis.Analyzer, src string) []analysis.Diagnostic {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "src.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatalf("parsing fixture: %v", err)
+	}
+	diags, err := analysis.Analyze(&load.Package{Fset: fset, Files: []*ast.File{f}}, a)
+	if err != nil {
+		t.Fatalf("analyzing: %v", err)
+	}
+	return diags
+}
+
+func TestDirectiveValidator(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+		want []string // one substring per expected finding
+	}{
+		{
+			name: "unknown verb",
+			src:  "package p\n\n//granulint:frobnicate\nfunc f() {}\n",
+			want: []string{`unknown granulint directive "frobnicate"`},
+		},
+		{
+			name: "args on no-arg verb",
+			src:  "package p\n\n//granulint:hotpath eventually\nfunc f() {}\n",
+			want: []string{"granulint:hotpath takes no arguments"},
+		},
+		{
+			name: "ignore without anything",
+			src:  "package p\n\n//granulint:ignore\nfunc f() {}\n",
+			want: []string{"needs an analyzer name and a reason"},
+		},
+		{
+			name: "ignore of unknown analyzer",
+			src:  "package p\n\n//granulint:ignore nosuch because reasons\nfunc f() {}\n",
+			want: []string{`names unknown analyzer "nosuch"`},
+		},
+		{
+			name: "ignore without reason",
+			src:  "package p\n\n//granulint:ignore hotpath\nfunc f() {}\n",
+			want: []string{"requires a non-empty reason"},
+		},
+		{
+			name: "the validator itself cannot be suppressed",
+			src:  "package p\n\n//granulint:ignore directive hush\nfunc f() {}\n",
+			want: []string{`names unknown analyzer "directive"`},
+		},
+		{
+			name: "well-formed directives",
+			src: "package p\n\n//granulint:hotpath\nfunc f() {\n" +
+				"\t//granulint:ignore hotpath cold branch, justified\n\tg()\n}\nfunc g() {}\n",
+			want: nil,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			diags := analyzeSrc(t, analysis.Directive, tc.src)
+			if len(diags) != len(tc.want) {
+				t.Fatalf("got %d finding(s) %v, want %d", len(diags), messages(diags), len(tc.want))
+			}
+			for i, sub := range tc.want {
+				if !strings.Contains(diags[i].Message, sub) {
+					t.Errorf("finding %d = %q, want substring %q", i, diags[i].Message, sub)
+				}
+			}
+		})
+	}
+}
+
+func messages(diags []analysis.Diagnostic) []string {
+	out := make([]string, len(diags))
+	for i, d := range diags {
+		out[i] = d.Message
+	}
+	return out
+}

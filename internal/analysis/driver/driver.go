@@ -1,0 +1,121 @@
+// Package driver runs the granulint analyzer suite over real packages
+// and renders findings — the engine behind cmd/granulint. It exists as
+// a library so the multichecker binary stays a flag-parsing shell and
+// integration tests can run the whole pipeline in-process.
+package driver
+
+import (
+	"fmt"
+	"io"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"granulock/internal/analysis"
+	"granulock/internal/analysis/load"
+)
+
+// Options configure one granulint run.
+type Options struct {
+	// Dir is the directory the go command runs in (a module directory);
+	// empty means the current directory.
+	Dir string
+	// Patterns are go list package patterns; empty means ./...
+	Patterns []string
+	// Analyzers to run; empty means analysis.All. The directive
+	// validator always runs: the annotation grammar must stay
+	// well-formed for any subset's suppressions to mean anything.
+	Analyzers []*analysis.Analyzer
+	// Out receives findings, one line each.
+	Out io.Writer
+}
+
+// finding pairs a diagnostic with its analyzer for sorted output.
+type finding struct {
+	file     string
+	line     int
+	col      int
+	analyzer string
+	message  string
+}
+
+// Run executes the suite and prints findings as
+//
+//	path/file.go:line:col: analyzer: message
+//
+// It returns the number of findings (0 for a clean run).
+func Run(o Options) (int, error) {
+	analyzers := o.Analyzers
+	if len(analyzers) == 0 {
+		analyzers = analysis.All
+	}
+	if !containsAnalyzer(analyzers, analysis.Directive) {
+		analyzers = append(append([]*analysis.Analyzer(nil), analyzers...), analysis.Directive)
+	}
+	pkgs, err := load.Packages(o.Dir, o.Patterns...)
+	if err != nil {
+		return 0, err
+	}
+	var all []finding
+	for _, pkg := range pkgs {
+		for _, a := range analyzers {
+			diags, err := analysis.Analyze(pkg, a)
+			if err != nil {
+				return 0, err
+			}
+			for _, d := range diags {
+				pos := pkg.Fset.Position(d.Pos)
+				all = append(all, finding{
+					file:     relPath(o.Dir, pos.Filename),
+					line:     pos.Line,
+					col:      pos.Column,
+					analyzer: a.Name,
+					message:  d.Message,
+				})
+			}
+		}
+	}
+	sort.Slice(all, func(i, j int) bool {
+		a, b := all[i], all[j]
+		if a.file != b.file {
+			return a.file < b.file
+		}
+		if a.line != b.line {
+			return a.line < b.line
+		}
+		if a.col != b.col {
+			return a.col < b.col
+		}
+		return a.analyzer < b.analyzer
+	})
+	for _, f := range all {
+		fmt.Fprintf(o.Out, "%s:%d:%d: %s: %s\n", f.file, f.line, f.col, f.analyzer, f.message)
+	}
+	return len(all), nil
+}
+
+// relPath renders filename relative to dir when possible, for stable
+// readable output.
+func relPath(dir, filename string) string {
+	if dir == "" {
+		dir = "."
+	}
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return filename
+	}
+	rel, err := filepath.Rel(abs, filename)
+	if err != nil || strings.HasPrefix(rel, "..") {
+		return filename
+	}
+	return rel
+}
+
+func containsAnalyzer(as []*analysis.Analyzer, want *analysis.Analyzer) bool {
+	for _, a := range as {
+		if a == want {
+			return true
+		}
+	}
+	return false
+}

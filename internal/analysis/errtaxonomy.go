@@ -1,0 +1,79 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/constant"
+	"strings"
+)
+
+// ErrTaxonomy enforces the lock service's typed error taxonomy at its
+// wire boundary (the hardening PR's contract): every error a
+// //granulint:wireboundary package constructs inside a function body
+// must resolve to the package-level typed taxonomy, because callers on
+// the far side of the wire dispatch on errors.Is — a bare errors.New
+// or a fmt.Errorf without %w produces an error no caller can classify,
+// and the retry/reconnect machinery silently treats it as a transport
+// fault.
+//
+// Concretely, in an annotated package:
+//
+//   - errors.New may only appear in package-level declarations (the
+//     taxonomy definitions themselves);
+//   - fmt.Errorf inside a function body must wrap a typed error with
+//     %w (and its format string must be a compile-time constant so the
+//     analyzer can see that).
+var ErrTaxonomy = &Analyzer{
+	Name: "errtaxonomy",
+	Doc: "in //granulint:wireboundary packages, forbid bare errors.New " +
+		"in function bodies and require fmt.Errorf to wrap a typed " +
+		"taxonomy error with %w",
+	Run: runErrTaxonomy,
+}
+
+func runErrTaxonomy(p *Pass) error {
+	if !p.PkgHasDirective("wireboundary") {
+		return nil
+	}
+	p.enclosingFuncs(func(_ *ast.File, fd *ast.FuncDecl) {
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			pkg, fn, ok := calleePkgFunc(p.TypesInfo, call)
+			if !ok {
+				return true
+			}
+			switch {
+			case pkg == "errors" && fn == "New":
+				p.Reportf(call.Pos(),
+					"bare errors.New in a wire-boundary function; errors crossing the wire "+
+						"must be (or wrap) a package-level typed taxonomy error")
+			case pkg == "fmt" && fn == "Errorf":
+				checkErrorf(p, call)
+			}
+			return true
+		})
+	})
+	return nil
+}
+
+// checkErrorf requires the format string to be a known constant
+// containing %w.
+func checkErrorf(p *Pass, call *ast.CallExpr) {
+	if len(call.Args) == 0 {
+		return
+	}
+	tv, ok := p.TypesInfo.Types[call.Args[0]]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		p.Reportf(call.Pos(),
+			"fmt.Errorf with a non-constant format string; the wire boundary needs a "+
+				"statically checkable %%w wrap of a taxonomy error")
+		return
+	}
+	if !strings.Contains(constant.StringVal(tv.Value), "%w") {
+		p.Reportf(call.Pos(),
+			"fmt.Errorf without %%w drops the typed taxonomy at the wire boundary; "+
+				"wrap a package-level Err* value (callers dispatch with errors.Is)")
+	}
+}

@@ -1,0 +1,64 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// HotPath guards the measured zero-allocation hot paths (the fast-path
+// acquire/release cycle pinned at ~zero allocs in BENCH_lockmgr.json,
+// the v2 frame codec, the discrete-event loop). Functions annotated
+// //granulint:hotpath may not:
+//
+//   - range over a map — Go's randomized map iteration allocates its
+//     iterator state and was the single largest cost profiling found on
+//     the claim/release cycle before the hold-set vector rewrite;
+//   - use defer — a defer frame per call on a ~128ns path is real money
+//     and hides the unlock ordering the lockorder analyzer checks;
+//   - call into fmt or reflect — both allocate and both appeared in
+//     past regressions via "harmless" error/diagnostic paths.
+//
+// The check is intraprocedural and includes function literals declared
+// inside the annotated body (they run on the same path). Cold error
+// branches that genuinely need one of these get a //granulint:ignore
+// with a justification.
+var HotPath = &Analyzer{
+	Name: "hotpath",
+	Doc: "forbid map iteration, defer and fmt/reflect calls inside " +
+		"functions annotated //granulint:hotpath",
+	Run: runHotPath,
+}
+
+func runHotPath(p *Pass) error {
+	p.enclosingFuncs(func(_ *ast.File, fd *ast.FuncDecl) {
+		if !p.FuncHasDirective(fd, "hotpath") {
+			return
+		}
+		name := fd.Name.Name
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			switch v := n.(type) {
+			case *ast.RangeStmt:
+				if tv, ok := p.TypesInfo.Types[v.X]; ok {
+					if _, isMap := tv.Type.Underlying().(*types.Map); isMap {
+						p.Reportf(v.Pos(),
+							"hotpath function %s ranges over a map (randomized iteration "+
+								"setup allocates); iterate a slice or index instead", name)
+					}
+				}
+			case *ast.DeferStmt:
+				p.Reportf(v.Pos(), "hotpath function %s uses defer; unlock/cleanup explicitly on this path", name)
+			case *ast.CallExpr:
+				if pkg, fn, ok := calleePkgFunc(p.TypesInfo, v); ok {
+					if pkg == "fmt" || pkg == "reflect" {
+						p.Reportf(v.Pos(),
+							"hotpath function %s calls %s.%s; fmt/reflect allocate — use a "+
+								"preallocated typed error or move the call off the hot path",
+							name, pkg, fn)
+					}
+				}
+			}
+			return true
+		})
+	})
+	return nil
+}

@@ -1,0 +1,175 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+)
+
+// LockOrder mechanizes the stripe-ordering discipline from the sharding
+// PR: any code path that holds two stripe/shard mutexes at once must
+// have acquired them in ascending index order, or the stripes
+// themselves can deadlock. A "stripe mutex" is a sync.Mutex or
+// sync.RWMutex reached through an indexed expression (t.shards[i].mu,
+// stripes[j]). The canonical sorted-acquire helpers are annotated
+// //granulint:ordered and skipped; everything else must either lock
+// provably ascending constant indexes or go through those helpers.
+var LockOrder = &Analyzer{
+	Name: "lockorder",
+	Doc: "flag code paths that acquire two stripe/shard mutexes out of " +
+		"ascending index order (or unprovably ordered); annotate the " +
+		"canonical sorted-acquire helpers //granulint:ordered",
+	Run: runLockOrder,
+}
+
+// stripeAcq is one recorded stripe-mutex acquisition.
+type stripeAcq struct {
+	index    ast.Expr
+	indexSrc string
+	constVal constant.Value // non-nil when the index is a constant
+	pos      token.Pos
+}
+
+func runLockOrder(p *Pass) error {
+	p.enclosingFuncs(func(_ *ast.File, fd *ast.FuncDecl) {
+		if p.FuncHasDirective(fd, "ordered") {
+			return
+		}
+		checkLockOrder(p, fd)
+	})
+	return nil
+}
+
+func checkLockOrder(p *Pass, fd *ast.FuncDecl) {
+	// Deferred unlocks run at return, not where they appear; they must
+	// not be treated as releasing the stripe mid-function.
+	deferred := make(map[*ast.CallExpr]bool)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if ds, ok := n.(*ast.DeferStmt); ok {
+			deferred[ds.Call] = true
+		}
+		return true
+	})
+
+	// held tracks, per container expression ("t.shards"), the stripe
+	// acquisitions currently believed held, in source order. The walk
+	// is a linear pass over the body: branches are not path-separated,
+	// which is deliberately conservative — a function whose lock order
+	// depends on control flow should use the sorted helpers.
+	held := make(map[string][]stripeAcq)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		var acquire bool
+		switch sel.Sel.Name {
+		case "Lock", "RLock":
+			acquire = true
+		case "Unlock", "RUnlock":
+			acquire = false
+		default:
+			return true
+		}
+		if !isSyncMutex(p, sel.X) {
+			return true
+		}
+		idx, ok := indexedBase(sel.X)
+		if !ok {
+			return true // not a stripe mutex (no indexing in the chain)
+		}
+		container := exprString(idx.X)
+		acq := stripeAcq{
+			index:    idx.Index,
+			indexSrc: exprString(idx.Index),
+			pos:      call.Pos(),
+		}
+		if tv, okc := p.TypesInfo.Types[idx.Index]; okc && tv.Value != nil {
+			acq.constVal = tv.Value
+		}
+		if acquire && !deferred[call] {
+			if locks := held[container]; len(locks) > 0 {
+				compareStripeOrder(p, container, locks[len(locks)-1], acq)
+			}
+			held[container] = append(held[container], acq)
+			return true
+		}
+		if !acquire && !deferred[call] {
+			locks := held[container]
+			for i := len(locks) - 1; i >= 0; i-- {
+				if locks[i].indexSrc == acq.indexSrc {
+					held[container] = append(locks[:i], locks[i+1:]...)
+					return true
+				}
+			}
+			// Unlock of a stripe we never saw locked (or whose index is
+			// spelled differently): order knowledge for this container
+			// is gone; reset rather than report nonsense downstream.
+			delete(held, container)
+		}
+		return true
+	})
+}
+
+// compareStripeOrder reports when next cannot be proven to follow prev
+// in ascending stripe-index order.
+func compareStripeOrder(p *Pass, container string, prev, next stripeAcq) {
+	if prev.constVal != nil && next.constVal != nil {
+		if constant.Compare(next.constVal, token.LSS, prev.constVal) {
+			p.Reportf(next.pos,
+				"stripe mutexes of %s locked out of ascending index order (%s after %s); "+
+					"acquire in canonical sorted order",
+				container, next.indexSrc, prev.indexSrc)
+			return
+		}
+		if constant.Compare(next.constVal, token.EQL, prev.constVal) {
+			p.Reportf(next.pos,
+				"stripe %s[%s] locked twice without an intervening unlock (self-deadlock)",
+				container, next.indexSrc)
+		}
+		return
+	}
+	if prev.indexSrc == next.indexSrc {
+		p.Reportf(next.pos,
+			"stripe %s[%s] locked twice without an intervening unlock (self-deadlock)",
+			container, next.indexSrc)
+		return
+	}
+	p.Reportf(next.pos,
+		"cannot prove ascending stripe order for %s: %s locked while %s is held; "+
+			"acquire through a sorted helper or annotate it //granulint:ordered",
+		container, next.indexSrc, prev.indexSrc)
+}
+
+// isSyncMutex reports whether e's type is sync.Mutex or sync.RWMutex
+// (possibly behind a pointer).
+func isSyncMutex(p *Pass, e ast.Expr) bool {
+	tv, ok := p.TypesInfo.Types[e]
+	if !ok {
+		return false
+	}
+	return typeIs(tv.Type, "sync", "Mutex") || typeIs(tv.Type, "sync", "RWMutex")
+}
+
+// indexedBase walks down a selector/pointer chain and returns the first
+// index expression: for t.shards[i].mu it returns t.shards[i].
+func indexedBase(e ast.Expr) (*ast.IndexExpr, bool) {
+	for {
+		switch v := e.(type) {
+		case *ast.SelectorExpr:
+			e = v.X
+		case *ast.ParenExpr:
+			e = v.X
+		case *ast.StarExpr:
+			e = v.X
+		case *ast.IndexExpr:
+			return v, true
+		default:
+			return nil, false
+		}
+	}
+}

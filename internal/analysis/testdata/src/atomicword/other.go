@@ -1,0 +1,20 @@
+// Fixture for the atomicword analyzer, outside half: any atomic on the
+// packed word outside fastpath.go is a finding, even a Load.
+package atomicword
+
+import "sync/atomic"
+
+func outside(fs *fastState) uint64 {
+	fs.word.Store(0)      // want `outside the fastpath.go transition helpers`
+	return fs.word.Load() // want `outside the fastpath.go transition helpers`
+}
+
+// Atomics on words that are not the packed fastState.word are none of
+// the analyzer's business.
+type unrelated struct {
+	word atomic.Uint64
+}
+
+func fine(u *unrelated) {
+	u.word.Add(1)
+}

@@ -1,0 +1,38 @@
+// Fixture for the errtaxonomy analyzer: this package declares itself a
+// wire boundary, so every error constructed in a function body must
+// resolve to the package-level typed taxonomy.
+//
+//granulint:wireboundary
+package errtaxonomy
+
+import (
+	"errors"
+	"fmt"
+)
+
+// The taxonomy itself: package-level errors.New is the one legal home.
+var ErrTimeout = errors.New("fixture: timed out")
+
+func bare(op string) error {
+	if op == "" {
+		return errors.New("empty op") // want `bare errors.New`
+	}
+	return nil
+}
+
+func dropsTaxonomy(op string) error {
+	return fmt.Errorf("op %s failed", op) // want `without %w drops the typed taxonomy`
+}
+
+func nonConstFormat(format string) error {
+	return fmt.Errorf(format, 1) // want `non-constant format string`
+}
+
+func wraps(op string) error {
+	return fmt.Errorf("%s: %w", op, ErrTimeout)
+}
+
+// Non-error fmt calls are not the analyzer's concern.
+func prints(op string) string {
+	return fmt.Sprintf("op=%s", op)
+}

@@ -1,0 +1,57 @@
+// Fixture for the hotpath analyzer: annotated functions may not range
+// over maps, defer, or call into fmt/reflect.
+package hotpath
+
+import (
+	"fmt"
+	"reflect"
+)
+
+//granulint:hotpath
+func bad(m map[int]int) int {
+	sum := 0
+	for k := range m { // want `ranges over a map`
+		sum += k
+	}
+	defer fmt.Println(sum) // want `uses defer` `calls fmt.Println`
+	_ = reflect.TypeOf(m)  // want `calls reflect.TypeOf`
+	return sum
+}
+
+// The check covers function literals declared inside the annotated
+// body: they run on the same path.
+//
+//granulint:hotpath
+func badLiteral(m map[int]int) func() int {
+	return func() int {
+		n := 0
+		for range m { // want `ranges over a map`
+			n++
+		}
+		return n
+	}
+}
+
+// Unannotated functions may do all of it.
+func cold(m map[int]int) {
+	defer fmt.Println("done")
+	for k := range m {
+		_ = k
+	}
+}
+
+// Slices are fine to range over, and suppressed findings carry a
+// mandatory justification.
+//
+//granulint:hotpath
+func suppressed(s []int) int {
+	sum := 0
+	for _, v := range s {
+		sum += v
+	}
+	if sum < 0 {
+		//granulint:ignore hotpath cold invariant-violation branch, never taken when callers behave
+		fmt.Println("negative sum")
+	}
+	return sum
+}

@@ -1,0 +1,91 @@
+// Fixture for the lockorder analyzer: stripe mutexes reached through
+// indexed expressions must be acquired in ascending index order.
+package lockorder
+
+import "sync"
+
+type shard struct {
+	mu sync.Mutex
+	n  int
+}
+
+type table struct {
+	shards [8]shard
+}
+
+func descending(t *table) {
+	t.shards[2].mu.Lock()
+	t.shards[1].mu.Lock() // want `out of ascending index order`
+	t.shards[1].mu.Unlock()
+	t.shards[2].mu.Unlock()
+}
+
+func ascending(t *table) {
+	t.shards[1].mu.Lock()
+	t.shards[2].mu.Lock()
+	t.shards[2].n++
+	t.shards[2].mu.Unlock()
+	t.shards[1].mu.Unlock()
+}
+
+func selfDeadlock(t *table) {
+	t.shards[3].mu.Lock()
+	t.shards[3].mu.Lock() // want `self-deadlock`
+	t.shards[3].mu.Unlock()
+	t.shards[3].mu.Unlock()
+}
+
+func unprovable(t *table, i, j int) {
+	t.shards[i].mu.Lock()
+	t.shards[j].mu.Lock() // want `cannot prove ascending stripe order`
+	t.shards[j].mu.Unlock()
+	t.shards[i].mu.Unlock()
+}
+
+func sameVarTwice(t *table, i int) {
+	t.shards[i].mu.Lock()
+	t.shards[i].mu.Lock() // want `self-deadlock`
+	t.shards[i].mu.Unlock()
+	t.shards[i].mu.Unlock()
+}
+
+// sorted is the canonical helper: its contract (sorted ascending input)
+// is the ordering proof, so the analyzer must skip the body.
+//
+//granulint:ordered
+func sorted(t *table, idx []int) {
+	for _, i := range idx {
+		t.shards[i].mu.Lock()
+	}
+}
+
+// release-then-reacquire is not a violation: the first stripe is no
+// longer held when the lower index is taken.
+func sequential(t *table) {
+	t.shards[5].mu.Lock()
+	t.shards[5].mu.Unlock()
+	t.shards[2].mu.Lock()
+	t.shards[2].mu.Unlock()
+}
+
+// Deferred unlocks run at return: the stripes stay held, so ascending
+// acquisitions remain fine but the defer must not hide them.
+func deferredUnlocks(t *table) {
+	t.shards[1].mu.Lock()
+	defer t.shards[1].mu.Unlock()
+	t.shards[4].mu.Lock()
+	defer t.shards[4].mu.Unlock()
+	t.shards[4].n++
+}
+
+// A single mutex that is not indexed is never a stripe mutex.
+type plain struct {
+	mu sync.Mutex
+}
+
+func unindexed(p *plain, q *plain) {
+	p.mu.Lock()
+	q.mu.Lock()
+	q.mu.Unlock()
+	p.mu.Unlock()
+}

@@ -88,6 +88,8 @@ const (
 )
 
 // fpPack builds a FAST word: single holder txn in the given mode.
+//
+//granulint:hotpath
 func fpPack(txn TxnID, mode Mode) uint64 {
 	w := uint64(fpFastBit) | uint64(txn)
 	if mode == ModeExclusive {
@@ -97,12 +99,18 @@ func fpPack(txn TxnID, mode Mode) uint64 {
 }
 
 // fpIsFast reports whether w encodes a single fast holder.
+//
+//granulint:hotpath
 func fpIsFast(w uint64) bool { return w&fpFastBit != 0 && w&fpSlowBit == 0 }
 
 // fpTxnOf extracts the holder of a FAST word.
+//
+//granulint:hotpath
 func fpTxnOf(w uint64) TxnID { return TxnID(w & fpTxnMask) }
 
 // fpModeOf extracts the holder's mode from a FAST word.
+//
+//granulint:hotpath
 func fpModeOf(w uint64) Mode {
 	if w&fpModeXBit != 0 {
 		return ModeExclusive
@@ -111,6 +119,8 @@ func fpModeOf(w uint64) Mode {
 }
 
 // fpPackable reports whether txn can be encoded in a FAST word.
+//
+//granulint:hotpath
 func fpPackable(txn TxnID) bool { return txn > 0 && txn <= fpTxnMask }
 
 // fastState is one granule's fast-path record. The granule field is
@@ -155,6 +165,8 @@ func (t *Table) FastPathEnabled() bool { return t.fastOn.Load() }
 // fastLookup finds g's fast record without any lock. Slots are only
 // ever written nil→non-nil (eviction replaces the pointer, never
 // clears it), so a nil slot proves g was never inserted in its window.
+//
+//granulint:hotpath
 func (s *shard) fastLookup(g Granule) *fastState {
 	h := mix64(uint64(g))
 	for i := uint64(0); i < fpProbe; i++ {
@@ -176,6 +188,8 @@ func (s *shard) fastLookup(g Granule) *fastState {
 // in-flight CAS on the victim either lands before (aborting the
 // eviction) or fails against the tombstone and falls back. Returns nil
 // when no slot can be claimed (g simply stays slow-path only).
+//
+//granulint:hotpath
 func (s *shard) fastInsert(g Granule) *fastState {
 	h := mix64(uint64(g))
 	var victim *atomic.Pointer[fastState]
@@ -283,6 +297,8 @@ const (
 // fastTryStep is one lock-free attempt at an incremental Acquire.
 // It handles re-acquire and sole-holder upgrade; any state it cannot
 // prove safe defers to the slow path.
+//
+//granulint:hotpath
 func (t *Table) fastTryStep(fs *fastState, txn TxnID, g Granule, mode Mode) fastOutcome {
 	for {
 		w := fs.word.Load()
@@ -332,6 +348,8 @@ func (t *Table) fastTryStep(fs *fastState, txn TxnID, g Granule, mode Mode) fast
 // spin-then-park discipline for Acquire. Returns (true, nil) when the
 // grant completed without the stripe mutex; (false, _) defers to the
 // slow path.
+//
+//granulint:hotpath
 func (t *Table) fastAcquire(txn TxnID, g Granule, mode Mode) bool {
 	fs := t.shardFor(g).fastLookup(g)
 	if fs == nil {
@@ -353,6 +371,8 @@ func (t *Table) fastAcquire(txn TxnID, g Granule, mode Mode) bool {
 // fastSpinThenTry spins on a conflicting FAST holder, retrying the
 // grant after each yield, and adapts the granule's budget from the
 // outcome. It reports whether the lock was won while spinning.
+//
+//granulint:hotpath
 func (t *Table) fastSpinThenTry(fs *fastState, txn TxnID, g Granule, mode Mode) bool {
 	budget := int(fs.spin.Load())
 	for i := 0; i < budget; i++ {
@@ -389,6 +409,8 @@ func (t *Table) fastSpinThenTry(fs *fastState, txn TxnID, g Granule, mode Mode) 
 // claim: the first-acquisition check, the CAS and the hold-set record
 // happen in one ts.mu critical section, so duplicate-claim resolution
 // and ReleaseAll serialize against it exactly as against the slow path.
+//
+//granulint:hotpath
 func (t *Table) fastClaim(txn TxnID, g Granule, mode Mode, spin bool) fastOutcome {
 	fs := t.shardFor(g).fastLookup(g)
 	if fs == nil {
@@ -437,6 +459,8 @@ func (t *Table) fastClaim(txn TxnID, g Granule, mode Mode, spin bool) fastOutcom
 }
 
 // fastTryClaimOnce is one attempt of fastClaim.
+//
+//granulint:hotpath
 func (t *Table) fastTryClaimOnce(fs *fastState, txn TxnID, g Granule, mode Mode) fastOutcome {
 	for {
 		w := fs.word.Load()
@@ -482,6 +506,8 @@ func (t *Table) fastTryClaimOnce(fs *fastState, txn TxnID, g Granule, mode Mode)
 // re-snapshots the shrunken hold set. Fast-freed granules can have no
 // waiters and no parked claims (see the invariants), so skipping the
 // wake/claim sweeps is sound, not just fast.
+//
+//granulint:hotpath
 func (t *Table) fastReleaseAll(txn TxnID) bool {
 	ts := t.txnShardFor(txn)
 	ts.mu.Lock()

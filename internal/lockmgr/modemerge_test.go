@@ -51,11 +51,11 @@ func TestGCombineAllPairs(t *testing.T) {
 	want := map[[2]GMode]GMode{
 		{GModeIS, GModeIS}: GModeIS, {GModeIS, GModeIX}: GModeIX,
 		{GModeIS, GModeS}: GModeS, {GModeIS, GModeSIX}: GModeSIX,
-		{GModeIS, GModeX}: GModeX,
+		{GModeIS, GModeX}:  GModeX,
 		{GModeIX, GModeIX}: GModeIX, {GModeIX, GModeS}: GModeSIX,
 		{GModeIX, GModeSIX}: GModeSIX, {GModeIX, GModeX}: GModeX,
 		{GModeS, GModeS}: GModeS, {GModeS, GModeSIX}: GModeSIX,
-		{GModeS, GModeX}: GModeX,
+		{GModeS, GModeX}:     GModeX,
 		{GModeSIX, GModeSIX}: GModeSIX, {GModeSIX, GModeX}: GModeX,
 		{GModeX, GModeX}: GModeX,
 	}

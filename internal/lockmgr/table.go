@@ -557,6 +557,8 @@ func sortDedup(idx []uint64) []uint64 {
 
 // lockShards locks the given stripes; idx must be sorted ascending and
 // deduplicated (the canonical order).
+//
+//granulint:ordered
 func (t *Table) lockShards(idx []uint64) {
 	for _, i := range idx {
 		t.shards[i].mu.Lock()

@@ -20,6 +20,13 @@ import (
 // never retries them at the transport layer (the caller decides — a
 // timed-out acquire is commonly retried after releasing, a foreign
 // release is a logic bug).
+//
+// locksrv is a wire boundary: every error the package constructs in a
+// function body must wrap one of these taxonomy values with %w, so
+// callers on the far side can dispatch with errors.Is. The errtaxonomy
+// analyzer (cmd/granulint) enforces this.
+//
+//granulint:wireboundary
 var (
 	// ErrTimeout: the acquire's wait deadline (timeout_ms) expired.
 	ErrTimeout = errors.New("locksrv: acquire timed out")
@@ -30,6 +37,16 @@ var (
 	// ErrClientClosed: Close was called on this client; no further
 	// requests or reconnects will be attempted.
 	ErrClientClosed = errors.New("locksrv: client closed")
+	// ErrBadRequest: the server rejected the request as malformed
+	// (bad_request) — a client bug, not a transient fault.
+	ErrBadRequest = errors.New("locksrv: bad request")
+	// ErrUnknownOp: the server does not implement the requested op —
+	// a protocol-version mismatch between client and server.
+	ErrUnknownOp = errors.New("locksrv: unknown op")
+	// ErrMalformedReply: the client could not decode a server reply, or
+	// the reply carried a code outside the taxonomy — framing or
+	// protocol state is suspect.
+	ErrMalformedReply = errors.New("locksrv: malformed reply")
 )
 
 // Client is one lock-manager session. A Client serializes its requests
@@ -323,11 +340,16 @@ func respErr(op string, resp Response) error {
 		base = ErrNotOwner
 	case CodeClosed:
 		base = ErrSessionClosed
+	case CodeBadRequest:
+		base = ErrBadRequest
+	case CodeUnknownOp:
+		base = ErrUnknownOp
+	default:
+		// A code outside the taxonomy: the server speaks a newer (or
+		// corrupted) protocol revision.
+		base = ErrMalformedReply
 	}
-	if base != nil {
-		return fmt.Errorf("locksrv: %s: %w (%s)", op, base, resp.Err)
-	}
-	return fmt.Errorf("locksrv: %s: %s", op, resp.Err)
+	return fmt.Errorf("locksrv: %s: %w (%s)", op, base, resp.Err)
 }
 
 // AcquireAll conservatively claims the lock set for txn, blocking until

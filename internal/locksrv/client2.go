@@ -506,19 +506,19 @@ func parseBatchReply(op string, reply v2Reply, want int) ([]error, error) {
 	fr := frameReader{b: reply.body}
 	k := int(fr.u32())
 	if fr.bad || k != want {
-		return nil, fmt.Errorf("locksrv: %sN: malformed batch response (%d items, want %d)", op, k, want)
+		return nil, fmt.Errorf("%w: %sN: batch response has %d items, want %d", ErrMalformedReply, op, k, want)
 	}
 	out := make([]error, k)
 	for i := 0; i < k; i++ {
 		st := fr.byte()
 		msg := fr.take(int(fr.u32()))
 		if fr.bad {
-			return nil, fmt.Errorf("locksrv: %sN: malformed batch response item %d", op, i)
+			return nil, fmt.Errorf("%w: %sN: truncated batch response item %d", ErrMalformedReply, op, i)
 		}
 		out[i] = replyErr(op, v2Reply{status: st, body: msg})
 	}
 	if !fr.done() {
-		return nil, fmt.Errorf("locksrv: %sN: trailing bytes in batch response", op)
+		return nil, fmt.Errorf("%w: %sN: trailing bytes in batch response", ErrMalformedReply, op)
 	}
 	return out, nil
 }
@@ -544,7 +544,7 @@ func (c *ClientV2) FullStats() (lockmgr.Stats, ServerStats, error) {
 		return lockmgr.Stats{}, ServerStats{}, fmt.Errorf("locksrv: stats: %w", err)
 	}
 	if resp.Stats == nil {
-		return lockmgr.Stats{}, ServerStats{}, fmt.Errorf("locksrv: stats: empty payload")
+		return lockmgr.Stats{}, ServerStats{}, fmt.Errorf("%w: stats reply carries no payload", ErrMalformedReply)
 	}
 	var srv ServerStats
 	if resp.Server != nil {

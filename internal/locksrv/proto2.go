@@ -8,6 +8,11 @@ import (
 	"sync"
 )
 
+// errBadFrame is the connection-fatal framing failure; readFrame wraps
+// it with the offending length. It chains to ErrMalformedReply so
+// callers match the taxonomy with errors.Is.
+var errBadFrame = fmt.Errorf("%w: bad frame length", ErrMalformedReply)
+
 // Wire protocol v2: length-prefixed binary frames with request ids, so
 // requests pipeline and responses may return out of order. A v2 client
 // announces itself by sending the 4-byte magic "GLK2" immediately after
@@ -104,27 +109,43 @@ type frameBuf struct {
 
 var framePool = sync.Pool{New: func() any { return &frameBuf{b: make([]byte, 0, 256)} }}
 
-func getFrame() *frameBuf  { return framePool.Get().(*frameBuf) }
+//granulint:hotpath
+func getFrame() *frameBuf { return framePool.Get().(*frameBuf) }
+
+//granulint:hotpath
 func putFrame(f *frameBuf) { f.b = f.b[:0]; framePool.Put(f) }
 
 // start begins a frame with the given op/status and request id, leaving
 // the length prefix to be patched by finish.
+//
+//granulint:hotpath
 func (f *frameBuf) start(op byte, id uint64) {
 	f.b = append(f.b[:0], 0, 0, 0, 0, op)
 	f.b = binary.BigEndian.AppendUint64(f.b, id)
 }
 
 // finish patches the length prefix; the frame is ready to write.
+//
+//granulint:hotpath
 func (f *frameBuf) finish() {
 	binary.BigEndian.PutUint32(f.b[:4], uint32(len(f.b)-4))
 }
 
 // bytes returns the wire form (length prefix included).
+//
+//granulint:hotpath
 func (f *frameBuf) bytes() []byte { return f.b }
 
+//granulint:hotpath
 func (f *frameBuf) appendU64(v uint64) { f.b = binary.BigEndian.AppendUint64(f.b, v) }
+
+//granulint:hotpath
 func (f *frameBuf) appendU32(v uint32) { f.b = binary.BigEndian.AppendUint32(f.b, v) }
-func (f *frameBuf) appendByte(v byte)  { f.b = append(f.b, v) }
+
+//granulint:hotpath
+func (f *frameBuf) appendByte(v byte) { f.b = append(f.b, v) }
+
+//granulint:hotpath
 func (f *frameBuf) appendBytes(p []byte) {
 	f.b = append(f.b, p...)
 }
@@ -133,6 +154,8 @@ func (f *frameBuf) appendBytes(p []byte) {
 // returned body aliases the frameBuf; the caller must putFrame it when
 // done. A torn frame (short header, short payload, oversized length)
 // returns an error — connection-fatal, as framing is lost.
+//
+//granulint:hotpath
 func readFrame(r *bufio.Reader) (fb *frameBuf, op byte, id uint64, body []byte, err error) {
 	var hdr [4]byte
 	if _, err = io.ReadFull(r, hdr[:]); err != nil {
@@ -140,7 +163,8 @@ func readFrame(r *bufio.Reader) (fb *frameBuf, op byte, id uint64, body []byte, 
 	}
 	n := binary.BigEndian.Uint32(hdr[:])
 	if n < frameHeader || n > maxFrame {
-		return nil, 0, 0, nil, fmt.Errorf("locksrv: bad frame length %d", n)
+		//granulint:ignore hotpath connection-fatal cold branch; framing is already lost, the caller tears the conn down
+		return nil, 0, 0, nil, fmt.Errorf("%w %d", errBadFrame, n)
 	}
 	fb = getFrame()
 	if cap(fb.b) < int(n) {
@@ -163,6 +187,7 @@ type frameReader struct {
 	bad bool
 }
 
+//granulint:hotpath
 func (r *frameReader) u64() uint64 {
 	if r.off+8 > len(r.b) {
 		r.bad = true
@@ -173,6 +198,7 @@ func (r *frameReader) u64() uint64 {
 	return v
 }
 
+//granulint:hotpath
 func (r *frameReader) u32() uint32 {
 	if r.off+4 > len(r.b) {
 		r.bad = true
@@ -183,6 +209,7 @@ func (r *frameReader) u32() uint32 {
 	return v
 }
 
+//granulint:hotpath
 func (r *frameReader) byte() byte {
 	if r.off >= len(r.b) {
 		r.bad = true
@@ -193,6 +220,7 @@ func (r *frameReader) byte() byte {
 	return v
 }
 
+//granulint:hotpath
 func (r *frameReader) take(n int) []byte {
 	if n < 0 || r.off+n > len(r.b) {
 		r.bad = true
@@ -205,4 +233,6 @@ func (r *frameReader) take(n int) []byte {
 
 // done reports whether the body was consumed exactly and without
 // overruns — trailing garbage is as malformed as a short body.
+//
+//granulint:hotpath
 func (r *frameReader) done() bool { return !r.bad && r.off == len(r.b) }

@@ -80,11 +80,15 @@ func (e *Engine) Pending() int { return len(e.queue) }
 // (before Now) panics: it would silently reorder causality. Non-finite
 // times (NaN, ±Inf) panic too: a +Inf event can never meaningfully fire
 // and corrupts Pending-based run-until logic.
+//
+//granulint:hotpath
 func (e *Engine) At(t Time, fn func()) *Event {
 	if math.IsNaN(t) || math.IsInf(t, 0) {
+		//granulint:ignore hotpath misuse guard that ends in panic; never taken on the hot path
 		panic(fmt.Sprintf("sim: scheduling event at non-finite time %v", t))
 	}
 	if t < e.now {
+		//granulint:ignore hotpath misuse guard that ends in panic; never taken on the hot path
 		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, e.now))
 	}
 	ev := e.alloc()
@@ -99,8 +103,11 @@ func (e *Engine) At(t Time, fn func()) *Event {
 }
 
 // After schedules fn to run delay time units from now.
+//
+//granulint:hotpath
 func (e *Engine) After(delay Time, fn func()) *Event {
 	if delay < 0 {
+		//granulint:ignore hotpath misuse guard that ends in panic; never taken on the hot path
 		panic(fmt.Sprintf("sim: negative delay %v", delay))
 	}
 	return e.At(e.now+delay, fn)
@@ -109,6 +116,8 @@ func (e *Engine) After(delay Time, fn func()) *Event {
 // Cancel removes a pending event from the queue and recycles it.
 // Cancelling an event that already fired or was already cancelled is a
 // no-op.
+//
+//granulint:hotpath
 func (e *Engine) Cancel(ev *Event) {
 	if ev == nil || ev.index < 0 {
 		return
@@ -119,6 +128,8 @@ func (e *Engine) Cancel(ev *Event) {
 
 // Step executes the single earliest pending event, advancing the clock to
 // its time. It reports whether an event was executed.
+//
+//granulint:hotpath
 func (e *Engine) Step() bool {
 	if len(e.queue) == 0 {
 		return false
@@ -140,6 +151,8 @@ func (e *Engine) Step() bool {
 // next event is strictly after horizon. The clock finishes at exactly
 // horizon (events at the horizon itself do run). It returns the number of
 // events executed.
+//
+//granulint:hotpath
 func (e *Engine) RunUntil(horizon Time) uint64 {
 	start := e.steps
 	for len(e.queue) > 0 && e.queue[0].t <= horizon {
@@ -157,6 +170,8 @@ func (e *Engine) RunUntil(horizon Time) uint64 {
 // number of events executed; a return below max means the horizon was
 // reached (the clock is advanced to exactly horizon, as in RunUntil)
 // and further calls execute nothing.
+//
+//granulint:hotpath
 func (e *Engine) RunUntilSteps(horizon Time, max uint64) uint64 {
 	start := e.steps
 	for len(e.queue) > 0 && e.queue[0].t <= horizon && e.steps-start < max {
@@ -180,6 +195,8 @@ func (e *Engine) Run() uint64 {
 }
 
 // alloc returns a recycled event, or a fresh one if the pool is empty.
+//
+//granulint:hotpath
 func (e *Engine) alloc() *Event {
 	if n := len(e.free) - 1; n >= 0 {
 		ev := e.free[n]
@@ -191,6 +208,8 @@ func (e *Engine) alloc() *Event {
 }
 
 // release marks ev dead and returns it to the pool.
+//
+//granulint:hotpath
 func (e *Engine) release(ev *Event) {
 	ev.fn = nil
 	ev.index = -1
@@ -199,6 +218,8 @@ func (e *Engine) release(ev *Event) {
 
 // less orders the heap by (time, seq); seq is unique, so the order is
 // total and pop order is independent of the heap's internal layout.
+//
+//granulint:hotpath
 func less(a, b *Event) bool {
 	if a.t != b.t {
 		return a.t < b.t
@@ -207,6 +228,8 @@ func less(a, b *Event) bool {
 }
 
 // siftUp restores the heap invariant upward from index i.
+//
+//granulint:hotpath
 func (e *Engine) siftUp(i int) {
 	q := e.queue
 	ev := q[i]
@@ -224,6 +247,8 @@ func (e *Engine) siftUp(i int) {
 }
 
 // siftDown restores the heap invariant downward from index i.
+//
+//granulint:hotpath
 func (e *Engine) siftDown(i int) {
 	q := e.queue
 	n := len(q)
@@ -256,6 +281,8 @@ func (e *Engine) siftDown(i int) {
 
 // remove deletes the event at heap index i, marking it unqueued. The
 // caller still owns the event (Step runs it, Cancel recycles it).
+//
+//granulint:hotpath
 func (e *Engine) remove(i int) {
 	q := e.queue
 	n := len(q) - 1

@@ -43,10 +43,14 @@ benchlock:
 # locknet is the ISSUE 3 acceptance scenario: 1000 transactions through
 # the network lock service behind the fault-injecting transport (drops,
 # delays, partial writes); runNet fails unless the drain strands zero
-# granules. Runs once per wire protocol. See docs/LOCKSRV.md.
+# granules. Runs once per wire protocol, then once against a 3-node
+# partitioned cluster with one node killed mid-run (runNetCluster fails
+# unless the takeover happens and the survivors drain clean). See
+# docs/LOCKSRV.md.
 locknet:
 	$(GO) run ./cmd/locksim -net 8 -nettxns 1000 -netfaults -ltot 100
 	$(GO) run ./cmd/locksim -net 8 -nettxns 1000 -netfaults -netproto v2 -ltot 100
+	$(GO) run ./cmd/locksim -net 6 -cluster 3 -nettxns 600 -netfaults -ltot 100
 
 # granulint runs the repo's own invariant analyzers (internal/analysis,
 # see docs/ANALYSIS.md) over every package; any unsuppressed finding
@@ -78,7 +82,8 @@ tools:
 # internal/locksrv/harden_test.go and the protocol v2 suite in
 # proto2_test.go), the lockd admin-endpoint smoke test (real lock
 # traffic scraped through /metrics and validated as Prometheus text),
-# the faulty network lock-service smoke run under both wire protocols,
+# the faulty network lock-service smoke run under both wire protocols
+# plus the 3-node cluster kill-one-node failover smoke run,
 # and quick benchmark smoke runs: the model suite regenerates
 # BENCH_model.json with shortened figure sweeps, the lock-service
 # suite exercises both protocols and stripe counts end to end (its
@@ -94,6 +99,7 @@ verify: lint
 	$(GO) test -race -count=2 -run 'TestAdmin' ./cmd/lockd/
 	$(GO) run ./cmd/locksim -net 8 -nettxns 1000 -netfaults -ltot 100
 	$(GO) run ./cmd/locksim -net 8 -nettxns 1000 -netfaults -netproto v2 -ltot 100
+	$(GO) run ./cmd/locksim -net 6 -cluster 3 -nettxns 600 -netfaults -ltot 100
 	$(GO) run ./cmd/bench -suite model -quick -out BENCH_model.json
 	$(GO) run ./cmd/bench -suite locksrv -quick -out /tmp/BENCH_locksrv.quick.json
 	$(GO) run ./cmd/bench -suite lockmgr -quick -out /tmp/BENCH_lockmgr.quick.json -compare BENCH_lockmgr.json

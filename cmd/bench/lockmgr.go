@@ -253,9 +253,9 @@ func runLockmgr(quick bool) ([]byte, error) {
 		mark := ""
 		if c.Target > 0 {
 			if c.Pass {
-				mark = fmt.Sprintf("  PASS (target %.0fx)", c.Target)
+				mark = fmt.Sprintf("  PASS (target %.3gx)", c.Target)
 			} else {
-				mark = fmt.Sprintf("  FAIL (target %.0fx)", c.Target)
+				mark = fmt.Sprintf("  FAIL (target %.3gx)", c.Target)
 			}
 		}
 		fmt.Printf("%-58s %6.2fx%s\n", c.Name, c.Speedup, mark)

@@ -2,9 +2,11 @@
 // lock server over loopback TCP, crossing wire protocol (v1 JSON serial
 // vs v2 binary pipelined vs v2 batched) with lock-table sharding (1 vs
 // 16 stripes) and contention (private granules vs a small shared pool),
-// plus in-process lockmgr microbenchmarks. The headline comparison —
-// v2 pipelined + sharded vs v1 serial + single stripe, uncontended — is
-// the PR's acceptance number.
+// plus in-process lockmgr microbenchmarks and the cluster-scaling
+// curve over a fixed-RTT transport (cluster.go). The headline
+// comparisons — v2 pipelined + sharded vs v1 serial + single stripe,
+// uncontended (4x floor), and 2-node vs 1-node cluster throughput
+// (1.8x floor) — are acceptance numbers.
 //
 // Honesty notes baked into the output: GOMAXPROCS is recorded because
 // sharding cannot buy wall-clock parallelism on one CPU (its effect
@@ -40,6 +42,11 @@ type lsEntry struct {
 	Batch   int    `json:"batch,omitempty"`   // claims per acquireN frame (batched mode)
 	Pool    int    `json:"pool,omitempty"`    // shared granule pool (contended runs)
 	Fast    bool   `json:"fast,omitempty"`    // lock-free fast path enabled (lockmgr suite)
+	Nodes   int    `json:"nodes,omitempty"`   // cluster members (cluster scenarios)
+
+	// RTTMs is the injected per-pair round-trip time of the delayed
+	// transport (cluster scenarios; see cluster.go).
+	RTTMs float64 `json:"rtt_ms,omitempty"`
 
 	Ops         int64   `json:"ops"` // acquire+release pairs completed
 	NsPerOp     float64 `json:"ns_per_op"`
@@ -392,6 +399,39 @@ func runLocksrv(quick bool) ([]byte, error) {
 		rep.Benchmarks = append(rep.Benchmarks, e)
 	}
 
+	// Cluster-scaling curve over the fixed-RTT transport (see cluster.go
+	// for why the delay is there), plus the routing-overhead baseline.
+	clusterPairs := 300
+	if quick {
+		clusterPairs = 20
+	}
+	clusterRuns := []struct {
+		name  string
+		nodes int // 0: direct (non-cluster) baseline
+	}{
+		{"locksrv/cluster/rtt/direct-v2", 0},
+		{"locksrv/cluster/rtt/nodes=1", 1},
+		{"locksrv/cluster/rtt/nodes=2", 2},
+		{"locksrv/cluster/rtt/nodes=4", 4},
+	}
+	for _, cr := range clusterRuns {
+		if benchFilter != "" && !strings.Contains(cr.name, benchFilter) {
+			continue
+		}
+		fmt.Fprintln(os.Stderr, "bench: "+cr.name)
+		var e lsEntry
+		var err error
+		if cr.nodes == 0 {
+			e, err = runDirectDelayScenario(cr.name, clusterPairs)
+		} else {
+			e, err = runClusterScenario(cr.name, cr.nodes, clusterPairs)
+		}
+		if err != nil {
+			return nil, err
+		}
+		rep.Benchmarks = append(rep.Benchmarks, e)
+	}
+
 	micro := []func() lsEntry{
 		func() lsEntry { return lockmgrBench("lockmgr/claim-1g/shards=1", 1, 1) },
 		func() lsEntry { return lockmgrBench("lockmgr/claim-1g/shards=16", 16, 1) },
@@ -431,6 +471,12 @@ func runLocksrv(quick bool) ([]byte, error) {
 			"locksrv/v2/pipelined/contended/shards=16", "locksrv/v1/serial/contended/shards=1", 0},
 		{"sharding, contended (16 vs 1 stripes)",
 			"locksrv/v2/pipelined/contended/shards=16", "locksrv/v2/pipelined/contended/shards=1", 0},
+		{"cluster scaling, RTT-bound (2 vs 1 nodes)",
+			"locksrv/cluster/rtt/nodes=2", "locksrv/cluster/rtt/nodes=1", 1.8},
+		{"cluster scaling, RTT-bound (4 vs 1 nodes)",
+			"locksrv/cluster/rtt/nodes=4", "locksrv/cluster/rtt/nodes=1", 0},
+		{"cluster routing overhead (1-node cluster vs direct v2)",
+			"locksrv/cluster/rtt/nodes=1", "locksrv/cluster/rtt/direct-v2", 0},
 	}
 	for _, c := range comparisons {
 		if benchFilter != "" {
@@ -456,9 +502,9 @@ func runLocksrv(quick bool) ([]byte, error) {
 		mark := ""
 		if c.Target > 0 {
 			if c.Pass {
-				mark = fmt.Sprintf("  PASS (target %.0fx)", c.Target)
+				mark = fmt.Sprintf("  PASS (target %.3gx)", c.Target)
 			} else {
-				mark = fmt.Sprintf("  FAIL (target %.0fx)", c.Target)
+				mark = fmt.Sprintf("  FAIL (target %.3gx)", c.Target)
 			}
 		}
 		fmt.Printf("%-54s %6.2fx%s\n", c.Name, c.Speedup, mark)

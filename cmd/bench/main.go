@@ -9,7 +9,9 @@
 // The model suite measures the simulation engine and two representative
 // figure sweeps. The locksrv suite measures the network lock service —
 // wire protocol v1 vs v2, serial vs pipelined vs batched, lock table
-// sharded vs not — plus lockmgr microbenchmarks (see locksrv.go). The
+// sharded vs not, plus the partitioned cluster's 1/2/4-node scaling
+// curve over a fixed-RTT transport — and lockmgr microbenchmarks (see
+// locksrv.go and cluster.go). The
 // lockmgr suite measures the in-process lock table with the lock-free
 // fast path enabled vs force-disabled (see lockmgr.go).
 //
@@ -431,7 +433,7 @@ func checkTargets(rep comparable) error {
 	var missed []string
 	for _, c := range rep.Comparisons {
 		if c.Target > 0 && !c.Pass {
-			missed = append(missed, fmt.Sprintf("%s: %.2fx < target %.0fx", c.Name, c.Speedup, c.Target))
+			missed = append(missed, fmt.Sprintf("%s: %.2fx < target %.3gx", c.Name, c.Speedup, c.Target))
 		}
 	}
 	if len(missed) > 0 {

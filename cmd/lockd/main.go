@@ -23,6 +23,14 @@
 // /metrics (Prometheus text format), /healthz (JSON liveness probe,
 // flips to "draining" during shutdown) and /debug/pprof/. Empty (the
 // default) disables it.
+//
+// -cluster runs the node as one member of a consistent-hash
+// partitioned cluster: a comma-separated ordered list of every
+// member's address (identical on all members), with -clusterself
+// giving this node's index in that list. The node serves only the
+// granules its ring partition owns, redirects the rest, heartbeats
+// its predecessor and adopts the predecessor's partition through a
+// lease-recovery window when it dies (see docs/LOCKSRV.md).
 package main
 
 import (
@@ -33,6 +41,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -47,6 +56,10 @@ func main() {
 	idle := flag.Duration("idle", 5*time.Minute, "reap sessions idle longer than this (0 disables)")
 	statsEvery := flag.Duration("stats", 30*time.Second, "stats logging interval (0 disables)")
 	adminAddr := flag.String("admin", "", "HTTP admin listen address for /metrics, /healthz and /debug/pprof/ (empty disables)")
+	cluster := flag.String("cluster", "", "comma-separated ordered addresses of every cluster member (empty: standalone)")
+	clusterSelf := flag.Int("clusterself", 0, "this node's index in the -cluster list")
+	hbEvery := flag.Duration("heartbeat", 250*time.Millisecond, "cluster predecessor heartbeat interval")
+	recoveryGrace := flag.Duration("recovery", 2*time.Second, "cluster lease-recovery window after adopting a dead node's partition")
 	flag.Parse()
 
 	logger := log.New(os.Stderr, "lockd: ", log.LstdFlags|log.Lmicroseconds)
@@ -56,11 +69,25 @@ func main() {
 	}
 	reg := obs.NewRegistry()
 	table := lockmgrTable(reg)
-	srv := locksrv.NewServer(lis, table,
+	opts := []locksrv.ServerOption{
 		locksrv.WithGrace(*grace),
 		locksrv.WithIdleTimeout(*idle),
 		locksrv.WithMetrics(reg),
-	)
+	}
+	if *cluster != "" {
+		nodes := strings.Split(*cluster, ",")
+		if *clusterSelf < 0 || *clusterSelf >= len(nodes) {
+			logger.Fatalf("-clusterself %d out of range for %d cluster nodes", *clusterSelf, len(nodes))
+		}
+		opts = append(opts, locksrv.WithCluster(locksrv.ClusterConfig{
+			Nodes:          nodes,
+			Self:           *clusterSelf,
+			HeartbeatEvery: *hbEvery,
+			RecoveryGrace:  *recoveryGrace,
+		}))
+		logger.Printf("cluster node %d of %d", *clusterSelf, len(nodes))
+	}
+	srv := locksrv.NewServer(lis, table, opts...)
 	fmt.Println("lockd listening on", srv.Addr())
 
 	var admin *http.Server
@@ -128,4 +155,8 @@ func logStats(logger *log.Logger, st locksrv.ServerStats) {
 		st.Sessions, st.SessionsTotal, st.Holders, st.LockedGranules, st.Waiters,
 		st.Grants, st.Timeouts, st.Cancels, st.ForceReleases, st.ForeignReleases,
 		st.IdleReaps, st.WaitP50MS, st.WaitP90MS, st.WaitP99MS, st.WaitSamples)
+	if c := st.Cluster; c != nil {
+		logger.Printf("cluster takeovers=%d reasserts=%d lease_expired=%d redirects=%d parked=%d",
+			c.Takeovers, c.Reasserts, c.LeaseExpired, c.Redirects, c.ParkedAcquires)
+	}
 }

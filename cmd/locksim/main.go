@@ -18,6 +18,15 @@
 //
 //	locksim -net 8 -nettxns 1000 -netfaults -ltot 100
 //	locksim -net 8 -netproto v2 -netfaults -ltot 100   # binary pipelined protocol
+//
+// With -cluster N (N ≥ 2, alongside -net) the harness instead stands
+// up an N-node partitioned lock cluster and drives cluster-aware
+// clients through it; -netkill (default true) kills one node a third
+// of the way through the run, forcing a heartbeat-detected takeover
+// and lease re-assertion under live traffic:
+//
+//	locksim -net 8 -cluster 3 -nettxns 1000 -ltot 100
+//	locksim -net 8 -cluster 3 -netfaults -netkill=false -ltot 100
 package main
 
 import (
@@ -69,15 +78,14 @@ func run(args []string, out *os.File) error {
 	netTimeout := fs.Duration("nettimeout", 200*time.Millisecond, "per-acquire wait deadline for -net transactions")
 	netFaults := fs.Bool("netfaults", false, "inject transport faults (drops, delays, partial writes) into the -net clients")
 	netProto := fs.String("netproto", "v1", "wire protocol for the -net clients: v1 (JSON) or v2 (binary pipelined)")
+	clusterNodes := fs.Int("cluster", 0, "run the -net harness against a partitioned cluster with this many nodes (0: single server)")
+	netKill := fs.Bool("netkill", true, "kill one cluster node a third of the way through a -cluster run")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
 	if *netWorkers > 0 {
-		if *netProto != "v1" && *netProto != "v2" {
-			return fmt.Errorf("unknown -netproto %q (v1, v2)", *netProto)
-		}
-		return runNet(netConfig{
+		cfg := netConfig{
 			workers:  *netWorkers,
 			txns:     *netTxns,
 			ltot:     p.Ltot,
@@ -87,7 +95,18 @@ func run(args []string, out *os.File) error {
 			proto:    *netProto,
 			seed:     *seed,
 			asJSON:   *asJSON,
-		}, out)
+		}
+		if *clusterNodes > 0 {
+			return runNetCluster(clusterNetConfig{
+				netConfig: cfg,
+				nodes:     *clusterNodes,
+				kill:      *netKill,
+			}, out)
+		}
+		if *netProto != "v1" && *netProto != "v2" {
+			return fmt.Errorf("unknown -netproto %q (v1, v2)", *netProto)
+		}
+		return runNet(cfg, out)
 	}
 
 	p.Seed = *seed

@@ -47,7 +47,55 @@ var (
 	// the reply carried a code outside the taxonomy — framing or
 	// protocol state is suspect.
 	ErrMalformedReply = errors.New("locksrv: malformed reply")
+	// ErrRedirect: the request reached a cluster node that does not
+	// serve the granule set. In v2 replies the concrete error is a
+	// *RedirectError carrying the owning node's index and address
+	// (errors.As); the cluster client follows it transparently.
+	ErrRedirect = errors.New("locksrv: granule served by another node")
+	// ErrLeaseExpired: a lease re-assert lost the failover race — the
+	// recovery window sealed before the assert arrived, or the grants
+	// conflict with state already reconstructed. The transaction's locks
+	// are gone and the caller must re-claim from scratch.
+	ErrLeaseExpired = errors.New("locksrv: lease expired")
 )
+
+// RedirectError is the concrete error behind ErrRedirect on the v2
+// path: the serving node's ring index and dial address, parsed from
+// the redirect detail. Match with errors.As to follow the redirect, or
+// errors.Is(err, ErrRedirect) to merely classify it.
+type RedirectError struct {
+	Node int    // ring index of the serving node
+	Addr string // dial address of the serving node
+}
+
+func (e *RedirectError) Error() string {
+	return fmt.Sprintf("locksrv: granule served by node %d at %s", e.Node, e.Addr)
+}
+
+// Unwrap chains to ErrRedirect so errors.Is classification works.
+func (e *RedirectError) Unwrap() error { return ErrRedirect }
+
+// redirectDetail encodes the serving node for a redirect reply; the
+// format is shared by v1 Response.Err, v2 single frames and batch
+// sub-item messages.
+func redirectDetail(node int, addr string) string {
+	return fmt.Sprintf("%d %s", node, addr)
+}
+
+// parseRedirectDetail is the inverse of redirectDetail. ok is false
+// when the detail does not parse (a redirect from a future protocol
+// revision degrades to the plain ErrRedirect classification).
+func parseRedirectDetail(detail string) (node int, addr string, ok bool) {
+	i := 0
+	for i < len(detail) && detail[i] >= '0' && detail[i] <= '9' {
+		node = node*10 + int(detail[i]-'0')
+		i++
+	}
+	if i == 0 || i+1 >= len(detail) || detail[i] != ' ' {
+		return 0, "", false
+	}
+	return node, detail[i+1:], true
+}
 
 // Client is one lock-manager session. A Client serializes its requests
 // (one in flight at a time) and belongs to one worker, mirroring a
@@ -72,6 +120,10 @@ type Client struct {
 	connMu sync.Mutex
 	conn   net.Conn
 	closed atomic.Bool
+	// closeCh is closed exactly once by Close; the backoff sleep selects
+	// on it so Close aborts a reconnect backoff immediately instead of
+	// letting the attempt sleep out its delay.
+	closeCh chan struct{}
 
 	dec *json.Decoder
 	// encBuf is the reused request encode buffer: each request is
@@ -106,6 +158,12 @@ type clientCfg struct {
 	// workers sharing one registry aggregates into the same series.
 	mReconnects *obs.Counter
 	mRetries    *obs.Counter
+
+	// Cluster-client knobs (WithLeaseInterval, WithFailoverTimeout,
+	// WithRingVNodes); ignored by the single-node clients.
+	leaseEvery   time.Duration
+	failoverWait time.Duration
+	ringVNodes   int
 }
 
 func defaultClientCfg(addr string) clientCfg {
@@ -167,7 +225,7 @@ func WithClientMetrics(reg *obs.Registry) ClientOption {
 
 // Dial connects to a lock server.
 func Dial(addr string, opts ...ClientOption) (*Client, error) {
-	c := &Client{clientCfg: defaultClientCfg(addr)}
+	c := &Client{clientCfg: defaultClientCfg(addr), closeCh: make(chan struct{})}
 	for _, o := range opts {
 		o(&c.clientCfg)
 	}
@@ -178,7 +236,9 @@ func Dial(addr string, opts ...ClientOption) (*Client, error) {
 }
 
 // doSleep sleeps for d using the test seam if set, else the client's
-// reusable timer.
+// reusable timer. A concurrent Close aborts the sleep immediately: the
+// caller's retry loop observes closed on its next iteration and fails
+// with ErrClientClosed instead of waiting out the backoff.
 func (c *Client) doSleep(d time.Duration) {
 	if c.sleep != nil {
 		c.sleep(d)
@@ -190,11 +250,17 @@ func (c *Client) doSleep(d time.Duration) {
 	if c.timer == nil {
 		c.timer = time.NewTimer(d)
 	} else {
-		// The timer always fired before reuse (the only reader drains
-		// it below), so Reset is safe without a drain.
+		// The timer was always left fired-and-drained or
+		// stopped-and-drained by the select below, so Reset is safe.
 		c.timer.Reset(d)
 	}
-	<-c.timer.C
+	select {
+	case <-c.timer.C:
+	case <-c.closeCh:
+		if !c.timer.Stop() {
+			<-c.timer.C
+		}
+	}
 }
 
 // connect opens a fresh connection, replacing any previous one. It
@@ -344,6 +410,14 @@ func respErr(op string, resp Response) error {
 		base = ErrBadRequest
 	case CodeUnknownOp:
 		base = ErrUnknownOp
+	case CodeRedirect:
+		if node, addr, ok := parseRedirectDetail(resp.Err); ok {
+			base = &RedirectError{Node: node, Addr: addr}
+		} else {
+			base = ErrRedirect
+		}
+	case CodeLeaseExpired:
+		base = ErrLeaseExpired
 	default:
 		// A code outside the taxonomy: the server speaks a newer (or
 		// corrupted) protocol revision.
@@ -429,7 +503,9 @@ func (c *Client) FullStats() (lockmgr.Stats, ServerStats, error) {
 // request fails with an error matching ErrClientClosed) and disables
 // further reconnects.
 func (c *Client) Close() error {
-	c.closed.Store(true)
+	if c.closed.CompareAndSwap(false, true) && c.closeCh != nil {
+		close(c.closeCh)
+	}
 	c.connMu.Lock()
 	conn := c.conn
 	c.conn = nil

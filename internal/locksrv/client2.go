@@ -52,6 +52,9 @@ type ClientV2 struct {
 	pending map[uint64]chan v2Reply
 	closed  bool
 	everUp  bool // a connection has succeeded before (reconnect accounting)
+	// closeCh is closed exactly once by Close; backoff sleeps select on
+	// it so Close aborts a reconnect backoff immediately.
+	closeCh chan struct{}
 
 	// dialMu single-flights redials so a burst of failed calls does not
 	// stampede the server with parallel dials.
@@ -82,6 +85,7 @@ func DialV2(addr string, opts ...ClientOption) (*ClientV2, error) {
 	c := &ClientV2{
 		cfg:     defaultClientCfg(addr),
 		pending: make(map[uint64]chan v2Reply),
+		closeCh: make(chan struct{}),
 	}
 	for _, o := range opts {
 		o(&c.cfg)
@@ -279,7 +283,7 @@ func (c *ClientV2) send(gen, id uint64, fb *frameBuf, ch chan v2Reply) error {
 // the request body into the supplied frame (already started).
 func (c *ClientV2) roundTrip2(op byte, build func(fb *frameBuf)) (v2Reply, error) {
 	var lastErr error
-	timer := newSleeper(c.cfg.sleep)
+	timer := newSleeper(c.cfg.sleep, c.closeCh)
 	defer timer.stop()
 	for attempt := 0; attempt <= c.cfg.retries; attempt++ {
 		if c.isClosed() {
@@ -356,13 +360,18 @@ func (c *ClientV2) isClosed() bool {
 }
 
 // sleeper wraps the backoff sleep: the test seam if set, else one
-// reusable timer per call site (per roundTrip, not per attempt).
+// reusable timer per call site (per roundTrip, not per attempt). A
+// close of done aborts a sleep in progress, so Close does not wait out
+// a reconnect backoff.
 type sleeper struct {
 	seam  func(time.Duration)
+	done  <-chan struct{}
 	timer *time.Timer
 }
 
-func newSleeper(seam func(time.Duration)) *sleeper { return &sleeper{seam: seam} }
+func newSleeper(seam func(time.Duration), done <-chan struct{}) *sleeper {
+	return &sleeper{seam: seam, done: done}
+}
 
 func (s *sleeper) sleep(d time.Duration) {
 	if s.seam != nil {
@@ -375,9 +384,17 @@ func (s *sleeper) sleep(d time.Duration) {
 	if s.timer == nil {
 		s.timer = time.NewTimer(d)
 	} else {
-		s.timer.Reset(d) // always fired before reuse; no drain needed
+		// The timer was always left fired-and-drained or
+		// stopped-and-drained by the select below, so Reset is safe.
+		s.timer.Reset(d)
 	}
-	<-s.timer.C
+	select {
+	case <-s.timer.C:
+	case <-s.done:
+		if !s.timer.Stop() {
+			<-s.timer.C
+		}
+	}
 }
 
 func (s *sleeper) stop() {
@@ -458,43 +475,175 @@ type Claim struct {
 	Timeout time.Duration // zero: wait indefinitely
 }
 
-// AcquireN sends a batch of independent conservative claims in one
-// frame. The server runs them concurrently and responds once, when the
-// last completes. The returned slice has one entry per claim, nil for
-// granted (typed errors otherwise); the error return is transport-level
-// and means no per-claim outcomes exist.
+// maxBatchBytes bounds the encoded body of one batch frame. The wire
+// rejects frames over maxFrame as connection-fatal, so the client must
+// split a large batch across frames rather than encode it whole; the
+// margin leaves room for the frame header. A var, not a const, so
+// tests can shrink it to exercise chunking without megabyte batches.
+var maxBatchBytes = maxFrame - 1024
+
+// acquireClaimSize is the encoded size of one acquire sub-claim:
+// txn(8) timeout(8) n(4) then n × (granule(8) mode(1)).
+func acquireClaimSize(reqs []lockmgr.Request) int { return 20 + 9*len(reqs) }
+
+// leaseTxnSize is the encoded size of one lease item: txn(8) n(4)
+// then n × (granule(8) mode(1)).
+func leaseTxnSize(reqs []lockmgr.Request) int { return 12 + 9*len(reqs) }
+
+// chunkBatch splits a batch of n items into frame-sized chunks:
+// consecutive [start, end) ranges where each chunk keeps the encoded
+// body (header bytes plus per-item sizes) under maxBatchBytes and the
+// item count under maxItems. An item whose encoded size alone exceeds
+// the budget yields ok=false with its index.
+func chunkBatch(n, header, maxItems int, size func(i int) int) (chunks [][2]int, oversize int, ok bool) {
+	for start := 0; start < n; {
+		end := start
+		bytes := header
+		for end < n && end-start < maxItems {
+			sz := size(end)
+			if bytes+sz > maxBatchBytes {
+				break
+			}
+			bytes += sz
+			end++
+		}
+		if end == start {
+			return nil, start, false
+		}
+		chunks = append(chunks, [2]int{start, end})
+		start = end
+	}
+	return chunks, 0, true
+}
+
+// AcquireN sends a batch of independent conservative claims. The
+// server runs each frame's claims concurrently and responds once per
+// frame, when its last claim completes. Batches too large for one wire
+// frame (the 4 MiB frame cap, or the server's per-frame claim cap) are
+// split across consecutive frames transparently. The returned slice
+// has one entry per claim, nil for granted (typed errors otherwise);
+// the error return is transport-level and means the batch outcome is
+// unknown.
 func (c *ClientV2) AcquireN(claims []Claim) ([]error, error) {
 	if len(claims) == 0 {
 		return nil, nil
 	}
-	reply, err := c.roundTrip2(opAcquireN, func(fb *frameBuf) {
-		fb.appendU32(uint32(len(claims)))
-		for _, cl := range claims {
-			appendAcquireBody(fb, cl.Txn, cl.Reqs, wireTimeoutMS(cl.Timeout))
-		}
-	})
-	if err != nil {
-		return nil, err
+	chunks, oversize, ok := chunkBatch(len(claims), 4, v2MaxInflight,
+		func(i int) int { return acquireClaimSize(claims[i].Reqs) })
+	if !ok {
+		return nil, fmt.Errorf("%w: acquireN claim %d alone exceeds the %d-byte frame cap", ErrBadRequest, oversize, maxFrame)
 	}
-	return parseBatchReply("acquire", reply, len(claims))
+	out := make([]error, 0, len(claims))
+	for _, ch := range chunks {
+		chunk := claims[ch[0]:ch[1]]
+		reply, err := c.roundTrip2(opAcquireN, func(fb *frameBuf) {
+			fb.appendU32(uint32(len(chunk)))
+			for _, cl := range chunk {
+				appendAcquireBody(fb, cl.Txn, cl.Reqs, wireTimeoutMS(cl.Timeout))
+			}
+		})
+		if err != nil {
+			return nil, err
+		}
+		outs, err := parseBatchReply("acquire", reply, len(chunk))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, outs...)
+	}
+	return out, nil
 }
 
-// ReleaseN releases a batch of transactions in one frame, returning one
-// outcome per transaction (same contract as AcquireN).
+// ReleaseN releases a batch of transactions, returning one outcome per
+// transaction (same contract as AcquireN). Batches too large for one
+// wire frame are split across consecutive frames transparently.
 func (c *ClientV2) ReleaseN(txns []int64) ([]error, error) {
 	if len(txns) == 0 {
 		return nil, nil
 	}
-	reply, err := c.roundTrip2(opReleaseN, func(fb *frameBuf) {
-		fb.appendU32(uint32(len(txns)))
-		for _, txn := range txns {
-			fb.appendU64(uint64(txn))
+	// Release items are fixed-width, so the chunk arithmetic is direct:
+	// 8 bytes per txn under the byte budget.
+	perFrame := (maxBatchBytes - 4) / 8
+	out := make([]error, 0, len(txns))
+	for start := 0; start < len(txns); start += perFrame {
+		end := start + perFrame
+		if end > len(txns) {
+			end = len(txns)
 		}
-	})
-	if err != nil {
-		return nil, err
+		chunk := txns[start:end]
+		reply, err := c.roundTrip2(opReleaseN, func(fb *frameBuf) {
+			fb.appendU32(uint32(len(chunk)))
+			for _, txn := range chunk {
+				fb.appendU64(uint64(txn))
+			}
+		})
+		if err != nil {
+			return nil, err
+		}
+		outs, err := parseBatchReply("release", reply, len(chunk))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, outs...)
 	}
-	return parseBatchReply("release", reply, len(txns))
+	return out, nil
+}
+
+// LeaseTxn is one transaction's asserted holdings in a Lease: the
+// locks the client believes txn holds on the asserted node.
+type LeaseTxn struct {
+	Txn  int64
+	Reqs []lockmgr.Request
+}
+
+// Lease asserts held transactions to a cluster node, the client half
+// of lease-based failover. On the node that granted the locks it is a
+// refresh (a no-op beyond liveness); on a standby that took over a
+// dead node's partition it reconstructs the holder state — the standby
+// re-grants exactly what the client asserts, first assert wins. The
+// returned slice has one entry per transaction: nil when the grants
+// are (re)established, an error matching ErrLeaseExpired when the
+// recovery window sealed first or the grants conflict, ErrRedirect
+// when the node serves none of it. Large asserts are chunked across
+// frames like AcquireN.
+func (c *ClientV2) Lease(leaseID uint64, txns []LeaseTxn) ([]error, error) {
+	if len(txns) == 0 {
+		return nil, nil
+	}
+	chunks, oversize, ok := chunkBatch(len(txns), 12, v2MaxInflight,
+		func(i int) int { return leaseTxnSize(txns[i].Reqs) })
+	if !ok {
+		return nil, fmt.Errorf("%w: lease item %d alone exceeds the %d-byte frame cap", ErrBadRequest, oversize, maxFrame)
+	}
+	out := make([]error, 0, len(txns))
+	for _, ch := range chunks {
+		chunk := txns[ch[0]:ch[1]]
+		reply, err := c.roundTrip2(opLease, func(fb *frameBuf) {
+			fb.appendU64(leaseID)
+			fb.appendU32(uint32(len(chunk)))
+			for _, lt := range chunk {
+				fb.appendU64(uint64(lt.Txn))
+				fb.appendU32(uint32(len(lt.Reqs)))
+				for _, r := range lt.Reqs {
+					fb.appendU64(uint64(r.Granule))
+					if r.Mode == lockmgr.ModeExclusive {
+						fb.appendByte(1)
+					} else {
+						fb.appendByte(0)
+					}
+				}
+			}
+		})
+		if err != nil {
+			return nil, err
+		}
+		outs, err := parseBatchReply("lease", reply, len(chunk))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, outs...)
+	}
+	return out, nil
 }
 
 // parseBatchReply decodes the per-item statuses of an acquireN/releaseN
@@ -570,6 +719,9 @@ func (c *ClientV2) Close() error {
 		return nil
 	}
 	c.closed = true
+	if c.closeCh != nil {
+		close(c.closeCh)
+	}
 	conn := c.conn
 	c.conn = nil
 	c.wch = nil

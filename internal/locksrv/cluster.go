@@ -1,0 +1,420 @@
+package locksrv
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"granulock/internal/lockmgr"
+	"granulock/internal/ring"
+)
+
+// Cluster mode partitions the granule namespace across N lock servers
+// with a static consistent-hash ring (internal/ring). Each node serves
+// only its own partition: an acquire or lease for a granule owned by
+// another node is answered with a redirect carrying the owner's ring
+// index and address, and the cluster-aware client re-routes. Releases
+// need no routing — they are transaction-scoped, and a release of an
+// unknown transaction is an idempotent no-op, so the client simply
+// sends them where it acquired.
+//
+// Failover is lease-based. Every node heartbeats its ring predecessor
+// (the node it is standby for); after HeartbeatMisses consecutive
+// failed probes it takes the dead node's partition over. A takeover
+// opens a recovery window of RecoveryGrace during which the standby
+// serves the partition in a restricted mode: lease re-asserts from
+// clients (each asserting the exact grants it believes it holds on
+// the dead node) are accepted and reconstruct holder state — first
+// assert wins — while fresh acquires for the partition park until the
+// window seals. When the window seals, unreasserted grants simply do
+// not exist on the standby (the authoritative force-release: the dead
+// node's table died with it, and nothing re-created the grants), late
+// re-asserts fail with lease_expired, and parked acquires proceed
+// against the reconstructed table.
+//
+// The scheme tolerates one node failure at a time: a partition fails
+// over to its ring successor, and a concurrent failure of the
+// successor is out of scope for the static ring (the paper's
+// experiments need a failure mode, not a consensus protocol).
+
+// ClusterConfig is the static cluster topology, identical on every
+// node (and mirrored by DialCluster clients): the ordered node
+// addresses, which entry is this process, and the failover timing.
+type ClusterConfig struct {
+	// Nodes lists every node's dial address in ring order. All nodes
+	// and clients must use the same order.
+	Nodes []string
+	// Self is this node's index in Nodes.
+	Self int
+	// VNodes is the ring's virtual-point count per node; zero means
+	// ring.DefaultVNodes. All nodes and clients must agree.
+	VNodes int
+	// HeartbeatEvery is the predecessor probe period. Zero disables
+	// failure detection: the node serves its partition and honors
+	// explicit BeginTakeover calls, but never initiates one.
+	HeartbeatEvery time.Duration
+	// HeartbeatMisses is how many consecutive probe failures condemn
+	// the predecessor. Zero means 3.
+	HeartbeatMisses int
+	// RecoveryGrace is the lease re-assert window a takeover opens
+	// before sealing the partition. Zero means 500ms.
+	RecoveryGrace time.Duration
+	// Dial opens heartbeat connections; nil means TCP with a 1s
+	// connect timeout.
+	Dial func(addr string) (net.Conn, error)
+}
+
+// clusterState is a Server's runtime cluster machinery.
+type clusterState struct {
+	cfg  ClusterConfig
+	ring *ring.Ring
+
+	mu        sync.Mutex
+	takeovers map[int]*takeover
+
+	monitorOnce sync.Once
+	hbStop      chan struct{}
+	hbWG        sync.WaitGroup
+}
+
+// takeover is one adopted partition: the recovery window and its seal.
+type takeover struct {
+	sealed chan struct{} // closed when the recovery window ends
+}
+
+// WithCluster puts the server in cluster mode. Without this option the
+// server serves the whole granule namespace exactly as before. The
+// config must be internally consistent (Self in range); a broken
+// topology is a deployment bug, reported by panic at construction.
+func WithCluster(cfg ClusterConfig) ServerOption {
+	return func(s *Server) {
+		if len(cfg.Nodes) == 0 {
+			panic("locksrv: cluster config has no nodes")
+		}
+		if cfg.Self < 0 || cfg.Self >= len(cfg.Nodes) {
+			panic("locksrv: cluster Self index out of range")
+		}
+		if cfg.VNodes <= 0 {
+			cfg.VNodes = ring.DefaultVNodes
+		}
+		if cfg.HeartbeatMisses <= 0 {
+			cfg.HeartbeatMisses = 3
+		}
+		if cfg.RecoveryGrace <= 0 {
+			cfg.RecoveryGrace = 500 * time.Millisecond
+		}
+		if cfg.Dial == nil {
+			cfg.Dial = func(addr string) (net.Conn, error) {
+				return net.DialTimeout("tcp", addr, time.Second)
+			}
+		}
+		s.cluster = &clusterState{
+			cfg:       cfg,
+			ring:      ring.NewWithVNodes(len(cfg.Nodes), cfg.VNodes),
+			takeovers: make(map[int]*takeover),
+			hbStop:    make(chan struct{}),
+		}
+	}
+}
+
+// ClusterStats is the snapshot of a node's cluster counters, exposed
+// both here and in the wire stats (ServerStats).
+type ClusterStats struct {
+	Takeovers      int64 `json:"takeovers"`       // partitions adopted from dead nodes
+	Reasserts      int64 `json:"reasserts"`       // transactions reconstructed from lease re-asserts
+	LeaseExpired   int64 `json:"lease_expired"`   // re-asserts refused (sealed window or conflict)
+	Redirects      int64 `json:"redirects"`       // requests redirected to their owning node
+	ParkedAcquires int64 `json:"parked_acquires"` // acquires parked behind a recovery window
+}
+
+// ClusterStats returns the node's cluster counters; zero-valued when
+// the server is not clustered.
+func (s *Server) ClusterStats() ClusterStats {
+	return ClusterStats{
+		Takeovers:      s.om.clusterTakeovers.Value(),
+		Reasserts:      s.om.clusterReasserts.Value(),
+		LeaseExpired:   s.om.clusterLeaseExpired.Value(),
+		Redirects:      s.om.clusterRedirects.Value(),
+		ParkedAcquires: s.om.clusterParked.Value(),
+	}
+}
+
+// takeoverOf returns the takeover of node's partition, or nil.
+func (cl *clusterState) takeoverOf(node int) *takeover {
+	cl.mu.Lock()
+	defer cl.mu.Unlock()
+	return cl.takeovers[node]
+}
+
+// recoveringCount counts takeovers whose window has not sealed yet.
+func (cl *clusterState) recoveringCount() int {
+	cl.mu.Lock()
+	defer cl.mu.Unlock()
+	n := 0
+	for _, t := range cl.takeovers {
+		select {
+		case <-t.sealed:
+		default:
+			n++
+		}
+	}
+	return n
+}
+
+// clusterAdmit routes one granule set: it returns ("", "") when this
+// node serves every granule (parking first if a covering takeover's
+// recovery window is still open and this is not a lease re-assert),
+// or a redirect/timeout/closed outcome. Nil cluster admits everything.
+func (s *Server) clusterAdmit(ctx context.Context, reqs []lockmgr.Request, reassert bool) (string, string) {
+	cl := s.cluster
+	if cl == nil {
+		return "", ""
+	}
+	for {
+		var wait chan struct{}
+		for _, r := range reqs {
+			owner := cl.ring.Owner(uint64(r.Granule))
+			if owner == cl.cfg.Self {
+				continue
+			}
+			t := cl.takeoverOf(owner)
+			if t == nil {
+				s.om.clusterRedirects.Inc()
+				return CodeRedirect, redirectDetail(owner, cl.cfg.Nodes[owner])
+			}
+			select {
+			case <-t.sealed:
+			default:
+				// Recovery window open: re-asserts pass (they are the
+				// reconstruction), fresh acquires park until the seal.
+				if !reassert {
+					wait = t.sealed
+				}
+			}
+		}
+		if wait == nil {
+			return "", ""
+		}
+		s.om.clusterParked.Inc()
+		select {
+		case <-wait:
+			// Re-check from the top: other granules of the claim may
+			// park behind a different window.
+		case <-ctx.Done():
+			if errors.Is(ctx.Err(), context.DeadlineExceeded) {
+				s.om.timeouts.Inc()
+				return CodeTimeout, "acquire timed out parked behind partition recovery"
+			}
+			s.om.cancels.Inc()
+			return CodeClosed, "session closed"
+		}
+	}
+}
+
+// BeginTakeover adopts node's partition: it opens the recovery window
+// and, when the window seals, serves the partition normally. The
+// caller is expected to be node's ring successor — the standby the
+// cluster client fails over to. Returns false when the server is not
+// clustered, node is this node, or the partition was already adopted.
+// The heartbeat monitor calls this on probe failure; tests and
+// operators may call it directly for a deterministic failover.
+func (s *Server) BeginTakeover(node int) bool {
+	cl := s.cluster
+	if cl == nil || node == cl.cfg.Self || node < 0 || node >= len(cl.cfg.Nodes) {
+		return false
+	}
+	cl.mu.Lock()
+	if _, ok := cl.takeovers[node]; ok {
+		cl.mu.Unlock()
+		return false
+	}
+	t := &takeover{sealed: make(chan struct{})}
+	cl.takeovers[node] = t
+	cl.mu.Unlock()
+	s.om.clusterTakeovers.Inc()
+	cl.hbWG.Add(1)
+	go func() {
+		defer cl.hbWG.Done()
+		timer := time.NewTimer(cl.cfg.RecoveryGrace)
+		defer timer.Stop()
+		select {
+		case <-timer.C:
+		case <-cl.hbStop:
+			// Server closing: seal now so parked acquires unblock and
+			// fail through the normal drain path.
+		}
+		close(t.sealed)
+	}()
+	return true
+}
+
+// startMonitor launches the predecessor heartbeat loop (idempotent;
+// no-op for single-node rings or when HeartbeatEvery is zero).
+func (cl *clusterState) startMonitor(s *Server) {
+	cl.monitorOnce.Do(func() {
+		n := len(cl.cfg.Nodes)
+		if n < 2 || cl.cfg.HeartbeatEvery <= 0 {
+			return
+		}
+		cl.hbWG.Add(1)
+		go s.clusterMonitor()
+	})
+}
+
+// stopMonitor ends the heartbeat loop and any takeover timers.
+func (cl *clusterState) stopMonitor() {
+	cl.mu.Lock()
+	select {
+	case <-cl.hbStop:
+	default:
+		close(cl.hbStop)
+	}
+	cl.mu.Unlock()
+	cl.hbWG.Wait()
+}
+
+// clusterMonitor probes the ring predecessor every HeartbeatEvery and
+// adopts its partition after HeartbeatMisses consecutive failures. One
+// monitor per node suffices: each node is standby for exactly its
+// predecessor, so the ring as a whole watches every node. The monitor
+// exits once the takeover begins — under the single-failure model the
+// predecessor does not come back without a full cluster restart.
+func (s *Server) clusterMonitor() {
+	cl := s.cluster
+	defer cl.hbWG.Done()
+	n := len(cl.cfg.Nodes)
+	pred := (cl.cfg.Self - 1 + n) % n
+	addr := cl.cfg.Nodes[pred]
+	probeTimeout := 4 * cl.cfg.HeartbeatEvery
+	if probeTimeout < 100*time.Millisecond {
+		probeTimeout = 100 * time.Millisecond
+	}
+	var hb *ClientV2
+	defer func() {
+		if hb != nil {
+			hb.Close()
+		}
+	}()
+	tick := time.NewTicker(cl.cfg.HeartbeatEvery)
+	defer tick.Stop()
+	misses := 0
+	for {
+		select {
+		case <-cl.hbStop:
+			return
+		case <-tick.C:
+		}
+		if probeV2(&hb, addr, cl.cfg.Dial, probeTimeout) == nil {
+			misses = 0
+			continue
+		}
+		misses++
+		if misses >= cl.cfg.HeartbeatMisses {
+			s.BeginTakeover(pred)
+			return
+		}
+	}
+}
+
+// probeV2 performs one liveness probe: a stats round trip on a cached
+// v2 connection (re-dialed on demand), bounded by timeout. Any
+// failure — dial refused, transport error, or a node so wedged the
+// round trip cannot complete in time — counts as a miss, and the
+// cached connection is discarded so the next probe starts fresh.
+func probeV2(hbp **ClientV2, addr string, dial func(string) (net.Conn, error), timeout time.Duration) error {
+	hb := *hbp
+	if hb == nil {
+		var err error
+		hb, err = DialV2(addr, WithRetries(0), WithDialer(dial))
+		if err != nil {
+			return err
+		}
+		*hbp = hb
+	}
+	done := make(chan error, 1)
+	go func() {
+		_, err := hb.Stats()
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if err != nil {
+			hb.Close()
+			*hbp = nil
+		}
+		return err
+	case <-time.After(timeout):
+		// Close unblocks the stats call; the buffered channel lets the
+		// goroutine exit regardless.
+		hb.Close()
+		*hbp = nil
+		return fmt.Errorf("locksrv: heartbeat probe: %w", context.DeadlineExceeded)
+	}
+}
+
+// leaseCore handles one transaction of a lease assert: a refresh when
+// this session already owns the transaction, a reconstruction when the
+// transaction is unknown and its asserted grants are free (the
+// failover path — first assert wins), lease_expired when the grants
+// conflict with reconstructed or live state. Mirrors releaseCore's
+// patience with a condemned predecessor session's teardown: a lease
+// retried across a reconnect must not lose to its own dying session.
+func (s *Server) leaseCore(ctx context.Context, sess *session, txn lockmgr.TxnID, reqs []lockmgr.Request, owned *ownedSet) (string, string) {
+	if len(reqs) == 0 {
+		return CodeBadRequest, "lease without granules"
+	}
+	if code, msg := s.clusterAdmit(ctx, reqs, true); code != "" {
+		return code, msg
+	}
+	start := time.Now()
+	var tick *time.Timer
+	defer func() { stopTimer(tick) }()
+	for {
+		s.mu.Lock()
+		owner, ok := s.owners[txn]
+		s.mu.Unlock()
+		if ok && owner == sess {
+			return "", "" // refresh: grants already live on this session
+		}
+		if ok {
+			if !owner.closing.Load() && time.Since(start) > ownerRaceWait {
+				s.om.clusterLeaseExpired.Inc()
+				return CodeLeaseExpired, fmt.Sprintf("transaction %d is granted on another live session", txn)
+			}
+			// Condemned (or not-yet-detected dead) predecessor: wait its
+			// teardown out, then reconstruct.
+		} else {
+			granted, err := s.table.TryAcquireAll(txn, reqs)
+			if granted {
+				s.mu.Lock()
+				s.owners[txn] = sess
+				s.mu.Unlock()
+				owned.add(txn)
+				s.om.clusterReasserts.Inc()
+				return "", ""
+			}
+			if err == nil {
+				// The asserted granules are held by someone else: a
+				// conflicting claim won the reconstruction race, or the
+				// window sealed and fresh acquires took the granules.
+				s.om.clusterLeaseExpired.Inc()
+				return CodeLeaseExpired, fmt.Sprintf("transaction %d: asserted grants conflict with current holders", txn)
+			}
+			// ErrAlreadyHolds with no owners entry: a teardown is
+			// mid-release; retry until it completes.
+			if time.Since(start) > ownerRaceWait {
+				s.om.clusterLeaseExpired.Inc()
+				return CodeLeaseExpired, fmt.Sprintf("transaction %d: stale grants did not clear", txn)
+			}
+		}
+		tick = resetTimer(tick, time.Millisecond)
+		select {
+		case <-ctx.Done():
+			return CodeClosed, "session closed"
+		case <-tick.C:
+		}
+	}
+}

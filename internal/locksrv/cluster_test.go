@@ -1,0 +1,401 @@
+package locksrv
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"granulock/internal/ring"
+)
+
+// startCluster launches an n-node cluster on ephemeral ports. mut may
+// adjust each node's ClusterConfig (heartbeat cadence, recovery
+// grace) before the server starts. Servers still running at test end
+// are closed by cleanup; tests that kill a node mid-run just call its
+// Close earlier (Close is idempotent).
+func startCluster(t *testing.T, n int, mut func(i int, cfg *ClusterConfig), srvOpts ...ServerOption) ([]string, []*Server) {
+	t.Helper()
+	listeners := make([]net.Listener, n)
+	addrs := make([]string, n)
+	for i := range listeners {
+		lis, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		listeners[i] = lis
+		addrs[i] = lis.Addr().String()
+	}
+	servers := make([]*Server, n)
+	for i := 0; i < n; i++ {
+		cfg := ClusterConfig{Nodes: addrs, Self: i}
+		if mut != nil {
+			mut(i, &cfg)
+		}
+		srv := NewServer(listeners[i], nil, append(append([]ServerOption(nil), srvOpts...), WithCluster(cfg))...)
+		go srv.Serve()
+		servers[i] = srv
+	}
+	t.Cleanup(func() {
+		for _, srv := range servers {
+			srv.Close()
+		}
+	})
+	return addrs, servers
+}
+
+// granulesOwnedBy returns count granules owned by node under the
+// default ring of n nodes, scanning ids upward from 0.
+func granulesOwnedBy(n, node, count int) []int64 {
+	r := ring.New(n)
+	out := make([]int64, 0, count)
+	for g := int64(0); len(out) < count; g++ {
+		if r.Owner(uint64(g)) == node {
+			out = append(out, g)
+		}
+	}
+	return out
+}
+
+// A raw v2 client talking to the wrong node gets a typed redirect
+// carrying the owner's index and address.
+func TestClusterRedirectV2(t *testing.T) {
+	addrs, _ := startCluster(t, 2, nil)
+	foreign := granulesOwnedBy(2, 1, 1)[0]
+	c := dialV2(t, addrs[0], WithRetries(0))
+	err := c.AcquireAll(1, xreq(foreign))
+	var re *RedirectError
+	if !errors.As(err, &re) {
+		t.Fatalf("want RedirectError, got %v", err)
+	}
+	if re.Node != 1 || re.Addr != addrs[1] {
+		t.Fatalf("redirect to node %d addr %q, want node 1 addr %q", re.Node, re.Addr, addrs[1])
+	}
+	if !errors.Is(err, ErrRedirect) {
+		t.Fatalf("redirect error does not match ErrRedirect: %v", err)
+	}
+	// The same claim against the owning node succeeds.
+	c1 := dialV2(t, addrs[1], WithRetries(0))
+	if err := c1.AcquireAll(1, xreq(foreign)); err != nil {
+		t.Fatalf("acquire on owner: %v", err)
+	}
+	if err := c1.ReleaseAll(1); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// v1 negotiation works against a clustered server, and a v1 client
+// gets the same typed redirect through the JSON taxonomy.
+func TestClusterRedirectV1Negotiation(t *testing.T) {
+	addrs, servers := startCluster(t, 2, nil)
+	owned := granulesOwnedBy(2, 0, 1)[0]
+	foreign := granulesOwnedBy(2, 1, 1)[0]
+	c := dial(t, addrs[0])
+	if err := c.AcquireAll(3, xreq(owned)); err != nil {
+		t.Fatalf("v1 acquire of owned granule: %v", err)
+	}
+	if err := c.AcquireAll(4, xreq(foreign)); !errors.Is(err, ErrRedirect) {
+		t.Fatalf("want ErrRedirect, got %v", err)
+	}
+	if err := c.ReleaseAll(3); err != nil {
+		t.Fatal(err)
+	}
+	if n := servers[0].ClusterStats().Redirects; n != 1 {
+		t.Fatalf("redirects counter %d, want 1", n)
+	}
+}
+
+// The cluster client splits a claim across partitions, acquires
+// all-or-nothing, and releases everywhere.
+func TestClusterClientRoutesAcrossNodes(t *testing.T) {
+	addrs, servers := startCluster(t, 2, nil)
+	cc, err := DialCluster(addrs, WithLeaseInterval(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cc.Close()
+	reqs := append(xreq(granulesOwnedBy(2, 0, 2)...), xreq(granulesOwnedBy(2, 1, 2)...)...)
+	if err := cc.AcquireAll(1, reqs); err != nil {
+		t.Fatal(err)
+	}
+	for i, srv := range servers {
+		if n := srv.Table().HeldBy(1); n != 2 {
+			t.Fatalf("node %d holds %d granules for txn 1, want 2", i, n)
+		}
+	}
+	if n := cc.Redirects(); n != 0 {
+		t.Fatalf("client followed %d redirects with a correct ring view", n)
+	}
+	if err := cc.ReleaseAll(1); err != nil {
+		t.Fatal(err)
+	}
+	for i, srv := range servers {
+		if n := srv.Table().LockedGranules(); n != 0 {
+			t.Fatalf("node %d still has %d locked granules", i, n)
+		}
+	}
+}
+
+// A cluster client with a stale one-node ring view still lands every
+// claim by following redirects, including redirects arriving
+// mid-pipeline from concurrent calls over the shared connection.
+func TestClusterClientStaleViewRedirectMidPipeline(t *testing.T) {
+	addrs, servers := startCluster(t, 2, nil)
+	// The client only knows node 0, so it routes everything there and
+	// must follow redirects to node 1 for roughly half the granules.
+	cc, err := DialCluster(addrs[:1], WithLeaseInterval(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cc.Close()
+	const workers = 16
+	var wg sync.WaitGroup
+	errs := make([]error, workers)
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			// One granule per claim: a redirect can correct the routing
+			// of a whole claim, but not split a claim the stale ring
+			// wrongly grouped across partitions (see DialCluster docs).
+			for k := 0; k < 3; k++ {
+				txn := int64(100 + w*3 + k)
+				if err := cc.AcquireAll(txn, xreq(int64(w*3+k))); err != nil {
+					errs[w] = err
+					return
+				}
+				if err := cc.ReleaseAll(txn); err != nil {
+					errs[w] = err
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	for w, err := range errs {
+		if err != nil {
+			t.Fatalf("worker %d: %v", w, err)
+		}
+	}
+	if cc.Redirects() == 0 {
+		t.Fatal("no redirects followed despite the stale ring view")
+	}
+	for i, srv := range servers {
+		if n := srv.Table().LockedGranules(); n != 0 {
+			t.Fatalf("node %d still has %d locked granules", i, n)
+		}
+	}
+	if n := servers[1].Table().Stats().Grants; n == 0 {
+		t.Fatal("node 1 never granted anything; redirects were not followed")
+	}
+}
+
+// Failover with re-assertion: kill the node holding a grant, let the
+// standby take over, and verify the client's lease re-assert
+// reconstructs the grant — mutual exclusion survives the failover.
+func TestClusterFailoverReassertsGrants(t *testing.T) {
+	addrs, servers := startCluster(t, 2, func(i int, cfg *ClusterConfig) {
+		cfg.RecoveryGrace = 400 * time.Millisecond
+	})
+	g := granulesOwnedBy(2, 0, 2)
+	cc, err := DialCluster(addrs,
+		WithLeaseInterval(25*time.Millisecond),
+		WithFailoverTimeout(5*time.Second),
+		WithRetries(1), WithBackoff(time.Millisecond, 5*time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cc.Close()
+	if err := cc.AcquireAll(1, xreq(g...)); err != nil {
+		t.Fatal(err)
+	}
+	// Kill node 0 and hand its partition to node 1 (deterministic
+	// takeover; the heartbeat path is exercised by the locksim smoke).
+	servers[0].Close()
+	if !servers[1].BeginTakeover(0) {
+		t.Fatal("BeginTakeover refused")
+	}
+	// The client's lease loop must notice the death and re-assert to
+	// the standby within the recovery window.
+	deadline := time.Now().Add(3 * time.Second)
+	for servers[1].Table().HeldBy(1) != len(g) {
+		if time.Now().After(deadline) {
+			t.Fatalf("grants not reconstructed on standby; holds %d of %d",
+				servers[1].Table().HeldBy(1), len(g))
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	cs := servers[1].ClusterStats()
+	if cs.Takeovers != 1 || cs.Reasserts == 0 {
+		t.Fatalf("standby cluster stats %+v, want 1 takeover and >0 reasserts", cs)
+	}
+	if n := cc.LostLeases(); n != 0 {
+		t.Fatalf("%d leases lost during clean failover", n)
+	}
+	// Mutual exclusion: a second client cannot take the granule while
+	// the reconstructed grant lives...
+	cc2, err := DialCluster(addrs, WithLeaseInterval(0),
+		WithFailoverTimeout(5*time.Second),
+		WithRetries(1), WithBackoff(time.Millisecond, 5*time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cc2.Close()
+	if err := cc2.AcquireAllTimeout(2, xreq(g[0]), 100*time.Millisecond); !errors.Is(err, ErrTimeout) {
+		t.Fatalf("conflicting acquire after failover: want ErrTimeout, got %v", err)
+	}
+	// ...and can once the owner releases.
+	if err := cc.ReleaseAll(1); err != nil {
+		t.Fatalf("release after failover: %v", err)
+	}
+	if err := cc2.AcquireAllTimeout(2, xreq(g[0]), 2*time.Second); err != nil {
+		t.Fatalf("acquire after release: %v", err)
+	}
+	if err := cc2.ReleaseAll(2); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Grants that nobody re-asserts die with the recovery window: new
+// acquires park until the seal, then take the granule; a late assert
+// fails with lease_expired.
+func TestClusterFailoverExpiresUnreasserted(t *testing.T) {
+	addrs, servers := startCluster(t, 2, func(i int, cfg *ClusterConfig) {
+		cfg.RecoveryGrace = 150 * time.Millisecond
+	})
+	g := granulesOwnedBy(2, 0, 1)
+	// A raw v2 client (no failover machinery) holds the granule, then
+	// its node dies and the client never re-asserts.
+	holder := dialV2(t, addrs[0], WithRetries(0))
+	if err := holder.AcquireAll(7, xreq(g...)); err != nil {
+		t.Fatal(err)
+	}
+	servers[0].Close()
+	holder.Close()
+	if !servers[1].BeginTakeover(0) {
+		t.Fatal("BeginTakeover refused")
+	}
+	// A fresh acquire parks behind the open window, then gets the
+	// granule: the unreasserted grant did not survive.
+	cc, err := DialCluster(addrs, WithLeaseInterval(0),
+		WithFailoverTimeout(5*time.Second),
+		WithRetries(1), WithBackoff(time.Millisecond, 5*time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cc.Close()
+	start := time.Now()
+	if err := cc.AcquireAllTimeout(8, xreq(g...), 3*time.Second); err != nil {
+		t.Fatalf("acquire after failover: %v", err)
+	}
+	if time.Since(start) < 100*time.Millisecond {
+		t.Fatalf("acquire did not park behind the recovery window (took %v)", time.Since(start))
+	}
+	// The dead transaction's late re-assert is refused.
+	late := dialV2(t, addrs[1], WithRetries(0))
+	outs, err := late.Lease(1, []LeaseTxn{{Txn: 7, Reqs: xreq(g...)}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !errors.Is(outs[0], ErrLeaseExpired) {
+		t.Fatalf("late re-assert: want ErrLeaseExpired, got %v", outs[0])
+	}
+	cs := servers[1].ClusterStats()
+	if cs.ParkedAcquires == 0 || cs.LeaseExpired == 0 {
+		t.Fatalf("standby cluster stats %+v, want parked acquires and expired leases", cs)
+	}
+	if err := cc.ReleaseAll(8); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// The acceptance scenario under -race: a 3-node cluster with the real
+// heartbeat failure detector, a worker fleet, and one node killed
+// mid-run. The run must finish and drain with zero stranded granules
+// on the survivors.
+func TestClusterKillNodeUnderLoadDrainsClean(t *testing.T) {
+	_, servers := startCluster(t, 3, func(i int, cfg *ClusterConfig) {
+		cfg.HeartbeatEvery = 20 * time.Millisecond
+		cfg.HeartbeatMisses = 2
+		cfg.RecoveryGrace = 250 * time.Millisecond
+	})
+	addrs := []string{servers[0].Addr().String(), servers[1].Addr().String(), servers[2].Addr().String()}
+	cc, err := DialCluster(addrs,
+		WithLeaseInterval(50*time.Millisecond),
+		WithFailoverTimeout(10*time.Second),
+		WithRetries(2), WithBackoff(time.Millisecond, 10*time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cc.Close()
+
+	const workers = 4
+	const txnsPerWorker = 30
+	var killOnce sync.Once
+	var wg sync.WaitGroup
+	errCh := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < txnsPerWorker; i++ {
+				if w == 0 && i == txnsPerWorker/3 {
+					// Kill node 1 mid-run; node 2 (its successor) must
+					// detect it via heartbeats and take over.
+					killOnce.Do(func() { servers[1].Close() })
+				}
+				txn := int64(w*1000 + i + 1)
+				a := int64((w*txnsPerWorker + i) % 60)
+				b := (a + 13) % 60
+				reqs := xreq(a, b)
+				var aerr error
+				for attempt := 0; attempt < 40; attempt++ {
+					aerr = cc.AcquireAllTimeout(txn, reqs, time.Second)
+					if aerr == nil || errors.Is(aerr, ErrClientClosed) {
+						break
+					}
+					// Timeouts, failover windows and node death are all
+					// retriable here; the claim restarts from nothing.
+					time.Sleep(2 * time.Millisecond)
+				}
+				if aerr != nil {
+					errCh <- fmt.Errorf("worker %d txn %d: acquire: %w", w, txn, aerr)
+					return
+				}
+				if rerr := cc.ReleaseAll(txn); rerr != nil {
+					errCh <- fmt.Errorf("worker %d txn %d: release: %w", w, txn, rerr)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Error(err)
+	}
+	cc.Close()
+	// The survivors must hold nothing: every grant was released or
+	// died with its session/node.
+	deadline := time.Now().Add(2 * time.Second)
+	for _, i := range []int{0, 2} {
+		for {
+			tbl := servers[i].Table()
+			if tbl.HoldersCount() == 0 && tbl.LockedGranules() == 0 && tbl.WaitersCount() == 0 {
+				break
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("node %d stranded state: holders=%d granules=%d waiters=%d",
+					i, tbl.HoldersCount(), tbl.LockedGranules(), tbl.WaitersCount())
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+	if n := servers[2].ClusterStats().Takeovers; n != 1 {
+		t.Fatalf("successor recorded %d takeovers, want 1", n)
+	}
+}

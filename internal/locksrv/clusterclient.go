@@ -1,0 +1,822 @@
+package locksrv
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"granulock/internal/lockmgr"
+	"granulock/internal/ring"
+)
+
+// maxRedirectHops bounds how many redirects one logical request will
+// follow. Two hops resolve any single ring-view disagreement; the
+// margin covers a client with a badly stale view, and the bound turns
+// a redirect cycle (two nodes disclaiming the same granule — a broken
+// deployment) into an error instead of a livelock.
+const maxRedirectHops = 8
+
+// ClusterClient routes lock requests across a partitioned lockd
+// cluster. It mirrors the cluster's static ring from the same ordered
+// address list (see WithCluster) and keeps one pipelined ClientV2 per
+// node, dialed lazily; requests go to the granule's owner, redirects
+// from nodes with a different ring view are followed transparently,
+// and a claim spanning partitions is split per node and acquired in
+// ascending node order (all-or-nothing: a failed group rolls the
+// earlier groups back).
+//
+// Failover: the client tracks every grant per node. When a node stops
+// answering, the client marks it down, re-asserts the affected
+// transactions' grants to the node's ring successor with the Lease op
+// — racing the standby's recovery window — and routes the partition
+// to the successor from then on. A transaction whose re-assert loses
+// the race (lease_expired) has lost its locks; its next ReleaseAll
+// completes as an idempotent no-op and LostLeases counts the event. A
+// background lease loop (WithLeaseInterval) re-asserts all holdings
+// periodically so failures are detected and survived even while the
+// application is idle.
+//
+// Methods are safe for concurrent use; many workers can share one
+// ClusterClient the way they share a ClientV2.
+type ClusterClient struct {
+	opts    []ClientOption
+	cfg     clientCfg // resolved knobs (lease interval, failover wait)
+	ring    *ring.Ring
+	addrs   []string       // ring order
+	addrIdx map[string]int // inverse of addrs
+	leaseID uint64
+
+	mu      sync.Mutex
+	nodes   map[string]*clusterNode // by address; includes redirect targets
+	down    []bool                  // by ring index
+	failing []*failoverState        // by ring index; single-flights failover
+	holds   map[int64]map[string][]lockmgr.Request
+	closed  bool
+	closeCh chan struct{}
+	wg      sync.WaitGroup
+
+	redirects atomic.Int64
+	failovers atomic.Int64
+	lost      atomic.Int64
+}
+
+// clusterNode is one per-address connection slot; its mutex
+// single-flights the lazy dial.
+type clusterNode struct {
+	addr string
+	mu   sync.Mutex
+	c    *ClientV2
+}
+
+// failoverState single-flights one node's failover: concurrent
+// callers wait on done instead of re-asserting twice.
+type failoverState struct {
+	done chan struct{}
+}
+
+// WithLeaseInterval sets how often the cluster client re-asserts all
+// holdings to their serving nodes (the failover heartbeat). Zero
+// disables the background loop — failover then triggers only when a
+// request hits the dead node. Default 1s. Ignored by Dial/DialV2.
+func WithLeaseInterval(d time.Duration) ClientOption {
+	return func(c *clientCfg) { c.leaseEvery = d }
+}
+
+// WithFailoverTimeout bounds how long the cluster client keeps
+// retrying against a partition in failover (waiting out the standby's
+// takeover and recovery window) before giving up with the underlying
+// error. Default 10s. Ignored by Dial/DialV2.
+func WithFailoverTimeout(d time.Duration) ClientOption {
+	return func(c *clientCfg) { c.failoverWait = d }
+}
+
+// WithRingVNodes sets the virtual-point count the cluster client
+// builds its ring with; must match the cluster's ClusterConfig.VNodes.
+// Zero means ring.DefaultVNodes. Ignored by Dial/DialV2.
+func WithRingVNodes(v int) ClientOption {
+	return func(c *clientCfg) { c.ringVNodes = v }
+}
+
+// DialCluster opens a cluster-aware client over the given node
+// addresses, which must be the cluster's ClusterConfig.Nodes in the
+// same order. Node connections are dialed lazily, so DialCluster
+// itself touches no network. Options apply to every per-node
+// connection (retries, backoff, dialer, metrics) plus the
+// cluster-level knobs (WithLeaseInterval, WithFailoverTimeout,
+// WithRingVNodes).
+//
+// A client whose ring view disagrees with the servers' (wrong node
+// list or vnode count) still lands single-partition claims by
+// following redirects, but a claim the stale view wrongly groups
+// across partitions cannot be fixed by redirects — each node bounces
+// it at the other — and fails after maxRedirectHops. Multi-granule
+// claims therefore require an agreed ring.
+func DialCluster(addrs []string, opts ...ClientOption) (*ClusterClient, error) {
+	if len(addrs) == 0 {
+		return nil, fmt.Errorf("%w: cluster client needs at least one node address", ErrBadRequest)
+	}
+	cfg := defaultClientCfg("")
+	cfg.leaseEvery = time.Second
+	cfg.failoverWait = 10 * time.Second
+	for _, o := range opts {
+		o(&cfg)
+	}
+	v := cfg.ringVNodes
+	if v <= 0 {
+		v = ring.DefaultVNodes
+	}
+	cc := &ClusterClient{
+		opts:    opts,
+		cfg:     cfg,
+		ring:    ring.NewWithVNodes(len(addrs), v),
+		addrs:   append([]string(nil), addrs...),
+		addrIdx: make(map[string]int, len(addrs)),
+		nodes:   make(map[string]*clusterNode, len(addrs)),
+		down:    make([]bool, len(addrs)),
+		failing: make([]*failoverState, len(addrs)),
+		holds:   make(map[int64]map[string][]lockmgr.Request),
+		closeCh: make(chan struct{}),
+		leaseID: cfg.jitter.Uint64(),
+	}
+	for i, a := range addrs {
+		cc.addrIdx[a] = i
+	}
+	if cfg.leaseEvery > 0 {
+		cc.wg.Add(1)
+		go cc.leaseLoop()
+	}
+	return cc, nil
+}
+
+// servingAddr returns where granule g is served right now: its ring
+// owner, or the owner's successor once the owner is marked down.
+func (cc *ClusterClient) servingAddr(g lockmgr.Granule) string {
+	owner := cc.ring.Owner(uint64(g))
+	cc.mu.Lock()
+	d := cc.down[owner]
+	cc.mu.Unlock()
+	if d {
+		owner = cc.ring.Successor(owner)
+	}
+	return cc.addrs[owner]
+}
+
+// clientFor returns (dialing if needed) the connection to addr.
+func (cc *ClusterClient) clientFor(addr string) (*ClientV2, error) {
+	cc.mu.Lock()
+	if cc.closed {
+		cc.mu.Unlock()
+		return nil, ErrClientClosed
+	}
+	n, ok := cc.nodes[addr]
+	if !ok {
+		n = &clusterNode{addr: addr}
+		cc.nodes[addr] = n
+	}
+	cc.mu.Unlock()
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.c != nil {
+		return n.c, nil
+	}
+	c, err := DialV2(addr, cc.opts...)
+	if err != nil {
+		return nil, err
+	}
+	n.c = c
+	return c, nil
+}
+
+// dropClient discards addr's connection after a node failure so the
+// next use re-dials instead of burning retries on a dead socket.
+func (cc *ClusterClient) dropClient(addr string) {
+	cc.mu.Lock()
+	n := cc.nodes[addr]
+	cc.mu.Unlock()
+	if n == nil {
+		return
+	}
+	n.mu.Lock()
+	c := n.c
+	n.c = nil
+	n.mu.Unlock()
+	if c != nil {
+		c.Close()
+	}
+}
+
+// pause sleeps for d or until the client closes.
+func (cc *ClusterClient) pause(d time.Duration) {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+	case <-cc.closeCh:
+	}
+}
+
+// isProtocolErr reports whether err is a lock-protocol outcome that
+// must surface to the caller rather than trigger failover: the node
+// answered, it just said no. ErrClientClosed is deliberately NOT in
+// this set — from a per-node client it means dropClient tore the
+// session down mid-call during a failover, which is a transport
+// condition; the cluster client's own closure is checked separately
+// via closeCh.
+func isProtocolErr(err error) bool {
+	return errors.Is(err, ErrTimeout) || errors.Is(err, ErrNotOwner) ||
+		errors.Is(err, ErrBadRequest) || errors.Is(err, ErrUnknownOp) ||
+		errors.Is(err, ErrLeaseExpired)
+}
+
+// AcquireAll conservatively claims the lock set for txn across the
+// cluster, blocking until granted.
+func (cc *ClusterClient) AcquireAll(txn int64, reqs []lockmgr.Request) error {
+	return cc.AcquireAllTimeout(txn, reqs, 0)
+}
+
+// AcquireAllTimeout claims the lock set for txn with a per-partition
+// wait deadline. The claim is split by serving node and acquired in
+// ascending node order; if any group fails, groups already granted are
+// released and the first error returns — all-or-nothing, like the
+// single-node client. A claim spanning k partitions may wait up to
+// k×timeout in the worst case, since each partition gets the full
+// deadline.
+func (cc *ClusterClient) AcquireAllTimeout(txn int64, reqs []lockmgr.Request, timeout time.Duration) error {
+	if len(reqs) == 0 {
+		return fmt.Errorf("%w: acquire without granules", ErrBadRequest)
+	}
+	// Partition by serving node index (stable acquisition order), not
+	// by address, so every client orders the same way.
+	groups := make(map[int][]lockmgr.Request)
+	for _, r := range reqs {
+		owner := cc.ring.Owner(uint64(r.Granule))
+		groups[owner] = append(groups[owner], r)
+	}
+	order := make([]int, 0, len(groups))
+	for idx := range groups {
+		order = append(order, idx)
+	}
+	sort.Ints(order)
+	acquired := make([]string, 0, len(order))
+	for _, idx := range order {
+		addr, err := cc.acquireGroup(idx, txn, groups[idx], timeout)
+		if err != nil {
+			// Roll the earlier groups back so the transaction holds
+			// nothing, preserving the all-or-nothing contract. Forget
+			// before releasing so a concurrent lease refresh cannot
+			// resurrect the groups being rolled back.
+			cc.forget(txn)
+			for _, a := range acquired {
+				cc.releaseAt(a, txn)
+			}
+			return err
+		}
+		acquired = append(acquired, addr)
+		cc.record(txn, addr, groups[idx])
+	}
+	return nil
+}
+
+// acquireGroup lands one partition's sub-claim on whichever node
+// currently serves it, following redirects and riding out a failover.
+// It returns the address that granted the group.
+func (cc *ClusterClient) acquireGroup(idx int, txn int64, reqs []lockmgr.Request, timeout time.Duration) (string, error) {
+	deadline := time.Now().Add(cc.cfg.failoverWait)
+	cc.mu.Lock()
+	d := cc.down[idx]
+	cc.mu.Unlock()
+	target := cc.addrs[idx]
+	if d {
+		target = cc.addrs[cc.ring.Successor(idx)]
+	}
+	hops := 0
+	var lastErr error
+	// pending carries earlier groups of this claim that were released
+	// for a merged re-claim (see below); they ride along until the
+	// claim lands so the overall acquire stays all-or-nothing.
+	var pending []lockmgr.Request
+	for {
+		select {
+		case <-cc.closeCh:
+			return "", ErrClientClosed
+		default:
+		}
+		c, err := cc.clientFor(target)
+		if err == nil {
+			if prior := cc.heldReqsAt(txn, target); len(prior) > 0 {
+				// An earlier group of this same claim already landed on
+				// target: a failover (or redirect) collapsed two
+				// partitions onto one node. The server takes exactly one
+				// conservative claim per transaction, so release the
+				// earlier group and re-claim the union atomically. The
+				// earlier grants are not app-visible yet (the overall
+				// acquire has not returned), so briefly holding nothing
+				// is safe.
+				_ = c.ReleaseAll(txn)
+				cc.dropHold(txn, target)
+				pending = append(pending, prior...)
+			}
+			send := reqs
+			if len(pending) > 0 {
+				send = append(append([]lockmgr.Request(nil), pending...), reqs...)
+			}
+			err = c.AcquireAllTimeout(txn, send, timeout)
+			if err == nil {
+				if len(pending) > 0 {
+					cc.record(txn, target, pending)
+				}
+				return target, nil
+			}
+			var re *RedirectError
+			if errors.As(err, &re) {
+				cc.redirects.Add(1)
+				hops++
+				if hops > maxRedirectHops {
+					return "", fmt.Errorf("locksrv: redirect cycle after %d hops: %w", hops, ErrRedirect)
+				}
+				if j, ok := cc.addrIdx[re.Addr]; ok && cc.isDown(j) {
+					// Redirected toward a node we marked down. Either the
+					// standby has not adopted the partition yet, or our
+					// marking was a false positive (transport flake) and
+					// the cluster still routes to a live owner. Probe the
+					// node: if it answers, clear the marking and follow
+					// the redirect; otherwise wait for the takeover.
+					if cc.probeUp(j) {
+						target = re.Addr
+						continue
+					}
+					if time.Now().After(deadline) {
+						return "", fmt.Errorf("locksrv: failover did not complete: %w", err)
+					}
+					cc.pause(5 * time.Millisecond)
+					hops-- // waiting in place is not a hop
+					continue
+				}
+				target = re.Addr
+				continue
+			}
+			if isProtocolErr(err) {
+				return "", err
+			}
+			lastErr = err
+		} else {
+			if errors.Is(err, ErrClientClosed) {
+				return "", err
+			}
+			lastErr = err
+		}
+		// Transport-level failure: the target is dead or unreachable.
+		// For ring nodes, fail over to the successor; for ad-hoc
+		// redirect targets there is no configured standby to try.
+		j, ok := cc.addrIdx[target]
+		if !ok {
+			return "", lastErr
+		}
+		if time.Now().After(deadline) {
+			return "", fmt.Errorf("locksrv: failover did not complete: %w", lastErr)
+		}
+		cc.nodeFailed(j)
+		target = cc.addrs[cc.ring.Successor(j)]
+	}
+}
+
+func (cc *ClusterClient) isDown(idx int) bool {
+	cc.mu.Lock()
+	defer cc.mu.Unlock()
+	return cc.down[idx]
+}
+
+// probeUp re-checks a node marked down after the cluster redirected us
+// back to it, which means the servers still consider it the live
+// owner — our marking may have been a transport false positive. A
+// successful dial (plus stats round-trip) clears the marking so the
+// client recovers instead of waiting forever for a takeover that will
+// never happen. Returns whether the node is back in service.
+func (cc *ClusterClient) probeUp(idx int) bool {
+	cc.mu.Lock()
+	f := cc.failing[idx]
+	down := cc.down[idx]
+	cc.mu.Unlock()
+	if !down {
+		return true
+	}
+	if f != nil {
+		select {
+		case <-f.done:
+			// Failover finished; safe to re-evaluate the node.
+		default:
+			return false // failover still running; don't fight it
+		}
+	}
+	c, err := cc.clientFor(cc.addrs[idx])
+	if err != nil {
+		return false
+	}
+	if _, err := c.Stats(); err != nil {
+		return false
+	}
+	cc.mu.Lock()
+	cc.down[idx] = false
+	cc.failing[idx] = nil
+	cc.mu.Unlock()
+	return true
+}
+
+// record merges a granted group into the transaction's holdings.
+func (cc *ClusterClient) record(txn int64, addr string, reqs []lockmgr.Request) {
+	cc.mu.Lock()
+	m := cc.holds[txn]
+	if m == nil {
+		m = make(map[string][]lockmgr.Request)
+		cc.holds[txn] = m
+	}
+	m[addr] = append(m[addr], reqs...)
+	cc.mu.Unlock()
+}
+
+// forget drops a transaction's holdings record.
+func (cc *ClusterClient) forget(txn int64) {
+	cc.mu.Lock()
+	delete(cc.holds, txn)
+	cc.mu.Unlock()
+}
+
+// ReleaseAll releases everything txn holds across the cluster. A
+// transaction whose grants were lost in a failover (lease expired)
+// releases as an idempotent no-op, matching the single-node contract
+// for unknown transactions.
+//
+// The holdings record is dropped before any network call: once the
+// release is in motion, a concurrent lease refresh or failover
+// re-assert must see the transaction as gone, so it compensates
+// (releases the grant it just reconstructed) instead of resurrecting
+// a released transaction on the server — which nothing would ever
+// release again. If a release then fails terminally, the grants die
+// with the node session instead.
+func (cc *ClusterClient) ReleaseAll(txn int64) error {
+	cc.mu.Lock()
+	m := cc.holds[txn]
+	delete(cc.holds, txn)
+	addrs := make([]string, 0, len(m))
+	for a := range m {
+		addrs = append(addrs, a)
+	}
+	cc.mu.Unlock()
+	sort.Strings(addrs)
+	var firstErr error
+	for _, a := range addrs {
+		if err := cc.releaseAt(a, txn); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// releaseAt releases txn on one node, riding out a failover the same
+// way acquire does (a release on the successor of a dead node is a
+// no-op when the txn was not reasserted, which is the correct
+// outcome: the grants died with the node). The release always starts
+// at the recorded address even when that node is marked down: the
+// record is where the grant lives (reassert move-corrects it), and a
+// down marking can be a false positive — rerouting a release away
+// from a live holder would no-op and strand the grant.
+func (cc *ClusterClient) releaseAt(addr string, txn int64) error {
+	deadline := time.Now().Add(cc.cfg.failoverWait)
+	target := addr
+	var lastErr error
+	for {
+		select {
+		case <-cc.closeCh:
+			return ErrClientClosed
+		default:
+		}
+		c, err := cc.clientFor(target)
+		if err == nil {
+			err = c.ReleaseAll(txn)
+			if err == nil || isProtocolErr(err) {
+				return err
+			}
+			lastErr = err
+		} else {
+			if errors.Is(err, ErrClientClosed) {
+				return err
+			}
+			lastErr = err
+		}
+		j, ok := cc.addrIdx[target]
+		if !ok {
+			return lastErr
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("locksrv: failover did not complete: %w", lastErr)
+		}
+		cc.nodeFailed(j)
+		target = cc.addrs[cc.ring.Successor(j)]
+	}
+}
+
+// nodeFailed marks ring node idx down (idempotent) and re-asserts the
+// transactions it was serving to its successor. Concurrent callers
+// single-flight: the first runs the failover, the rest wait for it.
+func (cc *ClusterClient) nodeFailed(idx int) {
+	cc.mu.Lock()
+	if cc.down[idx] {
+		f := cc.failing[idx]
+		cc.mu.Unlock()
+		if f != nil {
+			<-f.done
+		}
+		return
+	}
+	cc.down[idx] = true
+	f := &failoverState{done: make(chan struct{})}
+	cc.failing[idx] = f
+	addr := cc.addrs[idx]
+	moved := make(map[int64][]lockmgr.Request)
+	for txn, m := range cc.holds {
+		if reqs, ok := m[addr]; ok {
+			moved[txn] = reqs
+		}
+	}
+	cc.mu.Unlock()
+	cc.failovers.Add(1)
+	defer close(f.done)
+	cc.dropClient(addr)
+	if len(moved) == 0 {
+		return
+	}
+	cc.reassert(idx, moved)
+}
+
+// reassert pushes the dead node's grants to its successor with Lease,
+// retrying until the standby's recovery window accepts them or the
+// failover budget runs out. Transactions the window refuses
+// (lease_expired) or that never land in budget are lost: their
+// holdings entry for the dead node is dropped and LostLeases counts
+// them.
+func (cc *ClusterClient) reassert(idx int, moved map[int64][]lockmgr.Request) {
+	deadline := time.Now().Add(cc.cfg.failoverWait)
+	succAddr := cc.addrs[cc.ring.Successor(idx)]
+	deadAddr := cc.addrs[idx]
+	items := make([]LeaseTxn, 0, len(moved))
+	for txn, reqs := range moved {
+		items = append(items, LeaseTxn{Txn: txn, Reqs: reqs})
+	}
+	// Deterministic assert order keeps retries stable.
+	sort.Slice(items, func(i, j int) bool { return items[i].Txn < items[j].Txn })
+	for len(items) > 0 {
+		select {
+		case <-cc.closeCh:
+			return
+		default:
+		}
+		if time.Now().After(deadline) {
+			break
+		}
+		// Transactions released since the snapshot must not be
+		// re-asserted: nothing would ever release them again.
+		live := items[:0]
+		for _, it := range items {
+			if cc.holdsAt(it.Txn, deadAddr) {
+				live = append(live, it)
+			}
+		}
+		if items = live; len(items) == 0 {
+			return
+		}
+		c, err := cc.clientFor(succAddr)
+		if err != nil {
+			if errors.Is(err, ErrClientClosed) {
+				return
+			}
+			cc.pause(5 * time.Millisecond)
+			continue
+		}
+		outs, err := c.Lease(cc.leaseID, items)
+		if err != nil {
+			if errors.Is(err, ErrClientClosed) {
+				return
+			}
+			cc.pause(5 * time.Millisecond)
+			continue
+		}
+		retry := items[:0]
+		for i, out := range outs {
+			switch {
+			case out == nil:
+				if !cc.moveHold(items[i].Txn, deadAddr, succAddr) {
+					// Released mid-flight: the successor just granted a
+					// transaction nobody holds anymore. Undo directly
+					// (no failover riding — the successor answered the
+					// lease a moment ago); the session teardown is the
+					// backstop if this races another failure.
+					_ = c.ReleaseAll(items[i].Txn)
+				}
+			case errors.Is(out, ErrRedirect):
+				// The successor has not adopted the partition yet;
+				// keep asserting until its takeover opens.
+				retry = append(retry, items[i])
+			default:
+				// lease_expired (or another terminal refusal): the
+				// transaction's grants are gone.
+				cc.dropHold(items[i].Txn, deadAddr)
+				cc.lost.Add(1)
+			}
+		}
+		items = retry
+		if len(items) > 0 {
+			cc.pause(5 * time.Millisecond)
+		}
+	}
+	for _, it := range items {
+		cc.dropHold(it.Txn, deadAddr)
+		cc.lost.Add(1)
+	}
+}
+
+// moveHold reparents a transaction's holdings from a dead node to the
+// successor that accepted its re-assert. It reports whether anything
+// was moved: false means the transaction was released while the
+// re-assert was in flight and the caller must undo the resurrected
+// grant.
+func (cc *ClusterClient) moveHold(txn int64, from, to string) bool {
+	cc.mu.Lock()
+	defer cc.mu.Unlock()
+	m := cc.holds[txn]
+	if m == nil {
+		return false
+	}
+	reqs, ok := m[from]
+	if !ok {
+		return false
+	}
+	delete(m, from)
+	m[to] = append(m[to], reqs...)
+	return true
+}
+
+// holdsAt reports whether txn currently records holdings on addr.
+func (cc *ClusterClient) holdsAt(txn int64, addr string) bool {
+	cc.mu.Lock()
+	defer cc.mu.Unlock()
+	_, ok := cc.holds[txn][addr]
+	return ok
+}
+
+// heldReqsAt returns a copy of the requests txn has recorded on addr.
+func (cc *ClusterClient) heldReqsAt(txn int64, addr string) []lockmgr.Request {
+	cc.mu.Lock()
+	defer cc.mu.Unlock()
+	return append([]lockmgr.Request(nil), cc.holds[txn][addr]...)
+}
+
+// dropHold forgets a transaction's holdings on one node.
+func (cc *ClusterClient) dropHold(txn int64, addr string) {
+	cc.mu.Lock()
+	if m := cc.holds[txn]; m != nil {
+		delete(m, addr)
+		if len(m) == 0 {
+			delete(cc.holds, txn)
+		}
+	}
+	cc.mu.Unlock()
+}
+
+// leaseLoop periodically re-asserts every held transaction to its
+// serving node: the cluster-level keepalive. A node that stops
+// answering its lease triggers the same failover as a failed request,
+// so dead nodes are detected while the application is idle, inside
+// the standby's recovery window rather than after it.
+func (cc *ClusterClient) leaseLoop() {
+	defer cc.wg.Done()
+	tick := time.NewTicker(cc.cfg.leaseEvery)
+	defer tick.Stop()
+	for {
+		select {
+		case <-cc.closeCh:
+			return
+		case <-tick.C:
+		}
+		// Snapshot holdings per serving address.
+		cc.mu.Lock()
+		byAddr := make(map[string][]LeaseTxn)
+		for txn, m := range cc.holds {
+			for addr, reqs := range m {
+				byAddr[addr] = append(byAddr[addr], LeaseTxn{Txn: txn, Reqs: reqs})
+			}
+		}
+		cc.mu.Unlock()
+		for addr, items := range byAddr {
+			sort.Slice(items, func(i, j int) bool { return items[i].Txn < items[j].Txn })
+			c, err := cc.clientFor(addr)
+			if err == nil {
+				outs, lerr := c.Lease(cc.leaseID, items)
+				err = lerr
+				if lerr == nil {
+					for i, out := range outs {
+						switch {
+						case out == nil:
+							// A refresh of a transaction released since
+							// the snapshot re-granted it server-side;
+							// undo so the grant cannot strand.
+							if !cc.holdsAt(items[i].Txn, addr) {
+								_ = c.ReleaseAll(items[i].Txn)
+							}
+						case errors.Is(out, ErrRedirect):
+							// Ownership moved; the next acquire or
+							// failover chases the new owner.
+						default:
+							cc.dropHold(items[i].Txn, addr)
+							cc.lost.Add(1)
+						}
+					}
+					continue
+				}
+			}
+			if errors.Is(err, ErrClientClosed) {
+				return
+			}
+			// Transport failure on a ring node: run failover now.
+			if j, ok := cc.addrIdx[addr]; ok {
+				cc.nodeFailed(j)
+			}
+		}
+	}
+}
+
+// Redirects returns how many redirects the client has followed.
+func (cc *ClusterClient) Redirects() int64 { return cc.redirects.Load() }
+
+// Failovers returns how many node failovers the client has run.
+func (cc *ClusterClient) Failovers() int64 { return cc.failovers.Load() }
+
+// LostLeases returns how many transactions lost their grants in a
+// failover (their re-assert was refused or never landed).
+func (cc *ClusterClient) LostLeases() int64 { return cc.lost.Load() }
+
+// Reconnects sums the per-node clients' reconnect counters.
+func (cc *ClusterClient) Reconnects() int64 {
+	var total int64
+	for _, n := range cc.snapshotNodes() {
+		n.mu.Lock()
+		if n.c != nil {
+			total += n.c.Reconnects()
+		}
+		n.mu.Unlock()
+	}
+	return total
+}
+
+// Retries sums the per-node clients' retry counters.
+func (cc *ClusterClient) Retries() int64 {
+	var total int64
+	for _, n := range cc.snapshotNodes() {
+		n.mu.Lock()
+		if n.c != nil {
+			total += n.c.Retries()
+		}
+		n.mu.Unlock()
+	}
+	return total
+}
+
+func (cc *ClusterClient) snapshotNodes() []*clusterNode {
+	cc.mu.Lock()
+	defer cc.mu.Unlock()
+	out := make([]*clusterNode, 0, len(cc.nodes))
+	for _, n := range cc.nodes {
+		out = append(out, n)
+	}
+	return out
+}
+
+// Close ends every node session; the servers release whatever the
+// client's transactions still hold. Safe to call from any goroutine;
+// in-flight calls fail with ErrClientClosed.
+func (cc *ClusterClient) Close() error {
+	cc.mu.Lock()
+	if cc.closed {
+		cc.mu.Unlock()
+		return nil
+	}
+	cc.closed = true
+	close(cc.closeCh)
+	cc.mu.Unlock()
+	cc.wg.Wait()
+	var firstErr error
+	for _, n := range cc.snapshotNodes() {
+		n.mu.Lock()
+		c := n.c
+		n.c = nil
+		n.mu.Unlock()
+		if c != nil {
+			if err := c.Close(); err != nil && firstErr == nil {
+				firstErr = err
+			}
+		}
+	}
+	return firstErr
+}

@@ -41,6 +41,7 @@ const (
 	opStats    = 3 // empty body
 	opAcquireN = 4 // k(4) then k × acquire bodies
 	opReleaseN = 5 // k(4) then k × txn(8)
+	opLease    = 6 // lease(8) k(4) then k × (txn(8) n(4) n × (granule(8) mode(1)))
 )
 
 // v2 response statuses. statusOK covers batch responses too: the frame
@@ -53,6 +54,15 @@ const (
 	statusNotOwner   = 3
 	statusBadRequest = 4
 	statusUnknownOp  = 5
+	// statusRedirect: the granule set is served by another cluster node.
+	// The body is the redirect detail "node addr" (decimal ring index, a
+	// space, then the node's dial address) — text, so it travels equally
+	// in a v1 Response.Err and a batch sub-item message.
+	statusRedirect = 6
+	// statusLeaseExpired: a lease re-assert arrived after the recovery
+	// window sealed, or the asserted grants conflict with grants already
+	// reconstructed — the transaction's locks are gone.
+	statusLeaseExpired = 7
 )
 
 // statusToCode maps a v2 status byte onto the shared v1 error taxonomy.
@@ -68,6 +78,10 @@ func statusToCode(st byte) string {
 		return CodeNotOwner
 	case statusBadRequest:
 		return CodeBadRequest
+	case statusRedirect:
+		return CodeRedirect
+	case statusLeaseExpired:
+		return CodeLeaseExpired
 	default:
 		return CodeUnknownOp
 	}
@@ -87,6 +101,10 @@ func codeToStatus(code string) byte {
 		return statusNotOwner
 	case CodeBadRequest:
 		return statusBadRequest
+	case CodeRedirect:
+		return statusRedirect
+	case CodeLeaseExpired:
+		return statusLeaseExpired
 	default:
 		return statusUnknownOp
 	}

@@ -82,6 +82,12 @@ const (
 	CodeBadRequest = "bad_request"
 	// CodeUnknownOp: unrecognized op string.
 	CodeUnknownOp = "unknown_op"
+	// CodeRedirect: the granule set is served by another cluster node;
+	// the detail carries "node addr" (ring index, space, dial address).
+	CodeRedirect = "redirect"
+	// CodeLeaseExpired: a lease re-assert arrived after the recovery
+	// window sealed or conflicts with reconstructed grants.
+	CodeLeaseExpired = "lease_expired"
 )
 
 // Response is one wire response.
@@ -118,6 +124,10 @@ type ServerStats struct {
 	WaitP90MS   float64 `json:"wait_p90_ms"`
 	WaitP99MS   float64 `json:"wait_p99_ms"`
 	WaitSamples int64   `json:"wait_samples"`
+
+	// Cluster is the node's failover counters; nil on unclustered
+	// servers, so single-node deployments keep their wire schema.
+	Cluster *ClusterStats `json:"cluster,omitempty"`
 }
 
 // waitWindow is the size of the sliding window of acquire wait times
@@ -246,6 +256,10 @@ type Server struct {
 
 	om    *serverMetrics // always non-nil after NewServer
 	waits waitRing
+
+	// cluster is non-nil when the server is one node of a partitioned
+	// cluster (WithCluster); nil servers serve the whole namespace.
+	cluster *clusterState
 }
 
 // serverMetrics holds the service counters as registry series. Every
@@ -267,6 +281,13 @@ type serverMetrics struct {
 	framesRead    *obs.Counter
 	framesWritten *obs.Counter
 	batchOps      *obs.Counter
+
+	// Cluster families: zero on unclustered servers.
+	clusterTakeovers    *obs.Counter
+	clusterReasserts    *obs.Counter
+	clusterLeaseExpired *obs.Counter
+	clusterRedirects    *obs.Counter
+	clusterParked       *obs.Counter
 }
 
 // newServerMetrics registers the locksrv families on reg for s. The
@@ -292,6 +313,16 @@ func newServerMetrics(reg *obs.Registry, s *Server) *serverMetrics {
 	reg.NewGaugeFunc("granulock_locksrv_inflight",
 		"Requests decoded but not yet responded to, across all sessions.",
 		func() float64 { return float64(s.inflight.Load()) })
+	reg.NewGaugeFunc("granulock_locksrv_cluster_recovering",
+		"Adopted partitions whose lease-reassert recovery window is still open.",
+		func() float64 {
+			// s.cluster is set during option application, possibly after
+			// this closure is registered; read it at scrape time.
+			if cl := s.cluster; cl != nil {
+				return float64(cl.recoveringCount())
+			}
+			return 0
+		})
 	return &serverMetrics{
 		sessionsTotal: reg.NewCounter("granulock_locksrv_sessions_opened_total",
 			"Sessions ever opened."),
@@ -318,6 +349,16 @@ func newServerMetrics(reg *obs.Registry, s *Server) *serverMetrics {
 			"Protocol v2 response frames written."),
 		batchOps: reg.NewCounter("granulock_locksrv_v2_batch_subops_total",
 			"Sub-operations carried inside acquireN/releaseN batch frames."),
+		clusterTakeovers: reg.NewCounter("granulock_locksrv_cluster_takeovers_total",
+			"Dead-node partitions adopted by this node."),
+		clusterReasserts: reg.NewCounter("granulock_locksrv_cluster_reasserted_txns_total",
+			"Transactions reconstructed from client lease re-asserts after a takeover."),
+		clusterLeaseExpired: reg.NewCounter("granulock_locksrv_cluster_lease_expired_total",
+			"Lease re-asserts refused: window sealed, grants conflicted, or owner alive."),
+		clusterRedirects: reg.NewCounter("granulock_locksrv_cluster_redirects_total",
+			"Requests redirected to the node owning their granules."),
+		clusterParked: reg.NewCounter("granulock_locksrv_cluster_parked_acquires_total",
+			"Acquires parked behind an open partition-recovery window."),
 	}
 }
 
@@ -387,8 +428,12 @@ func (s *Server) Addr() net.Addr { return s.lis.Addr() }
 func (s *Server) Table() *lockmgr.Table { return s.table }
 
 // Serve accepts connections until the listener closes. It returns nil
-// after Close.
+// after Close. In cluster mode Serve also starts the predecessor
+// heartbeat monitor (see WithCluster).
 func (s *Server) Serve() error {
+	if s.cluster != nil {
+		s.cluster.startMonitor(s)
+	}
 	for {
 		conn, err := s.lis.Accept()
 		if err != nil {
@@ -439,6 +484,9 @@ func (s *Server) Close() error {
 	}
 	s.mu.Unlock()
 	err := s.lis.Close()
+	if s.cluster != nil {
+		s.cluster.stopMonitor()
+	}
 
 	done := make(chan struct{})
 	go func() {
@@ -448,20 +496,44 @@ func (s *Server) Close() error {
 	select {
 	case <-done:
 	case <-time.After(s.grace):
-		// Grace expired: force. Cancelling a session's context aborts
-		// its blocked acquires (they respond with code "closed");
-		// closing the connection ends the session, whose teardown
-		// releases its locks.
+		// Grace expired: force, in two phases. Cancelling a session's
+		// context aborts its blocked acquires, which respond with the
+		// typed "closed" code — but only if the connection survives
+		// long enough for the writer to flush those responses. Closing
+		// the conn in the same breath as the cancel loses that race:
+		// pipelined clients see a bare transport error instead of
+		// "closed" and burn their whole retry budget against a dead
+		// listener. So cancel everything first, give the writers a
+		// bounded flush window, and hard-close only the stragglers.
 		s.mu.Lock()
 		for sess := range s.sessions {
 			sess.shutdown()
-			sess.conn.Close()
 		}
 		s.mu.Unlock()
+		flush := s.grace
+		if flush > forceFlushWait {
+			flush = forceFlushWait
+		}
+		select {
+		case <-done:
+		case <-time.After(flush):
+			s.mu.Lock()
+			for sess := range s.sessions {
+				sess.conn.Close()
+			}
+			s.mu.Unlock()
+		}
 		<-done
 	}
 	return err
 }
+
+// forceFlushWait caps how long the forced drain waits for cancelled
+// sessions to flush their typed "closed" responses before hard-closing
+// their connections. A session that cannot flush within this window is
+// wedged (stalled client, full socket buffer); its clients get the
+// transport error they were always going to get.
+const forceFlushWait = 250 * time.Millisecond
 
 // sessionReader feeds a session's json.Decoder from its conn while
 // managing read deadlines. It distinguishes the three ways a read can
@@ -764,6 +836,14 @@ func (s *Server) acquireCore(ctx context.Context, sess *session, txn lockmgr.Txn
 		actx, cancel = context.WithTimeout(ctx, time.Duration(timeoutMS)*time.Millisecond)
 		defer cancel()
 	}
+	// Cluster routing: serve only granules this node owns (or adopted),
+	// parking behind an open recovery window; redirect the rest. The
+	// nil check keeps unclustered servers on the exact prior path.
+	if s.cluster != nil {
+		if code, msg := s.clusterAdmit(actx, reqs, false); code != "" {
+			return code, msg
+		}
+	}
 	// Fast path: an immediate grant waited zero time by definition, so
 	// record the zero sample without reading the clock — at service
 	// rates the two time syscalls per acquire are a measurable tax.
@@ -871,6 +951,11 @@ func (s *Server) serverStats() ServerStats {
 	sessions := int64(len(s.sessions))
 	s.mu.Unlock()
 	p50, p90, p99, n := s.waits.quantiles()
+	var cs *ClusterStats
+	if s.cluster != nil {
+		snap := s.ClusterStats()
+		cs = &snap
+	}
 	return ServerStats{
 		Sessions:        sessions,
 		SessionsTotal:   s.om.sessionsTotal.Value(),
@@ -887,6 +972,7 @@ func (s *Server) serverStats() ServerStats {
 		WaitP90MS:       p90,
 		WaitP99MS:       p99,
 		WaitSamples:     n,
+		Cluster:         cs,
 	}
 }
 

@@ -219,9 +219,56 @@ func (s *Server) executeV2(ctx context.Context, sess *session, op byte, id uint6
 		return s.executeAcquireN(ctx, sess, id, body, owned)
 	case opReleaseN:
 		return s.executeReleaseN(ctx, sess, id, body, owned)
+	case opLease:
+		return s.executeLease(ctx, sess, id, body, owned)
 	default:
 		return errorFrame(id, statusUnknownOp, "unknown v2 op")
 	}
+}
+
+// executeLease processes a lease assert: per-transaction grant
+// refresh/reconstruction (see leaseCore), answered as a batch frame.
+// Items run sequentially — leaseCore never parks on a lock queue, so
+// one item cannot starve the rest the way a blocked acquire could.
+func (s *Server) executeLease(ctx context.Context, sess *session, id uint64, body []byte, owned *ownedSet) *frameBuf {
+	fr := frameReader{b: body}
+	fr.u64() // lease id: carried for observability, no fencing use yet
+	k := fr.u32()
+	if fr.bad || k == 0 || k > v2MaxInflight {
+		return errorFrame(id, statusBadRequest, "malformed lease count")
+	}
+	type item struct {
+		txn  lockmgr.TxnID
+		reqs []lockmgr.Request
+	}
+	items := make([]item, 0, k)
+	for i := uint32(0); i < k; i++ {
+		txn := lockmgr.TxnID(fr.u64())
+		n := fr.u32()
+		if fr.bad || n > maxFrame/9 {
+			return errorFrame(id, statusBadRequest, "malformed lease body")
+		}
+		reqs := make([]lockmgr.Request, 0, n)
+		for j := uint32(0); j < n; j++ {
+			g := lockmgr.Granule(fr.u64())
+			mode := lockmgr.ModeShared
+			if fr.byte() != 0 {
+				mode = lockmgr.ModeExclusive
+			}
+			reqs = append(reqs, lockmgr.Request{Granule: g, Mode: mode})
+		}
+		items = append(items, item{txn, reqs})
+	}
+	if !fr.done() {
+		return errorFrame(id, statusBadRequest, "malformed lease body")
+	}
+	s.om.batchOps.Add(int64(k))
+	codes := make([]string, k)
+	msgs := make([]string, k)
+	for i := range items {
+		codes[i], msgs[i] = s.leaseCore(ctx, sess, items[i].txn, items[i].reqs, owned)
+	}
+	return batchFrame(id, codes, msgs)
 }
 
 // parseAcquireBody decodes one acquire body (txn, timeout, granule+mode

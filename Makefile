@@ -6,7 +6,7 @@ GO ?= go
 # (the build environment is offline; CI installs the pin itself).
 STATICCHECK_VERSION ?= 2023.1.7
 
-.PHONY: build test vet race bench benchsrv benchlock locknet lint granulint staticcheck tools verify
+.PHONY: build test vet race bench benchsrv benchlock benchengine locknet lint granulint staticcheck tools verify
 
 build:
 	$(GO) build ./...
@@ -39,6 +39,13 @@ benchsrv:
 # regenerate on a machine where the fast path has regressed fails.
 benchlock:
 	$(GO) run ./cmd/bench -suite lockmgr -out BENCH_lockmgr.json
+
+# benchengine regenerates BENCH_engine.json, the executable engine's
+# protocol-comparison report (all registered concurrency-control
+# protocols on a shared contended workload; see docs/ENGINE.md). The
+# conservative fine-vs-coarse comparison carries a 0.5x floor.
+benchengine:
+	$(GO) run ./cmd/bench -suite engine -out BENCH_engine.json
 
 # locknet is the ISSUE 3 acceptance scenario: 1000 transactions through
 # the network lock service behind the fault-injecting transport (drops,
@@ -92,7 +99,11 @@ tools:
 # the lockmgr suite is diffed against the checked-in baseline: quick
 # vs full reports compare machine-independent speedup ratios, failing
 # on a >25% ratio drop or any acceptance target missed (the fast-path
-# headline carries a hard 5x floor).
+# headline carries a hard 5x floor). The engine suite smoke-runs every
+# registered concurrency-control protocol end to end and diffs against
+# the checked-in BENCH_engine.json (the conservative fine-vs-coarse
+# comparison carries a hard 0.5x floor), and the engine balance-
+# invariant run exercises one protocol through the locksim CLI.
 verify: lint
 	$(GO) vet ./...
 	$(GO) test -race ./...
@@ -100,6 +111,8 @@ verify: lint
 	$(GO) run ./cmd/locksim -net 8 -nettxns 1000 -netfaults -ltot 100
 	$(GO) run ./cmd/locksim -net 8 -nettxns 1000 -netfaults -netproto v2 -ltot 100
 	$(GO) run ./cmd/locksim -net 6 -cluster 3 -nettxns 600 -netfaults -ltot 100
+	$(GO) run ./cmd/locksim -engine -protocol wound-wait -dbsize 400 -ltot 40 -ntrans 8
 	$(GO) run ./cmd/bench -suite model -quick -out BENCH_model.json
 	$(GO) run ./cmd/bench -suite locksrv -quick -out /tmp/BENCH_locksrv.quick.json
 	$(GO) run ./cmd/bench -suite lockmgr -quick -out /tmp/BENCH_lockmgr.quick.json -compare BENCH_lockmgr.json
+	$(GO) run ./cmd/bench -suite engine -quick -out /tmp/BENCH_engine.quick.json -compare BENCH_engine.json

@@ -279,10 +279,11 @@ func BenchmarkAblationScheduling(b *testing.B) {
 // on the executable engine (footnote 1 of the paper).
 func BenchmarkAblationClaimAsNeeded(b *testing.B) {
 	run := func(b *testing.B, protocol engine.Protocol) {
-		db, err := engine.Open(engine.Config{
-			Nodes: 4, DBSize: 1000, Granules: 100,
-			Protocol: protocol, InitialValue: 100,
-		})
+		db, err := engine.Open(1000,
+			engine.WithNodes(4),
+			engine.WithGranules(100),
+			engine.WithProtocol(protocol),
+			engine.WithInitialValue(100))
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -5,6 +5,7 @@
 //	go run ./cmd/bench -suite model   -out BENCH_model.json
 //	go run ./cmd/bench -suite locksrv -out BENCH_locksrv.json
 //	go run ./cmd/bench -suite lockmgr -out BENCH_lockmgr.json
+//	go run ./cmd/bench -suite engine  -out BENCH_engine.json
 //
 // The model suite measures the simulation engine and two representative
 // figure sweeps. The locksrv suite measures the network lock service —
@@ -13,7 +14,11 @@
 // curve over a fixed-RTT transport — and lockmgr microbenchmarks (see
 // locksrv.go and cluster.go). The
 // lockmgr suite measures the in-process lock table with the lock-free
-// fast path enabled vs force-disabled (see lockmgr.go).
+// fast path enabled vs force-disabled (see lockmgr.go). The engine
+// suite measures end-to-end transaction throughput of the executable
+// engine under every registered concurrency-control protocol (see
+// engine.go); -protocol restricts it to one protocol, -protocol list
+// prints the registry.
 //
 // The -quick flag shortens the workloads for CI smoke runs; -compare
 // OLD.json re-reads a previous report and exits nonzero if any
@@ -191,14 +196,19 @@ func record(name string, r testing.BenchmarkResult, eventsPerOp float64) entry {
 }
 
 func main() {
-	suite := flag.String("suite", "model", "benchmark suite: model, locksrv or lockmgr")
+	suite := flag.String("suite", "model", "benchmark suite: model, locksrv, lockmgr or engine")
 	out := flag.String("out", "", "output path (default BENCH_<suite>.json)")
 	quick := flag.Bool("quick", false, "shorten workloads for CI smoke runs")
 	compare := flag.String("compare", "", "previous report to diff against; exit nonzero on >10% throughput regression")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the suite run")
 	only := flag.String("run", "", "only run benchmarks whose name contains this substring (locksrv suite; skips comparisons)")
+	protocol := flag.String("protocol", "", "engine suite: run only this concurrency-control protocol; \"list\" prints the registry")
 	flag.Parse()
 	benchFilter = *only
+	if err := resolveProtocolFlag(protocol); err != nil {
+		fmt.Fprintln(os.Stderr, "bench:", err)
+		os.Exit(1)
+	}
 
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)
@@ -223,8 +233,10 @@ func main() {
 		data, err = runLocksrv(*quick)
 	case "lockmgr":
 		data, err = runLockmgr(*quick)
+	case "engine":
+		data, err = runEngine(*quick, *protocol)
 	default:
-		err = fmt.Errorf("unknown suite %q (want model, locksrv or lockmgr)", *suite)
+		err = fmt.Errorf("unknown suite %q (want model, locksrv, lockmgr or engine)", *suite)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "bench:", err)

@@ -1,0 +1,119 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"granulock/internal/engine"
+	"granulock/internal/engine/cc"
+)
+
+// engineConfig is the -engine run mode: one closed workload on the
+// executable engine under a chosen concurrency-control protocol.
+type engineConfig struct {
+	dbsize   int
+	granules int
+	nodes    int
+	workers  int
+	txns     int
+	protocol string
+	seed     uint64
+	asJSON   bool
+}
+
+// engineResult is the -engine -json document.
+type engineResult struct {
+	Protocol      string  `json:"protocol"`
+	Granules      int     `json:"granules"`
+	Workers       int     `json:"workers"`
+	Committed     int64   `json:"committed"`
+	ThroughputTPS float64 `json:"throughput_tps"`
+	Restarts      int64   `json:"restarts"`
+	Wounds        int64   `json:"wounds"`
+	Dies          int64   `json:"dies"`
+	Validations   int64   `json:"validation_fails"`
+	Grants        int64   `json:"lock_grants"`
+	Blocks        int64   `json:"lock_blocks"`
+	Deadlocks     int64   `json:"lock_deadlocks"`
+	Escalations   int64   `json:"escalations"`
+	Consistent    bool    `json:"consistent"`
+}
+
+// validateProtocol resolves -protocol against the cc registry; "list"
+// prints the registered names and exits.
+func validateProtocol(name string) error {
+	if name == "list" {
+		for _, n := range cc.Names() {
+			fmt.Println(n)
+		}
+		os.Exit(0)
+	}
+	if name == "" {
+		return nil
+	}
+	if _, ok := cc.Lookup(name); !ok {
+		return fmt.Errorf("unknown protocol %q (registered: %v)", name, cc.Names())
+	}
+	return nil
+}
+
+// runEngineMode executes the -engine workload and prints the result.
+func runEngineMode(cfg engineConfig, out *os.File) error {
+	if cfg.protocol == "" {
+		cfg.protocol = engine.Conservative
+	}
+	if cfg.granules > cfg.dbsize {
+		cfg.granules = cfg.dbsize
+	}
+	db, err := engine.Open(cfg.dbsize,
+		engine.WithNodes(cfg.nodes),
+		engine.WithGranules(cfg.granules),
+		engine.WithProtocol(cfg.protocol),
+		engine.WithInitialValue(100))
+	if err != nil {
+		return err
+	}
+	before := db.TotalBalance()
+	res, err := db.RunClosed(context.Background(), engine.Workload{
+		Workers: cfg.workers, TxnsPerWorker: cfg.txns, TransfersPerTxn: 2,
+		ReadFraction: 0.2, WorkPerTxn: 2000, Seed: cfg.seed,
+	})
+	if err != nil {
+		return err
+	}
+	s := db.Stats()
+	r := engineResult{
+		Protocol:      cfg.protocol,
+		Granules:      cfg.granules,
+		Workers:       cfg.workers,
+		Committed:     res.Committed,
+		ThroughputTPS: res.ThroughputTPS,
+		Restarts:      s.Restarts,
+		Wounds:        s.Wounds,
+		Dies:          s.Dies,
+		Validations:   s.ValidationFails,
+		Grants:        s.Lock.Grants,
+		Blocks:        s.Lock.Blocks,
+		Deadlocks:     s.Lock.Deadlocks,
+		Escalations:   s.Escalations,
+		Consistent:    db.TotalBalance() == before,
+	}
+	if cfg.asJSON {
+		return json.NewEncoder(out).Encode(r)
+	}
+	fmt.Fprintf(out, "protocol         %s\n", r.Protocol)
+	fmt.Fprintf(out, "granules         %d\n", r.Granules)
+	fmt.Fprintf(out, "committed        %d\n", r.Committed)
+	fmt.Fprintf(out, "throughput       %.0f txn/s\n", r.ThroughputTPS)
+	fmt.Fprintf(out, "restarts         %d (wounds %d, dies %d, validation %d)\n",
+		r.Restarts, r.Wounds, r.Dies, r.Validations)
+	fmt.Fprintf(out, "lock grants      %d (blocked %d, deadlocks %d, escalations %d)\n",
+		r.Grants, r.Blocks, r.Deadlocks, r.Escalations)
+	fmt.Fprintf(out, "consistent       %v\n", r.Consistent)
+	if !r.Consistent {
+		return fmt.Errorf("balance invariant violated under %s", r.Protocol)
+	}
+	return nil
+}

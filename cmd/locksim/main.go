@@ -27,6 +27,16 @@
 //
 //	locksim -net 8 -cluster 3 -nettxns 1000 -ltot 100
 //	locksim -net 8 -cluster 3 -netfaults -netkill=false -ltot 100
+//
+// With -engine the command instead runs one closed workload on the
+// executable engine (internal/engine) under a chosen concurrency-
+// control protocol, printing throughput, restart and lock statistics
+// and checking the balance invariant. -protocol names a protocol from
+// the cc registry; -protocol list prints the registered names:
+//
+//	locksim -engine -protocol wound-wait -ltot 100 -ntrans 8
+//	locksim -engine -protocol optimistic -dbsize 1000 -ltot 50 -json
+//	locksim -protocol list
 package main
 
 import (
@@ -80,8 +90,27 @@ func run(args []string, out *os.File) error {
 	netProto := fs.String("netproto", "v1", "wire protocol for the -net clients: v1 (JSON) or v2 (binary pipelined)")
 	clusterNodes := fs.Int("cluster", 0, "run the -net harness against a partitioned cluster with this many nodes (0: single server)")
 	netKill := fs.Bool("netkill", true, "kill one cluster node a third of the way through a -cluster run")
+	engineMode := fs.Bool("engine", false, "run the executable engine (one closed workload) instead of the simulation; -ltot is the granule count, -ntrans the workers, -npros the nodes")
+	protocol := fs.String("protocol", "", "engine concurrency-control protocol (with -engine); \"list\" prints the registry")
+	engTxns := fs.Int("engtxns", 200, "transactions per worker for the -engine workload")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if err := validateProtocol(*protocol); err != nil {
+		return err
+	}
+
+	if *engineMode {
+		return runEngineMode(engineConfig{
+			dbsize:   p.DBSize,
+			granules: p.Ltot,
+			nodes:    p.NPros,
+			workers:  p.NTrans,
+			txns:     *engTxns,
+			protocol: *protocol,
+			seed:     *seed,
+			asJSON:   *asJSON,
+		}, out)
 	}
 
 	if *netWorkers > 0 {

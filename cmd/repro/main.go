@@ -91,10 +91,11 @@ func run(args []string) error {
 	// granularity and consistency holds.
 	fmt.Fprintf(&report, "\nengine cross-validation (8 workers x 200 txns):\n")
 	for _, granules := range []int{1, 10, 100, 1000} {
-		db, err := engine.Open(engine.Config{
-			Nodes: 4, DBSize: 1000, Granules: granules,
-			Protocol: engine.Conservative, InitialValue: 100,
-		})
+		db, err := engine.Open(1000,
+			engine.WithNodes(4),
+			engine.WithGranules(granules),
+			engine.WithProtocol(engine.Conservative),
+			engine.WithInitialValue(100))
 		if err != nil {
 			return err
 		}

@@ -7,6 +7,14 @@
 //	sweep -param ltot -values 1,10,100,1000,5000 -npros 20
 //	sweep -param npros -values 1,2,4,8,16,32 -ltot 100 -metric response
 //
+// With -engine the sweep drives the executable engine instead of the
+// simulation model: -param maps onto the engine (ltot=granules,
+// ntrans=workers, npros=nodes) and -protocol picks the concurrency-
+// control protocol from the cc registry (-protocol list prints it):
+//
+//	sweep -engine -protocol wait-die -param ltot -values 1,10,100 -dbsize 1000
+//	sweep -engine -protocol optimistic -param ntrans -values 1,2,4,8,16 -metric restarts
+//
 // -metrics appends the run's metric registry — cell progress counters,
 // per-cell wall-time histogram, and the last cell's simulation gauges —
 // to stderr in Prometheus text format after the table.
@@ -45,10 +53,19 @@ func run(args []string, out *os.File) error {
 	values := fs.String("values", "1,10,100,1000,5000", "comma-separated sweep values")
 	metric := fs.String("metric", "throughput", "metric to report: throughput, response, usefulio, usefulcpu, lockoverhead, denialrate")
 	withMetrics := fs.Bool("metrics", false, "print the run's metric registry to stderr in Prometheus text format")
+	engineMode := fs.Bool("engine", false, "sweep the executable engine instead of the simulation (params: ltot=granules, ntrans=workers, npros=nodes)")
+	protocol := fs.String("protocol", "", "engine concurrency-control protocol (with -engine); \"list\" prints the registry")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	if err := validateProtocol(*protocol); err != nil {
+		return err
+	}
 	p.Seed = *seed
+
+	if *engineMode {
+		return runEngineSweep(p, *protocol, *param, *values, *metric, out)
+	}
 
 	get, err := metricAccessor(*metric)
 	if err != nil {

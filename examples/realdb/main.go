@@ -24,14 +24,12 @@ func main() {
 	fmt.Println("granules  protocol          committed   blocked  deadlock-retries  tps")
 	for _, granules := range []int{1, 10, 100, 1000} {
 		for _, protocol := range []engine.Protocol{engine.Conservative, engine.ClaimAsNeeded, engine.Hierarchical} {
-			db, err := engine.Open(engine.Config{
-				Nodes:               4,
-				DBSize:              1000,
-				Granules:            granules,
-				Protocol:            protocol,
-				InitialValue:        100,
-				EscalationThreshold: 16,
-			})
+			db, err := engine.Open(1000,
+				engine.WithNodes(4),
+				engine.WithGranules(granules),
+				engine.WithProtocol(protocol),
+				engine.WithInitialValue(100),
+				engine.WithEscalationThreshold(16))
 			if err != nil {
 				log.Fatal(err)
 			}

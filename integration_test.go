@@ -32,10 +32,11 @@ func TestCrossSystemGranularityStory(t *testing.T) {
 
 	// 2. Executable engine: blocked acquisitions fall as granules rise.
 	blocks := func(granules int) int64 {
-		db, err := engine.Open(engine.Config{
-			Nodes: 4, DBSize: 1000, Granules: granules,
-			Protocol: engine.Conservative, InitialValue: 100,
-		})
+		db, err := engine.Open(1000,
+			engine.WithNodes(4),
+			engine.WithGranules(granules),
+			engine.WithProtocol(engine.Conservative),
+			engine.WithInitialValue(100))
 		if err != nil {
 			t.Fatal(err)
 		}

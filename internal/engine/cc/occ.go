@@ -1,0 +1,188 @@
+package cc
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+
+	"granulock/internal/lockmgr"
+)
+
+// optimistic is Kung–Robinson validate-at-commit concurrency control:
+// transactions execute with no locks at all, reading committed values
+// and buffering writes privately, then validate at commit against the
+// write sets of transactions that committed during their lifetime
+// (backward validation, serial-validation variant). A read-set overlap
+// aborts the validating transaction, which restarts through the
+// engine's ordinary retry/backoff machinery.
+//
+// Conflict sets are tracked at *granule* granularity — the same units
+// the locking protocols lock — so the protocol's abort rate responds
+// to the granularity knob exactly the way lock contention does, and
+// the paper's trade-off sweeps compare like with like.
+//
+// Validation, write application, and commit-clock advance happen under
+// one mutex (serial validation). Individual entity accesses are
+// latched, so an execute-phase read can only observe a *torn* multi-
+// entity state while a committer is mid-apply — and any such reader
+// necessarily started before that committer's timestamp and overlaps
+// its write granules, so validation restarts it. Readers that begin
+// after the commit observe it fully applied.
+type optimistic struct{}
+
+func (optimistic) Name() string { return "optimistic" }
+
+func (optimistic) New(cfg Config) (Instance, error) {
+	return &occInstance{
+		store:  cfg.Store,
+		record: cfg.RecordUpdates,
+		active: make(map[lockmgr.TxnID]int64),
+	}, nil
+}
+
+// occCommit is one committed transaction's footprint in the validation
+// log: its commit timestamp and the granules it wrote.
+type occCommit struct {
+	ts     int64
+	writes map[lockmgr.Granule]struct{}
+}
+
+// occTx is one attempt's read phase: the snapshot timestamp, the
+// granule read set, and the private write buffer (entity → accumulated
+// delta, in first-write order for deterministic application).
+type occTx struct {
+	start  int64
+	reads  map[lockmgr.Granule]struct{}
+	writes map[int]int64
+	order  []int
+	wgrans map[lockmgr.Granule]struct{}
+}
+
+type occInstance struct {
+	store  Store
+	record bool
+
+	// mu is the serial-validation critical section: it guards clock,
+	// active, and recent, and serializes validate+apply+log so commit
+	// order is serialization order.
+	mu     sync.Mutex
+	clock  int64
+	active map[lockmgr.TxnID]int64 // attempt → start timestamp (for pruning)
+	recent []occCommit             // ts-ascending validation log
+
+	fails atomic.Int64
+}
+
+func (i *occInstance) Begin(ctx context.Context, tx *Tx) context.Context {
+	ot := &occTx{
+		start:  0,
+		reads:  make(map[lockmgr.Granule]struct{}),
+		writes: make(map[int]int64),
+		wgrans: make(map[lockmgr.Granule]struct{}),
+	}
+	i.mu.Lock()
+	ot.start = i.clock
+	i.active[tx.ID] = ot.start
+	i.mu.Unlock()
+	tx.priv = ot
+	return ctx
+}
+
+// Acquire is a no-op: optimistic transactions take no locks; conflicts
+// surface at Commit.
+func (i *occInstance) Acquire(context.Context, *Tx, []lockmgr.Request) error { return nil }
+
+func (i *occInstance) Read(tx *Tx, e int) int64 {
+	ot := tx.priv.(*occTx)
+	ot.reads[i.store.GranuleOf(e)] = struct{}{}
+	v := i.store.Get(e)
+	if d, ok := ot.writes[e]; ok {
+		v += d // read-your-writes over the buffered delta
+	}
+	return v
+}
+
+func (i *occInstance) Write(tx *Tx, e int, delta int64) {
+	ot := tx.priv.(*occTx)
+	if _, ok := ot.writes[e]; !ok {
+		ot.order = append(ot.order, e)
+	}
+	ot.writes[e] += delta
+	ot.wgrans[i.store.GranuleOf(e)] = struct{}{}
+}
+
+func (i *occInstance) Commit(_ context.Context, tx *Tx, persist func([]Update) error) error {
+	ot := tx.priv.(*occTx)
+	i.mu.Lock()
+	// Backward validation: every transaction that committed after this
+	// one began must not have written anything this one read.
+	for k := len(i.recent) - 1; k >= 0 && i.recent[k].ts > ot.start; k-- {
+		for g := range i.recent[k].writes {
+			if _, overlap := ot.reads[g]; overlap {
+				i.retireLocked(tx.ID)
+				i.mu.Unlock()
+				i.fails.Add(1)
+				return ErrValidation
+			}
+		}
+	}
+	// Apply the write buffer. Deltas re-read the current committed
+	// value under the validation mutex, so write-write interleavings
+	// serialize in commit order without being validated.
+	for _, e := range ot.order {
+		before, after := i.store.Apply(e, ot.writes[e])
+		if i.record {
+			tx.Updates = append(tx.Updates, Update{Entity: e, Before: before, After: after})
+		}
+	}
+	if persist != nil {
+		if err := persist(tx.Updates); err != nil {
+			i.retireLocked(tx.ID)
+			i.mu.Unlock()
+			return err
+		}
+	}
+	if len(ot.wgrans) > 0 {
+		i.clock++
+		i.recent = append(i.recent, occCommit{ts: i.clock, writes: ot.wgrans})
+	}
+	i.retireLocked(tx.ID)
+	i.mu.Unlock()
+	return nil
+}
+
+// End releases nothing (there are no locks) but retires the attempt so
+// the validation log can be pruned. Commit already retired committed
+// and validation-failed attempts; End covers terminal failures, and is
+// idempotent for the rest.
+func (i *occInstance) End(tx *Tx) {
+	i.mu.Lock()
+	i.retireLocked(tx.ID)
+	i.mu.Unlock()
+}
+
+// retireLocked removes one attempt from the active set and drops
+// validation-log entries no still-running transaction can ever
+// consult (ts ≤ the oldest active start timestamp).
+func (i *occInstance) retireLocked(id lockmgr.TxnID) {
+	delete(i.active, id)
+	floor := i.clock
+	for _, start := range i.active {
+		if start < floor {
+			floor = start
+		}
+	}
+	cut := 0
+	for cut < len(i.recent) && i.recent[cut].ts <= floor {
+		cut++
+	}
+	if cut > 0 {
+		i.recent = append(i.recent[:0:0], i.recent[cut:]...)
+	}
+}
+
+func (i *occInstance) Stats() Stats {
+	return Stats{ValidationFails: i.fails.Load()}
+}
+
+func init() { Register(optimistic{}) }

@@ -6,7 +6,7 @@ import (
 )
 
 func TestWorkloadValidation(t *testing.T) {
-	db := open(t, baseCfg())
+	db := mustOpen(t, baseCfg())
 	bad := []Workload{
 		{Workers: 0, TxnsPerWorker: 1, TransfersPerTxn: 1},
 		{Workers: 1, TxnsPerWorker: 0, TransfersPerTxn: 1},
@@ -26,7 +26,7 @@ func TestRunClosedPreservesBalance(t *testing.T) {
 	for _, protocol := range []Protocol{Conservative, ClaimAsNeeded} {
 		cfg := baseCfg()
 		cfg.Protocol = protocol
-		db := open(t, cfg)
+		db := mustOpen(t, cfg)
 		want := db.TotalBalance()
 		res, err := db.RunClosed(context.Background(), Workload{
 			Workers:         8,
@@ -55,7 +55,7 @@ func TestRunClosedHotSpotRaisesContention(t *testing.T) {
 	// must produce more lock blocking than spreading over the database.
 	mk := func(hot int) int64 {
 		cfg := baseCfg()
-		db := open(t, cfg)
+		db := mustOpen(t, cfg)
 		_, err := db.RunClosed(context.Background(), Workload{
 			Workers:         8,
 			TxnsPerWorker:   100,
@@ -84,7 +84,7 @@ func TestFinerGranularityReducesBlocking(t *testing.T) {
 	blocks := func(granules int) int64 {
 		cfg := baseCfg()
 		cfg.Granules = granules
-		db := open(t, cfg)
+		db := mustOpen(t, cfg)
 		_, err := db.RunClosed(context.Background(), Workload{
 			Workers:         8,
 			TxnsPerWorker:   100,
@@ -106,7 +106,7 @@ func TestFinerGranularityReducesBlocking(t *testing.T) {
 
 func TestZipfSkewRaisesContention(t *testing.T) {
 	blocks := func(skew float64) int64 {
-		db := open(t, baseCfg())
+		db := mustOpen(t, baseCfg())
 		_, err := db.RunClosed(context.Background(), Workload{
 			Workers:         8,
 			TxnsPerWorker:   100,
@@ -128,7 +128,7 @@ func TestZipfSkewRaisesContention(t *testing.T) {
 }
 
 func TestZipfSkewValidation(t *testing.T) {
-	db := open(t, baseCfg())
+	db := mustOpen(t, baseCfg())
 	_, err := db.RunClosed(context.Background(), Workload{
 		Workers: 1, TxnsPerWorker: 1, TransfersPerTxn: 1, ZipfSkew: -1,
 	})
@@ -141,7 +141,7 @@ func TestRunClosedDeterministicStream(t *testing.T) {
 	// The generated operation stream (not the interleaving) must be
 	// seed-deterministic: same seed, single worker -> same final state.
 	final := func() int64 {
-		db := open(t, baseCfg())
+		db := mustOpen(t, baseCfg())
 		_, err := db.RunClosed(context.Background(), Workload{
 			Workers:         1,
 			TxnsPerWorker:   50,
@@ -161,7 +161,7 @@ func TestRunClosedDeterministicStream(t *testing.T) {
 
 func BenchmarkEngineConservative(b *testing.B) {
 	cfg := Config{Nodes: 4, DBSize: 10000, Granules: 100, Protocol: Conservative, InitialValue: 100}
-	db, err := Open(cfg)
+	db, err := OpenConfig(cfg)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -180,7 +180,7 @@ func BenchmarkEngineConservative(b *testing.B) {
 
 func BenchmarkEngineClaimAsNeeded(b *testing.B) {
 	cfg := Config{Nodes: 4, DBSize: 10000, Granules: 100, Protocol: ClaimAsNeeded, InitialValue: 100}
-	db, err := Open(cfg)
+	db, err := OpenConfig(cfg)
 	if err != nil {
 		b.Fatal(err)
 	}

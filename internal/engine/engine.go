@@ -1,64 +1,75 @@
 // Package engine is an executable shared-nothing mini-DBMS: an
 // in-memory database horizontally partitioned over N nodes, with real
-// goroutine transactions synchronizing through the lock managers of
-// internal/lockmgr. It exists to cross-validate the simulation model's
-// conclusions — that granularity trades concurrency against lock
-// management cost — on an actual concurrent system, and to demonstrate
-// the locking regimes the paper discusses: conservative preclaiming
-// (deadlock-free), claim-as-needed (deadlock-detected, footnote 1), and
-// hierarchical multigranularity locking with escalation (the "block and
-// file level" recommendation of the conclusions). Optional write-ahead
-// logging (internal/wal) makes commits durable and crash-recoverable.
+// goroutine transactions synchronizing through a pluggable
+// concurrency-control protocol (internal/engine/cc). It exists to
+// cross-validate the simulation model's conclusions — that granularity
+// trades concurrency against lock management cost — on an actual
+// concurrent system, and to compare the locking regimes the paper
+// discusses against the alternatives the literature proposes for
+// exactly the contention ranges where 2PL hurts.
+//
+// Six protocols ship in the registry: conservative preclaiming
+// (deadlock-free, the paper's protocol), claim-as-needed (deadlock-
+// detected, footnote 1), hierarchical multigranularity locking with
+// escalation (the "block and file level" recommendation of the
+// conclusions), the wound-wait and wait-die age-priority restart
+// policies, and optimistic validate-at-commit. Open takes a protocol
+// *name* resolved through cc.Lookup; cc.Names lists the registry.
+// Optional write-ahead logging (internal/wal) makes commits durable
+// and crash-recoverable under every protocol.
 package engine
 
 import (
 	"context"
-	"errors"
 	"fmt"
 	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"granulock/internal/engine/cc"
 	"granulock/internal/lockmgr"
 	"granulock/internal/obs"
 	"granulock/internal/wal"
 )
 
-// Protocol selects the locking protocol transactions use.
-type Protocol int
+// Protocol names a concurrency-control protocol in the cc registry.
+// It is a plain string: the historical int enum was replaced by
+// registry names so protocols can be added without touching this
+// package (see docs/ENGINE.md for the migration note).
+type Protocol = string
 
+// The built-in protocol names. The authoritative list — including any
+// protocol registered outside this package — is cc.Names().
 const (
 	// Conservative preclaims every granule before touching data; a
 	// transaction holds nothing while it waits, so deadlock is
 	// impossible (the paper's protocol).
-	Conservative Protocol = iota
+	Conservative Protocol = "conservative"
 	// ClaimAsNeeded acquires each granule on first touch; deadlocks are
 	// detected and the victim retries (the strategy of footnote 1).
-	ClaimAsNeeded
+	ClaimAsNeeded Protocol = "claim-as-needed"
 	// Hierarchical uses the multigranularity lock manager with a
 	// database→granule hierarchy, intention modes and best-effort lock
-	// escalation — the "block level and file level" regime the paper's
-	// conclusions recommend. Acquisition is claim-as-needed with
-	// deadlock detection and victim retry.
-	Hierarchical
+	// escalation.
+	Hierarchical Protocol = "hierarchical"
+	// WoundWait resolves conflicts by age: older requesters wound
+	// (restart) younger holders, younger requesters wait.
+	WoundWait Protocol = "wound-wait"
+	// WaitDie resolves conflicts by age: older requesters wait, younger
+	// requesters die (restart) rather than wait behind an older holder.
+	WaitDie Protocol = "wait-die"
+	// Optimistic takes no locks: transactions buffer writes privately
+	// and validate their read sets at commit (backward validation).
+	Optimistic Protocol = "optimistic"
 )
 
-// String returns the protocol name.
-func (p Protocol) String() string {
-	switch p {
-	case Conservative:
-		return "conservative"
-	case ClaimAsNeeded:
-		return "claim-as-needed"
-	case Hierarchical:
-		return "hierarchical"
-	default:
-		return fmt.Sprintf("Protocol(%d)", int(p))
-	}
-}
-
 // Config describes a database instance.
+//
+// Deprecated: Config remains as the carrier of the legacy OpenConfig
+// path and of Recover's rebuild parameters. New code should call
+// Open(dbsize, ...Option), which cannot express an invalid
+// combination field-by-field.
 type Config struct {
 	// Nodes is the number of shared-nothing nodes (processors); entities
 	// are round-robin partitioned across them.
@@ -69,26 +80,65 @@ type Config struct {
 	// granule e·Granules/DBSize (contiguous ranges, the best-placement
 	// layout).
 	Granules int
-	// Protocol selects conservative or claim-as-needed locking.
+	// Protocol is the concurrency-control protocol name, resolved
+	// through the cc registry ("" selects "conservative", matching the
+	// historical zero value of the int enum this field replaced).
 	Protocol Protocol
 	// InitialValue seeds every entity, so TotalBalance starts at
 	// DBSize·InitialValue.
 	InitialValue int64
 	// Log, when non-nil, makes transactions durable: each commit
 	// appends its update records and a commit record to the write-ahead
-	// log (and syncs) before releasing its locks. Recover rebuilds a
-	// database from such a log.
+	// log (and syncs) before releasing its access rights. Recover
+	// rebuilds a database from such a log.
 	Log *wal.Writer
-	// EscalationThreshold enables lock escalation for the Hierarchical
+	// EscalationThreshold enables lock escalation for the hierarchical
 	// protocol: a transaction holding this many granules escalates to a
 	// database-level lock (0 disables; ignored by other protocols).
 	EscalationThreshold int
 	// Metrics, when non-nil, mirrors the database's activity into the
-	// registry: commit and deadlock-retry counters
+	// registry: commit and restart counters
 	// (granulock_engine_commits_total,
-	// granulock_engine_deadlock_retries_total) plus the flat lock
-	// table's granulock_lockmgr_ families. One database per registry.
+	// granulock_engine_deadlock_retries_total,
+	// granulock_engine_restarts_total by cause) plus the protocol's
+	// lock-table families. One database per registry.
 	Metrics *obs.Registry
+}
+
+// Option configures Open.
+type Option func(*Config)
+
+// WithNodes sets the number of shared-nothing nodes (default 1).
+func WithNodes(n int) Option { return func(c *Config) { c.Nodes = n } }
+
+// WithGranules sets the number of lock granules (default: one per
+// entity, the finest granularity).
+func WithGranules(n int) Option { return func(c *Config) { c.Granules = n } }
+
+// WithProtocol selects the concurrency-control protocol by registry
+// name (default "conservative"; cc.Names lists the registry).
+func WithProtocol(name Protocol) Option { return func(c *Config) { c.Protocol = name } }
+
+// WithInitialValue seeds every entity (default 0).
+func WithInitialValue(v int64) Option { return func(c *Config) { c.InitialValue = v } }
+
+// WithLog attaches a write-ahead log: commits become durable and
+// Recover can rebuild the database after a crash.
+func WithLog(w *wal.Writer) Option { return func(c *Config) { c.Log = w } }
+
+// WithEscalationThreshold enables hierarchical lock escalation at the
+// given held-granule count (hierarchical protocol only).
+func WithEscalationThreshold(n int) Option { return func(c *Config) { c.EscalationThreshold = n } }
+
+// WithMetrics mirrors the database's activity into the registry.
+func WithMetrics(reg *obs.Registry) Option { return func(c *Config) { c.Metrics = reg } }
+
+// normalize fills Config defaults.
+func (c Config) normalize() Config {
+	if c.Protocol == "" {
+		c.Protocol = Conservative
+	}
+	return c
 }
 
 // validate checks a Config.
@@ -100,10 +150,11 @@ func (c Config) validate() error {
 		return fmt.Errorf("engine: dbsize %d < 1", c.DBSize)
 	case c.Granules < 1 || c.Granules > c.DBSize:
 		return fmt.Errorf("engine: granules %d outside [1, dbsize=%d]", c.Granules, c.DBSize)
-	case c.Protocol != Conservative && c.Protocol != ClaimAsNeeded && c.Protocol != Hierarchical:
-		return fmt.Errorf("engine: unknown protocol %d", int(c.Protocol))
 	case c.EscalationThreshold < 0:
 		return fmt.Errorf("engine: escalation threshold %d < 0", c.EscalationThreshold)
+	}
+	if _, ok := cc.Lookup(c.Protocol); !ok {
+		return fmt.Errorf("engine: unknown protocol %q (registered: %v)", c.Protocol, cc.Names())
 	}
 	return nil
 }
@@ -116,16 +167,16 @@ type Op struct {
 }
 
 // Txn is a transaction: a list of operations executed atomically under
-// two-phase locking. The returned sum aggregates the values of all
-// entities read (after applying the transaction's own earlier deltas, as
-// the ops execute in order).
+// the configured protocol. The returned sum aggregates the values of
+// all entities read (after applying the transaction's own earlier
+// deltas, as the ops execute in order).
 type Txn struct {
 	Ops []Op
 	// Work is synthetic computation (iterations of a mixing loop)
-	// performed while the locks are held — the executable analog of the
-	// paper's per-entity processing cost (cputime/iotime). Without it,
-	// real transactions hold locks for nanoseconds and contention never
-	// materializes.
+	// performed while the access rights are held — the executable
+	// analog of the paper's per-entity processing cost
+	// (cputime/iotime). Without it, real transactions hold locks for
+	// nanoseconds and contention never materializes.
 	Work int
 }
 
@@ -151,18 +202,30 @@ func spin(n int) int64 {
 // Stats counts engine activity.
 type Stats struct {
 	Committed int64
-	// DeadlockRetries counts claim-as-needed deadlock victims that were
-	// retried (always 0 under Conservative).
+	// Restarts counts attempts the protocol aborted and the engine
+	// retried, whatever the cause: deadlock victims, wound-wait wounds,
+	// wait-die deaths, and optimistic validation failures (always 0
+	// under Conservative).
+	Restarts int64
+	// DeadlockRetries is the historical name of Restarts, kept for
+	// compatibility; the two are always equal.
 	DeadlockRetries int64
-	// Lock counts mirror the active lock table's grants/blocks/deadlocks.
+	// Lock counts mirror the protocol's lock-table grants/blocks/
+	// deadlocks (zero for lockless protocols).
 	Lock lockmgr.Stats
-	// Escalations counts hierarchical lock escalations (Hierarchical
+	// Escalations counts hierarchical lock escalations (hierarchical
 	// protocol only).
 	Escalations int64
+	// Wounds, Dies and ValidationFails break the protocol-initiated
+	// restarts down by cause (wound-wait, wait-die, and optimistic
+	// respectively).
+	Wounds          int64
+	Dies            int64
+	ValidationFails int64
 }
 
 // node is one shared-nothing partition. Its mutex is a short storage
-// latch; isolation comes from the lock table, not from this latch.
+// latch; isolation comes from the protocol, not from this latch.
 type node struct {
 	mu     sync.Mutex
 	values []int64
@@ -172,8 +235,7 @@ type node struct {
 type DB struct {
 	cfg   Config
 	nodes []*node
-	locks *lockmgr.Table
-	hier  *lockmgr.HierTable // non-nil iff Protocol == Hierarchical
+	inst  cc.Instance
 
 	nextTxn   atomic.Int64
 	committed atomic.Int64
@@ -185,30 +247,57 @@ type DB struct {
 	// Registry twins of the counters above, nil without Config.Metrics.
 	mCommits *obs.Counter
 	mRetries *obs.Counter
+	// mRestarts maps a restart cause (cc.RestartKind) to its counter;
+	// series resolve once at Open so the hot loop never registers.
+	mRestarts map[string]*obs.Counter
 }
 
-// Open creates a database per the configuration.
-func Open(cfg Config) (*DB, error) {
+// Open creates a database of dbsize entities, configured by options —
+// mirroring the granulock.Run(p, With…) facade:
+//
+//	db, err := engine.Open(1000,
+//		engine.WithProtocol("wound-wait"),
+//		engine.WithGranules(100),
+//		engine.WithNodes(4),
+//		engine.WithInitialValue(100))
+//
+// Defaults: one node, one granule per entity (finest), the
+// conservative protocol, zero initial value, no log, no metrics.
+func Open(dbsize int, opts ...Option) (*DB, error) {
+	cfg := Config{Nodes: 1, DBSize: dbsize, Granules: dbsize}
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	return open(cfg)
+}
+
+// OpenConfig creates a database from a legacy Config struct.
+//
+// Deprecated: use Open(dbsize, ...Option). OpenConfig remains so code
+// written against the struct API keeps compiling: Config.Protocol is
+// now a registry *name* ("conservative", "claim-as-needed", ...)
+// rather than an int enum — the named constants migrate transparently,
+// hand-written integers do not.
+func OpenConfig(cfg Config) (*DB, error) { return open(cfg) }
+
+// open builds the database: partitions, then the protocol instance.
+func open(cfg Config) (*DB, error) {
+	cfg = cfg.normalize()
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
-	var topts []lockmgr.Option
-	if cfg.Metrics != nil {
-		topts = append(topts, lockmgr.WithMetrics(cfg.Metrics))
-	}
-	db := &DB{cfg: cfg, locks: lockmgr.NewTable(topts...)}
+	db := &DB{cfg: cfg}
 	if cfg.Metrics != nil {
 		db.mCommits = cfg.Metrics.NewCounter("granulock_engine_commits_total",
 			"Transactions committed by the executable engine.")
 		db.mRetries = cfg.Metrics.NewCounter("granulock_engine_deadlock_retries_total",
-			"Deadlock victims retried (claim-as-needed and hierarchical).")
-	}
-	if cfg.Protocol == Hierarchical {
-		var hopts []lockmgr.HierOption
-		if cfg.EscalationThreshold > 0 {
-			hopts = append(hopts, lockmgr.WithEscalation(cfg.EscalationThreshold))
+			"Attempts aborted by the protocol and retried (all causes; historical name).")
+		restarts := cfg.Metrics.NewCounterVec("granulock_engine_restarts_total",
+			"Attempts aborted by the protocol and retried, by cause.", "cause")
+		db.mRestarts = make(map[string]*obs.Counter, 4)
+		for _, cause := range []string{"deadlock", "wounded", "die", "validation"} {
+			db.mRestarts[cause] = restarts.With(cause)
 		}
-		db.hier = lockmgr.NewHierTable(hopts...)
 	}
 	db.nodes = make([]*node, cfg.Nodes)
 	for i := range db.nodes {
@@ -220,11 +309,25 @@ func Open(cfg Config) (*DB, error) {
 		}
 		db.nodes[i] = &node{values: values}
 	}
+	proto, _ := cc.Lookup(cfg.Protocol) // validated above
+	inst, err := proto.New(cc.Config{
+		Store:               store{db},
+		EscalationThreshold: cfg.EscalationThreshold,
+		Metrics:             cfg.Metrics,
+		RecordUpdates:       cfg.Log != nil,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("engine: protocol %s: %w", cfg.Protocol, err)
+	}
+	db.inst = inst
 	return db, nil
 }
 
 // Config returns the database's configuration.
 func (db *DB) Config() Config { return db.cfg }
+
+// Instance exposes the database's protocol instance (tests and tools).
+func (db *DB) Instance() cc.Instance { return db.inst }
 
 // nodeOf returns the owning node of an entity (round-robin).
 func (db *DB) nodeOf(entity int) int { return entity % db.cfg.Nodes }
@@ -236,6 +339,31 @@ func (db *DB) localIndex(entity int) int { return entity / db.cfg.Nodes }
 func (db *DB) GranuleOf(entity int) lockmgr.Granule {
 	return lockmgr.Granule(entity * db.cfg.Granules / db.cfg.DBSize)
 }
+
+// store adapts the database to cc.Store: latched single-entity access.
+type store struct{ db *DB }
+
+func (s store) Get(e int) int64 {
+	n := s.db.nodes[s.db.nodeOf(e)]
+	idx := s.db.localIndex(e)
+	n.mu.Lock()
+	v := n.values[idx]
+	n.mu.Unlock()
+	return v
+}
+
+func (s store) Apply(e int, delta int64) (before, after int64) {
+	n := s.db.nodes[s.db.nodeOf(e)]
+	idx := s.db.localIndex(e)
+	n.mu.Lock()
+	before = n.values[idx]
+	after = before + delta
+	n.values[idx] = after
+	n.mu.Unlock()
+	return before, after
+}
+
+func (s store) GranuleOf(e int) lockmgr.Granule { return s.db.GranuleOf(e) }
 
 // lockSet computes the deduplicated granule requests of a transaction:
 // exclusive if any op writes within the granule, shared otherwise.
@@ -266,12 +394,14 @@ func (db *DB) lockSet(t Txn) ([]lockmgr.Request, error) {
 }
 
 // Execute runs one transaction to commit under the configured protocol,
-// returning the sum of all read entity values. Claim-as-needed and
-// hierarchical transactions chosen as deadlock victims release
-// everything, back off briefly (randomized exponential — immediate
-// restart livelocks: the victim re-grabs its first granule before the
-// survivor is scheduled and the same cycle re-forms forever), and retry
-// until the context is cancelled.
+// returning the sum of all read entity values. Attempts the protocol
+// aborts — deadlock victims, wound-wait wounds, wait-die deaths,
+// optimistic validation failures — release everything, back off
+// briefly (randomized exponential with a hard cap — immediate restart
+// livelocks: the victim re-grabs its first granule before the survivor
+// is scheduled and the same cycle re-forms forever), and retry until
+// the context is cancelled; cancellation interrupts both lock waits
+// and backoff sleeps promptly.
 func (db *DB) Execute(ctx context.Context, t Txn) (int64, error) {
 	if len(t.Ops) == 0 {
 		return 0, nil
@@ -280,38 +410,50 @@ func (db *DB) Execute(ctx context.Context, t Txn) (int64, error) {
 	if err != nil {
 		return 0, err
 	}
+	var priority int64
 	attempt := 0
 	for {
+		if err := ctx.Err(); err != nil {
+			return 0, err
+		}
 		txnID := lockmgr.TxnID(db.nextTxn.Add(1))
-		err := db.acquire(ctx, txnID, reqs)
+		if priority == 0 {
+			// The first attempt's identity is the transaction's age for
+			// the rest of its life (wound-wait/wait-die anti-starvation).
+			priority = int64(txnID)
+		}
+		tx := &cc.Tx{ID: txnID, Priority: priority, Attempt: attempt}
+		actx := db.inst.Begin(ctx, tx)
+		err := db.inst.Acquire(actx, tx, reqs)
+		var sum int64
 		if err == nil {
-			sum, records := db.apply(int64(txnID), t)
-			if db.cfg.Log != nil {
-				// The commit record must be durable before the locks
-				// are released: log order then matches serialization
-				// order on every granule.
-				records = append(records, wal.Record{Kind: wal.KindCommit, Txn: int64(txnID)})
-				if err := db.cfg.Log.AppendGroup(records); err != nil {
-					db.release(txnID)
-					return 0, err
-				}
-				if err := db.cfg.Log.Sync(); err != nil {
-					db.release(txnID)
-					return 0, err
+			if t.Work > 0 {
+				db.sink.Add(spin(t.Work))
+			}
+			for _, op := range t.Ops {
+				if op.Delta != 0 {
+					db.inst.Write(tx, op.Entity, op.Delta)
+				} else {
+					sum += db.inst.Read(tx, op.Entity)
 				}
 			}
-			db.release(txnID)
+			err = db.inst.Commit(ctx, tx, db.persistFn(txnID))
+		}
+		db.inst.End(tx)
+		if err == nil {
 			db.committed.Add(1)
 			if db.mCommits != nil {
 				db.mCommits.Inc()
 			}
 			return sum, nil
 		}
-		db.release(txnID)
-		if errors.Is(err, lockmgr.ErrDeadlock) {
+		if cc.Restartable(err) {
 			db.retries.Add(1)
 			if db.mRetries != nil {
 				db.mRetries.Inc()
+				if c := db.mRestarts[cc.RestartKind(err)]; c != nil {
+					c.Inc()
+				}
 			}
 			attempt++
 			if err := sleepBackoff(ctx, attempt, uint64(txnID)); err != nil {
@@ -323,13 +465,50 @@ func (db *DB) Execute(ctx context.Context, t Txn) (int64, error) {
 	}
 }
 
+// persistFn builds the durability hook the protocol invokes at its
+// publish point: begin + update images + commit, appended as one group
+// and synced before any access right is released, so log order matches
+// serialization order on every granule. Nil without a log.
+func (db *DB) persistFn(txnID lockmgr.TxnID) func([]cc.Update) error {
+	if db.cfg.Log == nil {
+		return nil
+	}
+	id := int64(txnID)
+	return func(us []cc.Update) error {
+		records := make([]wal.Record, 0, len(us)+2)
+		records = append(records, wal.Record{Kind: wal.KindBegin, Txn: id})
+		for _, u := range us {
+			records = append(records, wal.Record{
+				Kind:   wal.KindUpdate,
+				Txn:    id,
+				Entity: int64(u.Entity),
+				Before: u.Before,
+				After:  u.After,
+			})
+		}
+		records = append(records, wal.Record{Kind: wal.KindCommit, Txn: id})
+		if err := db.cfg.Log.AppendGroup(records); err != nil {
+			return err
+		}
+		return db.cfg.Log.Sync()
+	}
+}
+
+// backoffCapAttempt bounds the exponential backoff window: attempts
+// past it reuse the ~12.8ms ceiling instead of doubling forever.
+const backoffCapAttempt = 7
+
 // sleepBackoff waits a randomized, exponentially growing interval
-// before a deadlock retry: 0–100µs on the first attempt, doubling to a
-// ~10ms ceiling. The jitter derives from the transaction id, so
-// competing victims desynchronize.
+// before a restart: 0–100µs after the first abort, doubling to a
+// hard ~12.8ms ceiling (backoffCapAttempt). The jitter derives from
+// the attempt's transaction id, so competing victims desynchronize.
+// Context cancellation interrupts the sleep immediately.
 func sleepBackoff(ctx context.Context, attempt int, seed uint64) error {
-	if attempt > 7 {
-		attempt = 7
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	if attempt > backoffCapAttempt {
+		attempt = backoffCapAttempt
 	}
 	window := 100 * time.Microsecond << attempt
 	// Cheap SplitMix-style jitter; no global rand contention.
@@ -345,100 +524,6 @@ func sleepBackoff(ctx context.Context, attempt int, seed uint64) error {
 	case <-ctx.Done():
 		return ctx.Err()
 	}
-}
-
-// acquire takes the whole lock set under the configured protocol.
-func (db *DB) acquire(ctx context.Context, txnID lockmgr.TxnID, reqs []lockmgr.Request) error {
-	switch db.cfg.Protocol {
-	case Conservative:
-		return db.locks.AcquireAll(ctx, txnID, reqs)
-	case Hierarchical:
-		for _, r := range reqs {
-			mode := lockmgr.GModeS
-			if r.Mode == lockmgr.ModeExclusive {
-				mode = lockmgr.GModeX
-			}
-			path := []lockmgr.NodeID{"db", granuleNode(r.Granule)}
-			if err := db.hier.Lock(ctx, txnID, path, mode); err != nil {
-				return err
-			}
-		}
-		return nil
-	default: // ClaimAsNeeded
-		for _, r := range reqs {
-			if err := db.locks.Acquire(ctx, txnID, r.Granule, r.Mode); err != nil {
-				return err
-			}
-		}
-		return nil
-	}
-}
-
-// granuleNode names a granule in the two-level hierarchy.
-func granuleNode(g lockmgr.Granule) lockmgr.NodeID {
-	return lockmgr.NodeID("db/g" + itoa64(int64(g)))
-}
-
-// itoa64 formats a non-negative int64 without fmt in the lock path.
-func itoa64(v int64) string {
-	if v == 0 {
-		return "0"
-	}
-	var buf [20]byte
-	pos := len(buf)
-	for v > 0 {
-		pos--
-		buf[pos] = byte('0' + v%10)
-		v /= 10
-	}
-	return string(buf[pos:])
-}
-
-// release frees every lock txnID holds under the configured protocol.
-func (db *DB) release(txnID lockmgr.TxnID) {
-	if db.cfg.Protocol == Hierarchical {
-		db.hier.ReleaseAll(txnID)
-		return
-	}
-	db.locks.ReleaseAll(txnID)
-}
-
-// apply performs the ops; isolation is already guaranteed by the held
-// locks, the node latch only orders raw memory access. When the
-// database has a log, the update records (begin + before/after images)
-// are returned for the caller to append with the commit record.
-func (db *DB) apply(txnID int64, t Txn) (int64, []wal.Record) {
-	if t.Work > 0 {
-		db.sink.Add(spin(t.Work))
-	}
-	var records []wal.Record
-	if db.cfg.Log != nil {
-		records = make([]wal.Record, 0, len(t.Ops)+2)
-		records = append(records, wal.Record{Kind: wal.KindBegin, Txn: txnID})
-	}
-	var sum int64
-	for _, op := range t.Ops {
-		n := db.nodes[db.nodeOf(op.Entity)]
-		idx := db.localIndex(op.Entity)
-		n.mu.Lock()
-		if op.Delta != 0 {
-			before := n.values[idx]
-			n.values[idx] = before + op.Delta
-			if records != nil {
-				records = append(records, wal.Record{
-					Kind:   wal.KindUpdate,
-					Txn:    txnID,
-					Entity: int64(op.Entity),
-					Before: before,
-					After:  before + op.Delta,
-				})
-			}
-		} else {
-			sum += n.values[idx]
-		}
-		n.mu.Unlock()
-	}
-	return sum, records
 }
 
 // set overwrites one entity's value directly; recovery's redo hook.
@@ -457,7 +542,7 @@ func (db *DB) set(entity int, value int64) {
 // recovery statistics.
 func Recover(cfg Config, log *wal.Reader) (*DB, wal.RecoverStats, error) {
 	cfg.Log = nil // the rebuilt instance starts without a log attached
-	db, err := Open(cfg)
+	db, err := open(cfg)
 	if err != nil {
 		return nil, wal.RecoverStats{}, err
 	}
@@ -501,7 +586,8 @@ func (db *DB) TotalBalance() int64 {
 }
 
 // FullReadTxn returns a transaction reading every entity: with all
-// granules locked shared it observes a serializable snapshot.
+// granules covered shared (or the whole read set validated, under the
+// optimistic protocol) it observes a serializable snapshot.
 func (db *DB) FullReadTxn() Txn {
 	ops := make([]Op, db.cfg.DBSize)
 	for e := range ops {
@@ -521,15 +607,17 @@ func Transfer(from, to int, amount int64) Txn {
 
 // Stats returns an activity snapshot.
 func (db *DB) Stats() Stats {
+	retries := db.retries.Load()
 	s := Stats{
 		Committed:       db.committed.Load(),
-		DeadlockRetries: db.retries.Load(),
+		Restarts:        retries,
+		DeadlockRetries: retries,
 	}
-	if db.hier != nil {
-		s.Lock = db.hier.Stats()
-		s.Escalations = db.hier.Escalations()
-	} else {
-		s.Lock = db.locks.Stats()
-	}
+	cs := db.inst.Stats()
+	s.Lock = cs.Lock
+	s.Escalations = cs.Escalations
+	s.Wounds = cs.Wounds
+	s.Dies = cs.Dies
+	s.ValidationFails = cs.ValidationFails
 	return s
 }

@@ -9,11 +9,11 @@ import (
 	"granulock/internal/lockmgr"
 )
 
-func open(t *testing.T, cfg Config) *DB {
+func mustOpen(t *testing.T, cfg Config) *DB {
 	t.Helper()
-	db, err := Open(cfg)
+	db, err := OpenConfig(cfg)
 	if err != nil {
-		t.Fatalf("Open: %v", err)
+		t.Fatalf("OpenConfig: %v", err)
 	}
 	return db
 }
@@ -28,17 +28,43 @@ func TestOpenValidation(t *testing.T) {
 		{Nodes: 1, DBSize: 0, Granules: 1},
 		{Nodes: 1, DBSize: 10, Granules: 0},
 		{Nodes: 1, DBSize: 10, Granules: 11},
-		{Nodes: 1, DBSize: 10, Granules: 5, Protocol: Protocol(9)},
+		{Nodes: 1, DBSize: 10, Granules: 5, Protocol: "no-such-protocol"},
 	}
 	for _, cfg := range bad {
-		if _, err := Open(cfg); err == nil {
+		if _, err := OpenConfig(cfg); err == nil {
 			t.Errorf("invalid config %+v accepted", cfg)
 		}
 	}
 }
 
+func TestOpenOptions(t *testing.T) {
+	// The functional-options constructor with defaults: one node, finest
+	// granularity, conservative protocol.
+	db, err := Open(10)
+	if err != nil {
+		t.Fatalf("Open(10): %v", err)
+	}
+	if cfg := db.Config(); cfg.Nodes != 1 || cfg.Granules != 10 || cfg.Protocol != Conservative {
+		t.Fatalf("defaults %+v", cfg)
+	}
+	db, err = Open(100,
+		WithNodes(4), WithGranules(10), WithProtocol(WoundWait),
+		WithInitialValue(7), WithEscalationThreshold(3))
+	if err != nil {
+		t.Fatalf("Open with options: %v", err)
+	}
+	cfg := db.Config()
+	if cfg.Nodes != 4 || cfg.Granules != 10 || cfg.Protocol != WoundWait ||
+		cfg.InitialValue != 7 || cfg.EscalationThreshold != 3 {
+		t.Fatalf("options not applied: %+v", cfg)
+	}
+	if _, err := Open(10, WithProtocol("bogus")); err == nil {
+		t.Fatal("unknown protocol accepted")
+	}
+}
+
 func TestInitialBalance(t *testing.T) {
-	db := open(t, baseCfg())
+	db := mustOpen(t, baseCfg())
 	if got := db.TotalBalance(); got != 1000*100 {
 		t.Fatalf("initial balance %d, want 100000", got)
 	}
@@ -55,7 +81,7 @@ func TestInitialBalance(t *testing.T) {
 }
 
 func TestPartitioningRoundRobin(t *testing.T) {
-	db := open(t, Config{Nodes: 3, DBSize: 10, Granules: 5, InitialValue: 1})
+	db := mustOpen(t, Config{Nodes: 3, DBSize: 10, Granules: 5, InitialValue: 1})
 	// Entities 0..9 over 3 nodes: node 0 owns {0,3,6,9}, node 1 {1,4,7},
 	// node 2 {2,5,8}.
 	if len(db.nodes[0].values) != 4 || len(db.nodes[1].values) != 3 || len(db.nodes[2].values) != 3 {
@@ -67,7 +93,7 @@ func TestPartitioningRoundRobin(t *testing.T) {
 }
 
 func TestGranuleOfContiguous(t *testing.T) {
-	db := open(t, Config{Nodes: 2, DBSize: 100, Granules: 10, InitialValue: 0})
+	db := mustOpen(t, Config{Nodes: 2, DBSize: 100, Granules: 10, InitialValue: 0})
 	// Entities 0..9 in granule 0, 10..19 in granule 1, ...
 	for e := 0; e < 100; e++ {
 		want := lockmgr.Granule(e / 10)
@@ -78,7 +104,7 @@ func TestGranuleOfContiguous(t *testing.T) {
 }
 
 func TestTransferMovesMoney(t *testing.T) {
-	db := open(t, baseCfg())
+	db := mustOpen(t, baseCfg())
 	if _, err := db.Execute(context.Background(), Transfer(3, 7, 25)); err != nil {
 		t.Fatal(err)
 	}
@@ -93,7 +119,7 @@ func TestTransferMovesMoney(t *testing.T) {
 }
 
 func TestReadTxnSums(t *testing.T) {
-	db := open(t, baseCfg())
+	db := mustOpen(t, baseCfg())
 	sum, err := db.Execute(context.Background(), Txn{Ops: []Op{{Entity: 1}, {Entity: 2}, {Entity: 3}}})
 	if err != nil {
 		t.Fatal(err)
@@ -104,7 +130,7 @@ func TestReadTxnSums(t *testing.T) {
 }
 
 func TestEmptyTxn(t *testing.T) {
-	db := open(t, baseCfg())
+	db := mustOpen(t, baseCfg())
 	sum, err := db.Execute(context.Background(), Txn{})
 	if err != nil || sum != 0 {
 		t.Fatalf("empty txn: %d, %v", sum, err)
@@ -112,14 +138,14 @@ func TestEmptyTxn(t *testing.T) {
 }
 
 func TestExecuteRejectsBadEntity(t *testing.T) {
-	db := open(t, baseCfg())
+	db := mustOpen(t, baseCfg())
 	if _, err := db.Execute(context.Background(), Transfer(0, 5000, 1)); err == nil {
 		t.Fatal("out-of-range entity accepted")
 	}
 }
 
 func TestLockSetModes(t *testing.T) {
-	db := open(t, Config{Nodes: 2, DBSize: 100, Granules: 10, InitialValue: 0})
+	db := mustOpen(t, Config{Nodes: 2, DBSize: 100, Granules: 10, InitialValue: 0})
 	// Read entity 5 (granule 0), write entity 7 (granule 0): X wins.
 	// Read entity 15 (granule 1): S.
 	reqs, err := db.lockSet(Txn{Ops: []Op{{Entity: 5}, {Entity: 7, Delta: 1}, {Entity: 15}}})
@@ -145,7 +171,7 @@ func conservationStress(t *testing.T, protocol Protocol, granules int) {
 	cfg := baseCfg()
 	cfg.Protocol = protocol
 	cfg.Granules = granules
-	db := open(t, cfg)
+	db := mustOpen(t, cfg)
 	want := db.TotalBalance()
 
 	const workers = 8
@@ -187,7 +213,7 @@ func TestHierarchicalEscalation(t *testing.T) {
 		Nodes: 2, DBSize: 1000, Granules: 1000,
 		Protocol: Hierarchical, InitialValue: 100, EscalationThreshold: 5,
 	}
-	db := open(t, cfg)
+	db := mustOpen(t, cfg)
 	// One transaction touching many granules triggers escalation to a
 	// database-level lock.
 	ops := make([]Op, 0, 20)
@@ -211,7 +237,7 @@ func TestHierarchicalMixedReadWriteTerminates(t *testing.T) {
 	// work must terminate (victims back off instead of instantly
 	// re-grabbing their first granule).
 	cfg := Config{Nodes: 4, DBSize: 1000, Granules: 10, Protocol: Hierarchical, InitialValue: 100, EscalationThreshold: 16}
-	db := open(t, cfg)
+	db := mustOpen(t, cfg)
 	done := make(chan error, 1)
 	go func() {
 		_, err := db.RunClosed(context.Background(), Workload{
@@ -233,16 +259,10 @@ func TestHierarchicalMixedReadWriteTerminates(t *testing.T) {
 	}
 }
 
-func TestHierarchicalProtocolString(t *testing.T) {
-	if Hierarchical.String() != "hierarchical" {
-		t.Fatal("protocol name")
-	}
-}
-
 func TestEscalationThresholdValidation(t *testing.T) {
 	cfg := baseCfg()
 	cfg.EscalationThreshold = -1
-	if _, err := Open(cfg); err == nil {
+	if _, err := OpenConfig(cfg); err == nil {
 		t.Fatal("negative threshold accepted")
 	}
 }
@@ -259,7 +279,7 @@ func TestConservationClaimAsNeededFine(t *testing.T) { conservationStress(t, Cla
 func TestConservativeNeverDeadlocks(t *testing.T) {
 	cfg := baseCfg()
 	cfg.Granules = 10 // high collision probability
-	db := open(t, cfg)
+	db := mustOpen(t, cfg)
 	ctx := context.Background()
 	var wg sync.WaitGroup
 	for w := 0; w < 8; w++ {
@@ -291,7 +311,7 @@ func TestClaimAsNeededDetectsAndRetries(t *testing.T) {
 	// Two granules, opposite acquisition orders, heavy concurrency:
 	// deadlocks are essentially guaranteed and must be retried through.
 	cfg := Config{Nodes: 2, DBSize: 100, Granules: 2, Protocol: ClaimAsNeeded, InitialValue: 100}
-	db := open(t, cfg)
+	db := mustOpen(t, cfg)
 	ctx := context.Background()
 	var wg sync.WaitGroup
 	for w := 0; w < 8; w++ {
@@ -327,7 +347,7 @@ func TestFullReadTxnSeesConsistentSnapshot(t *testing.T) {
 	// isolated read must see exactly the invariant total.
 	cfg := baseCfg()
 	cfg.Granules = 20
-	db := open(t, cfg)
+	db := mustOpen(t, cfg)
 	want := db.TotalBalance()
 	ctx := context.Background()
 	stop := make(chan struct{})
@@ -367,11 +387,14 @@ func TestFullReadTxnSeesConsistentSnapshot(t *testing.T) {
 	}
 }
 
-func TestProtocolString(t *testing.T) {
-	if Conservative.String() != "conservative" || ClaimAsNeeded.String() != "claim-as-needed" {
-		t.Fatal("protocol names")
+func TestProtocolNames(t *testing.T) {
+	// The constants are registry names: the engine accepts each one.
+	for _, p := range []Protocol{Conservative, ClaimAsNeeded, Hierarchical, WoundWait, WaitDie, Optimistic} {
+		if _, err := Open(10, WithProtocol(p)); err != nil {
+			t.Errorf("Open with %q: %v", p, err)
+		}
 	}
-	if Protocol(9).String() == "" {
-		t.Fatal("unknown protocol name empty")
+	if Conservative != "conservative" || ClaimAsNeeded != "claim-as-needed" {
+		t.Fatal("protocol names")
 	}
 }

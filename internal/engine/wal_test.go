@@ -23,7 +23,7 @@ func TestWALRecoverMatchesLiveState(t *testing.T) {
 	for _, protocol := range []Protocol{Conservative, ClaimAsNeeded} {
 		var buf bytes.Buffer
 		cfg := walCfg(&buf, protocol)
-		db := open(t, cfg)
+		db := mustOpen(t, cfg)
 		if _, err := db.RunClosed(context.Background(), Workload{
 			Workers:         8,
 			TxnsPerWorker:   100,
@@ -59,7 +59,7 @@ func TestWALCrashRecoveryConservesBalance(t *testing.T) {
 	// balance must equal the initial total at every cut.
 	var buf bytes.Buffer
 	cfg := walCfg(&buf, Conservative)
-	db := open(t, cfg)
+	db := mustOpen(t, cfg)
 	if _, err := db.RunClosed(context.Background(), Workload{
 		Workers:         4,
 		TxnsPerWorker:   50,
@@ -87,7 +87,7 @@ func TestWALCrashRecoveryMonotonePrefix(t *testing.T) {
 	// Longer log prefixes recover at least as many commits.
 	var buf bytes.Buffer
 	cfg := walCfg(&buf, Conservative)
-	db := open(t, cfg)
+	db := mustOpen(t, cfg)
 	if _, err := db.RunClosed(context.Background(), Workload{
 		Workers:         2,
 		TxnsPerWorker:   30,
@@ -122,7 +122,7 @@ func TestWALCrashRecoveryMonotonePrefix(t *testing.T) {
 func TestWALReadOnlyTxnsLogOnlyBeginCommit(t *testing.T) {
 	var buf bytes.Buffer
 	cfg := walCfg(&buf, Conservative)
-	db := open(t, cfg)
+	db := mustOpen(t, cfg)
 	if _, err := db.Execute(context.Background(), Txn{Ops: []Op{{Entity: 1}, {Entity: 2}}}); err != nil {
 		t.Fatal(err)
 	}
@@ -138,7 +138,7 @@ func TestWALReadOnlyTxnsLogOnlyBeginCommit(t *testing.T) {
 }
 
 func TestWALDisabledWritesNothing(t *testing.T) {
-	db := open(t, baseCfg())
+	db := mustOpen(t, baseCfg())
 	if _, err := db.Execute(context.Background(), Transfer(1, 2, 5)); err != nil {
 		t.Fatal(err)
 	}

@@ -315,6 +315,9 @@ var extRegistry = []struct {
 	{"ext-responsetail", ExtResponseTail},
 	{"ext-load", ExtLoad},
 	{"ext-mixclass", ExtMixClass},
+	{"ext-proto-contention", ExtProtoContention},
+	{"ext-proto-granularity", ExtProtoGranularity},
+	{"ext-proto-mpl", ExtProtoMPL},
 }
 
 // ExtIDs returns the extension experiment ids.

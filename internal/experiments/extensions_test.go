@@ -7,7 +7,7 @@ import (
 
 func TestExtIDs(t *testing.T) {
 	ids := ExtIDs()
-	if len(ids) != 8 {
+	if len(ids) != 11 {
 		t.Fatalf("%d extension ids", len(ids))
 	}
 	for _, id := range ids {

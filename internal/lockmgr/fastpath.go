@@ -123,6 +123,18 @@ func fpModeOf(w uint64) Mode {
 //granulint:hotpath
 func fpPackable(txn TxnID) bool { return txn > 0 && txn <= fpTxnMask }
 
+// fpPeek reads fs's word without moving it: when the word is FAST it
+// returns the holder and mode with ok=true; any other state returns
+// ok=false. The read-only probe exists so advisory snapshots
+// (ConflictingHolders) can observe a fast holder without demoting it.
+func fpPeek(fs *fastState) (holder TxnID, mode Mode, ok bool) {
+	w := fs.word.Load()
+	if !fpIsFast(w) {
+		return 0, 0, false
+	}
+	return fpTxnOf(w), fpModeOf(w), true
+}
+
 // fastState is one granule's fast-path record. The granule field is
 // immutable after publication; all coordination goes through word.
 type fastState struct {

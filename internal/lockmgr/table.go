@@ -682,6 +682,42 @@ func (t *Table) HoldsAtLeast(txn TxnID, g Granule, want Mode) bool {
 	return ok && have >= want
 }
 
+// ConflictingHolders returns a snapshot of the transactions that hold
+// granule g in a mode incompatible with want, excluding txn itself,
+// sorted ascending. The snapshot is advisory: holders can change the
+// moment the stripe unlocks, so callers layering restart policies over
+// it (wound-wait / wait-die, internal/engine/cc) must keep the
+// deadlock detector armed as their safety net for decisions that race
+// a concurrent grant.
+func (t *Table) ConflictingHolders(txn TxnID, g Granule, want Mode) []TxnID {
+	s := t.shardFor(g)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	// A FAST word is the granule's entire state (no map entry exists
+	// while it holds); read it non-destructively rather than demoting,
+	// so the probe does not evict the granule from the fast path.
+	if fs := s.fastLookup(g); fs != nil {
+		if holder, held, ok := fpPeek(fs); ok {
+			if holder != txn && !Compatible(want, held) {
+				return []TxnID{holder}
+			}
+			return nil
+		}
+	}
+	gs := s.granules[g]
+	if gs == nil {
+		return nil
+	}
+	var out []TxnID
+	for holder, held := range gs.holders {
+		if holder != txn && !Compatible(want, held) {
+			out = append(out, holder)
+		}
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a] < out[b] })
+	return out
+}
+
 // joinMode returns the weakest mode at least as strong as both of its
 // arguments — the join of the flat S/X mode lattice. For two modes the
 // join coincides with max, but the merge rule is spelled as a join so

@@ -6,7 +6,7 @@ GO ?= go
 # (the build environment is offline; CI installs the pin itself).
 STATICCHECK_VERSION ?= 2023.1.7
 
-.PHONY: build test vet race bench benchsrv benchlock benchengine locknet lint granulint staticcheck tools verify
+.PHONY: build test vet race bench benchsrv benchlock benchengine benchwal locknet lint granulint staticcheck tools verify
 
 build:
 	$(GO) build ./...
@@ -46,6 +46,14 @@ benchlock:
 # conservative fine-vs-coarse comparison carries a 0.5x floor.
 benchengine:
 	$(GO) run ./cmd/bench -suite engine -out BENCH_engine.json
+
+# benchwal regenerates BENCH_wal.json, the durability report: group
+# commit vs a per-commit-sync baseline at 1/8/64 committers over a
+# fixed-latency sync model (the 8- and 64-committer comparisons carry
+# hard 3x floors), plus snapshot-bounded vs full-history recovery on
+# real file-backed logs (2x floor). See docs/WAL.md.
+benchwal:
+	$(GO) run ./cmd/bench -suite wal -out BENCH_wal.json
 
 # locknet is the ISSUE 3 acceptance scenario: 1000 transactions through
 # the network lock service behind the fault-injecting transport (drops,
@@ -103,7 +111,13 @@ tools:
 # registered concurrency-control protocol end to end and diffs against
 # the checked-in BENCH_engine.json (the conservative fine-vs-coarse
 # comparison carries a hard 0.5x floor), and the engine balance-
-# invariant run exercises one protocol through the locksim CLI.
+# invariant run exercises one protocol through the locksim CLI. The
+# wal suite smoke-runs group commit and recovery and diffs against the
+# checked-in BENCH_wal.json (the 8/64-committer group-commit
+# comparisons carry hard 3x floors, snapshot recovery a 2x floor), and
+# the crash run kills a durable engine at random write/sync/checkpoint
+# points under the race detector and fails unless every recovery
+# conserves the bank-transfer invariant.
 verify: lint
 	$(GO) vet ./...
 	$(GO) test -race ./...
@@ -112,7 +126,9 @@ verify: lint
 	$(GO) run ./cmd/locksim -net 8 -nettxns 1000 -netfaults -netproto v2 -ltot 100
 	$(GO) run ./cmd/locksim -net 6 -cluster 3 -nettxns 600 -netfaults -ltot 100
 	$(GO) run ./cmd/locksim -engine -protocol wound-wait -dbsize 400 -ltot 40 -ntrans 8
+	$(GO) run -race ./cmd/locksim -crash 6 -dbsize 300 -ltot 30 -npros 3 -crashtxns 20
 	$(GO) run ./cmd/bench -suite model -quick -out BENCH_model.json
 	$(GO) run ./cmd/bench -suite locksrv -quick -out /tmp/BENCH_locksrv.quick.json
 	$(GO) run ./cmd/bench -suite lockmgr -quick -out /tmp/BENCH_lockmgr.quick.json -compare BENCH_lockmgr.json
 	$(GO) run ./cmd/bench -suite engine -quick -out /tmp/BENCH_engine.quick.json -compare BENCH_engine.json
+	$(GO) run ./cmd/bench -suite wal -quick -out /tmp/BENCH_wal.quick.json -compare BENCH_wal.json

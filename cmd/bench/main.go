@@ -6,6 +6,7 @@
 //	go run ./cmd/bench -suite locksrv -out BENCH_locksrv.json
 //	go run ./cmd/bench -suite lockmgr -out BENCH_lockmgr.json
 //	go run ./cmd/bench -suite engine  -out BENCH_engine.json
+//	go run ./cmd/bench -suite wal     -out BENCH_wal.json
 //
 // The model suite measures the simulation engine and two representative
 // figure sweeps. The locksrv suite measures the network lock service —
@@ -18,7 +19,10 @@
 // suite measures end-to-end transaction throughput of the executable
 // engine under every registered concurrency-control protocol (see
 // engine.go); -protocol restricts it to one protocol, -protocol list
-// prints the registry.
+// prints the registry. The wal suite measures group commit against a
+// per-commit-sync baseline over a fixed-latency sync model, plus
+// snapshot-bounded vs full-history recovery on real file-backed logs
+// (see wal.go).
 //
 // The -quick flag shortens the workloads for CI smoke runs; -compare
 // OLD.json re-reads a previous report and exits nonzero if any
@@ -196,7 +200,7 @@ func record(name string, r testing.BenchmarkResult, eventsPerOp float64) entry {
 }
 
 func main() {
-	suite := flag.String("suite", "model", "benchmark suite: model, locksrv, lockmgr or engine")
+	suite := flag.String("suite", "model", "benchmark suite: model, locksrv, lockmgr, engine or wal")
 	out := flag.String("out", "", "output path (default BENCH_<suite>.json)")
 	quick := flag.Bool("quick", false, "shorten workloads for CI smoke runs")
 	compare := flag.String("compare", "", "previous report to diff against; exit nonzero on >10% throughput regression")
@@ -235,8 +239,10 @@ func main() {
 		data, err = runLockmgr(*quick)
 	case "engine":
 		data, err = runEngine(*quick, *protocol)
+	case "wal":
+		data, err = runWAL(*quick)
 	default:
-		err = fmt.Errorf("unknown suite %q (want model, locksrv, lockmgr or engine)", *suite)
+		err = fmt.Errorf("unknown suite %q (want model, locksrv, lockmgr, engine or wal)", *suite)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "bench:", err)

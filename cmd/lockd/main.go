@@ -24,6 +24,14 @@
 // flips to "draining" during shutdown) and /debug/pprof/. Empty (the
 // default) disables it.
 //
+// -waldir enables the durable grant journal: every grant is made
+// durable in a group-commit write-ahead log before it is acknowledged,
+// and every release (explicit or forced) is journaled after it. On
+// restart lockd replays the previous journal, reports which
+// transactions were still holding locks when the process died (their
+// sessions are gone, so nothing is re-granted), and starts a fresh
+// journal epoch.
+//
 // -cluster runs the node as one member of a consistent-hash
 // partitioned cluster: a comma-separated ordered list of every
 // member's address (identical on all members), with -clusterself
@@ -41,6 +49,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"strings"
 	"syscall"
 	"time"
@@ -60,6 +69,7 @@ func main() {
 	clusterSelf := flag.Int("clusterself", 0, "this node's index in the -cluster list")
 	hbEvery := flag.Duration("heartbeat", 250*time.Millisecond, "cluster predecessor heartbeat interval")
 	recoveryGrace := flag.Duration("recovery", 2*time.Second, "cluster lease-recovery window after adopting a dead node's partition")
+	walDir := flag.String("waldir", "", "directory for the durable grant journal (empty disables); on restart the previous journal is replayed for a summary, then truncated")
 	flag.Parse()
 
 	logger := log.New(os.Stderr, "lockd: ", log.LstdFlags|log.Lmicroseconds)
@@ -73,6 +83,25 @@ func main() {
 		locksrv.WithGrace(*grace),
 		locksrv.WithIdleTimeout(*idle),
 		locksrv.WithMetrics(reg),
+	}
+	var journal *walJournal
+	if *walDir != "" {
+		if err := os.MkdirAll(*walDir, 0o755); err != nil {
+			logger.Fatal(err)
+		}
+		path := filepath.Join(*walDir, "grants.log")
+		j, sum, err := openJournal(path)
+		if err != nil {
+			logger.Fatal(err)
+		}
+		journal = j
+		if sum.OutstandingTxns > 0 {
+			logger.Printf("journal: %d transactions held %d granules when the previous process died; their sessions are gone, locks not re-granted",
+				sum.OutstandingTxns, sum.OutstandingGranules)
+		}
+		logger.Printf("journal: replayed %d records (%d granule grants, %d releases, torn=%v); fresh epoch at %s",
+			sum.Records, sum.GrantedGranules, sum.Releases, sum.Torn, path)
+		opts = append(opts, locksrv.WithJournal(journal))
 	}
 	if *cluster != "" {
 		nodes := strings.Split(*cluster, ",")
@@ -139,6 +168,11 @@ func main() {
 		admin.Close()
 	}
 	logStats(logger, srv.Stats())
+	if journal != nil {
+		if err := journal.Close(); err != nil {
+			logger.Printf("journal close: %v", err)
+		}
+	}
 	logger.Printf("drained; exiting")
 }
 

@@ -6,6 +6,8 @@ import (
 	"net"
 	"net/http"
 	"net/http/httptest"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 	"time"
@@ -13,6 +15,7 @@ import (
 	"granulock/internal/lockmgr"
 	"granulock/internal/locksrv"
 	"granulock/internal/obs"
+	"granulock/internal/wal"
 )
 
 // startTestService wires the same pieces main does — a metrics
@@ -165,5 +168,86 @@ func TestAdminHealthzAndPprof(t *testing.T) {
 	}
 	if !health.Draining || health.Status != "draining" {
 		t.Fatalf("healthz after drain: %+v", health)
+	}
+}
+
+func TestJournalReplayAndTruncate(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "grants.log")
+
+	// Fresh epoch: nothing to replay.
+	j, sum, err := openJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Records != 0 || sum.OutstandingTxns != 0 {
+		t.Fatalf("fresh journal summary %+v", sum)
+	}
+	// Two grants, one release — txn 6 is still holding at the "crash".
+	if err := j.Grant(5, []lockmgr.Request{
+		{Granule: 1, Mode: lockmgr.ModeExclusive},
+		{Granule: 2, Mode: lockmgr.ModeShared},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Grant(6, []lockmgr.Request{{Granule: 3, Mode: lockmgr.ModeExclusive}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Release(5); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Restart: replay reports txn 6 outstanding, then truncates.
+	j2, sum, err := openJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Records != 4 || sum.GrantedGranules != 3 || sum.Releases != 1 {
+		t.Fatalf("replay summary %+v", sum)
+	}
+	if sum.OutstandingTxns != 1 || sum.OutstandingGranules != 1 {
+		t.Fatalf("outstanding %+v, want txn 6 with 1 granule", sum)
+	}
+	if err := j2.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The journal was truncated: a third open replays nothing.
+	j3, sum, err := openJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j3.Close()
+	if sum.Records != 0 {
+		t.Fatalf("post-truncate summary %+v", sum)
+	}
+}
+
+func TestJournalReplayTornTail(t *testing.T) {
+	// A torn final grant (the crash ate the acknowledgement) must end
+	// the replay cleanly, not fail it.
+	path := filepath.Join(t.TempDir(), "grants.log")
+	j, _, err := openJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Grant(1, []lockmgr.Request{{Granule: 7, Mode: lockmgr.ModeExclusive}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Tear mid-record: cut the file 10 bytes into the only record.
+	if err := os.Truncate(path, int64(wal.LogHeaderSize+10)); err != nil {
+		t.Fatal(err)
+	}
+	_, sum, err := openJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sum.Torn || sum.Records != 0 {
+		t.Fatalf("torn replay summary %+v", sum)
 	}
 }

@@ -1,0 +1,278 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"sync"
+	"sync/atomic"
+
+	"granulock/internal/engine"
+	"granulock/internal/wal"
+)
+
+// crashConfig is the -crash run mode: repeated kill-and-recover cycles
+// of the durable engine. Each cycle opens the same WAL directory with a
+// fault injector holding a random byte budget — the in-process power
+// cut: once the budget is spent every log write tears and every sync
+// fails, so all partition logs and any in-flight snapshot die at the
+// same moment. Some cycles additionally arm a checkpoint failpoint so
+// the kill lands between snapshot-install stages. After every cycle the
+// directory is reopened without the injector and the bank-transfer
+// invariant is checked: the recovered total balance must equal the
+// initial total, whatever the crash tore.
+type crashConfig struct {
+	dbsize   int
+	granules int
+	nodes    int
+	workers  int
+	cycles   int
+	txns     int // transfers per worker per cycle
+	protocol string
+	dir      string // WAL directory; empty runs in a fresh temp dir
+	seed     uint64
+	asJSON   bool
+}
+
+// crashResult is the -crash -json document.
+type crashResult struct {
+	Cycles          int    `json:"cycles"`
+	Crashes         int    `json:"crashes"`
+	OpenCrashes     int    `json:"open_crashes"`
+	FailpointKills  int    `json:"failpoint_kills"`
+	Checkpoints     int    `json:"checkpoints"`
+	AckedCommits    int64  `json:"acked_commits"`
+	ReplayedCommits int64  `json:"replayed_commits"`
+	CrossPartial    int64  `json:"cross_partial"`
+	OrderViolations int64  `json:"order_violations"`
+	Protocol        string `json:"protocol"`
+	Consistent      bool   `json:"consistent"`
+}
+
+// splitmix steps a SplitMix64 state, returning the next output. Cheap,
+// deterministic, no global rand contention — the same generator the
+// engine uses for backoff jitter.
+func splitmix(state *uint64) uint64 {
+	*state += 0x9e3779b97f4a7c15
+	z := *state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// powerCut builds the shared fault injector: writes drain a byte
+// budget, the write that crosses zero is torn (its first in-budget
+// bytes still land), and everything after fails — including syncs.
+func powerCut(budget int64) wal.FaultInjector {
+	var left atomic.Int64
+	left.Store(budget)
+	return func(op string, n int) (int, error) {
+		if op == "sync" {
+			if left.Load() <= 0 {
+				return 0, errors.New("power lost")
+			}
+			return 0, nil
+		}
+		got := left.Add(int64(-n))
+		if got < 0 {
+			allow := got + int64(n)
+			if allow < 0 {
+				allow = 0
+			}
+			return int(allow), errors.New("power lost")
+		}
+		return n, nil
+	}
+}
+
+// installStages are the checkpoint failpoint stages a cycle may be
+// killed at (see wal.Dir.SetFailpoint); truncate-0 exists for any
+// partition count.
+var installStages = []string{"snapshot-tmp", "snapshot-installed", "truncate-0"}
+
+// cycleOutcome is what one injected cycle reports back.
+type cycleOutcome struct {
+	acked        int64 // transfers acknowledged before the crash
+	crashed      bool  // the injector or failpoint fired
+	openCrash    bool  // the crash landed inside OpenDurable itself
+	checkpointed bool  // the mid-cycle checkpoint completed
+	failpoint    bool  // the armed failpoint is what killed the cycle
+}
+
+// openCrashDB opens the durable engine over dir, optionally behind a
+// fault injector.
+func openCrashDB(dir string, cfg crashConfig, inject wal.FaultInjector) (*engine.DB, wal.SetRecoverStats, error) {
+	walOpts := []wal.LogOption{wal.WithPreallocate(0)}
+	if inject != nil {
+		walOpts = append(walOpts, wal.WithFaultInjector(inject))
+	}
+	return engine.OpenDurable(dir, cfg.dbsize,
+		engine.WithNodes(cfg.nodes),
+		engine.WithGranules(cfg.granules),
+		engine.WithProtocol(cfg.protocol),
+		engine.WithInitialValue(100),
+		engine.WithWALOptions(walOpts...))
+}
+
+// crashCycle runs one injected traffic cycle: workers stream transfers,
+// a checkpoint fires halfway, and the first error anywhere is the
+// crash — the cycle stops using the engine and closes it, exactly as a
+// killed process would.
+func crashCycle(dir string, cfg crashConfig, budget int64, failStage string, seed uint64) cycleOutcome {
+	var out cycleOutcome
+	db, _, err := openCrashDB(dir, cfg, powerCut(budget))
+	if err != nil {
+		out.crashed, out.openCrash = true, true
+		return out
+	}
+	defer db.Close() // a poisoned close only reports the poison; ignore
+	if failStage != "" {
+		db.WALDir().SetFailpoint(func(stage string) error {
+			if stage == failStage {
+				out.failpoint = true
+				return fmt.Errorf("failpoint: killed at %s", stage)
+			}
+			return nil
+		})
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var acked atomic.Int64
+	var crashed atomic.Bool
+	runHalf := func(half int) {
+		var wg sync.WaitGroup
+		for w := 0; w < cfg.workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				rng := seed ^ uint64(w+1)*0x9e3779b97f4a7c15 ^ uint64(half)<<32
+				for i := 0; i < cfg.txns/2 && !crashed.Load(); i++ {
+					from := int(splitmix(&rng) % uint64(cfg.dbsize))
+					to := int(splitmix(&rng) % uint64(cfg.dbsize))
+					if from == to {
+						to = (to + 1) % cfg.dbsize
+					}
+					amount := int64(splitmix(&rng)%5 + 1)
+					if _, err := db.Execute(ctx, engine.Transfer(from, to, amount)); err != nil {
+						crashed.Store(true)
+						cancel()
+						return
+					}
+					acked.Add(1)
+				}
+			}(w)
+		}
+		wg.Wait()
+	}
+
+	runHalf(0)
+	if !crashed.Load() {
+		if err := db.Checkpoint(ctx); err != nil {
+			crashed.Store(true)
+		} else {
+			out.checkpointed = true
+		}
+	}
+	if !crashed.Load() {
+		runHalf(1)
+	}
+	out.acked = acked.Load()
+	out.crashed = crashed.Load()
+	if !out.crashed {
+		out.failpoint = false // armed but never reached
+	}
+	return out
+}
+
+// runCrashMode drives the -crash harness and prints the result. Any
+// cycle whose recovery fails or violates the balance invariant returns
+// an error (non-zero exit).
+func runCrashMode(cfg crashConfig, out *os.File) error {
+	if cfg.protocol == "" {
+		cfg.protocol = engine.Conservative
+	}
+	if cfg.granules > cfg.dbsize {
+		cfg.granules = cfg.dbsize
+	}
+	if cfg.nodes < 1 {
+		cfg.nodes = 1
+	}
+	if cfg.nodes > wal.MaxPartitions {
+		return fmt.Errorf("-npros %d exceeds the %d-partition WAL limit", cfg.nodes, wal.MaxPartitions)
+	}
+	if cfg.workers < 1 {
+		cfg.workers = 1
+	}
+	dir := cfg.dir
+	if dir == "" {
+		tmp, err := os.MkdirTemp("", "locksim-crash-*")
+		if err != nil {
+			return err
+		}
+		defer os.RemoveAll(tmp)
+		dir = tmp
+	}
+
+	// Budget ceiling: roughly twice one cycle's write volume (records
+	// plus one snapshot), so crashes land everywhere — early, mid-
+	// traffic, mid-snapshot — and some cycles survive untouched.
+	estimate := int64(cfg.workers*cfg.txns)*int64((4+cfg.nodes)*wal.RecordSize) +
+		int64(cfg.dbsize)*16 + 4096
+
+	want := int64(cfg.dbsize) * 100
+	res := crashResult{Cycles: cfg.cycles, Protocol: cfg.protocol, Consistent: true}
+	rng := cfg.seed
+	for cycle := 0; cycle < cfg.cycles; cycle++ {
+		budget := int64(splitmix(&rng) % uint64(2*estimate))
+		failStage := ""
+		if splitmix(&rng)%3 == 0 {
+			failStage = installStages[splitmix(&rng)%uint64(len(installStages))]
+		}
+		o := crashCycle(dir, cfg, budget, failStage, splitmix(&rng))
+		res.AckedCommits += o.acked
+		if o.crashed {
+			res.Crashes++
+		}
+		if o.openCrash {
+			res.OpenCrashes++
+		}
+		if o.failpoint {
+			res.FailpointKills++
+		}
+		if o.checkpointed {
+			res.Checkpoints++
+		}
+
+		// The recovery proof: reopen without the injector; whatever the
+		// crash tore, the recovered state must conserve every transfer.
+		db, stats, err := openCrashDB(dir, cfg, nil)
+		if err != nil {
+			return fmt.Errorf("cycle %d (budget %d): recovery failed: %w", cycle, budget, err)
+		}
+		res.ReplayedCommits += int64(stats.Committed)
+		res.CrossPartial += int64(stats.CrossPartial)
+		res.OrderViolations += int64(stats.OrderViolations)
+		got := db.TotalBalance()
+		db.Close()
+		if got != want {
+			res.Consistent = false
+			return fmt.Errorf("cycle %d (budget %d): recovered balance %d, want %d", cycle, budget, got, want)
+		}
+	}
+
+	if cfg.asJSON {
+		return json.NewEncoder(out).Encode(res)
+	}
+	fmt.Fprintf(out, "protocol         %s\n", res.Protocol)
+	fmt.Fprintf(out, "cycles           %d\n", res.Cycles)
+	fmt.Fprintf(out, "crashes          %d (at open %d, failpoint %d)\n", res.Crashes, res.OpenCrashes, res.FailpointKills)
+	fmt.Fprintf(out, "checkpoints      %d\n", res.Checkpoints)
+	fmt.Fprintf(out, "acked commits    %d\n", res.AckedCommits)
+	fmt.Fprintf(out, "replayed commits %d\n", res.ReplayedCommits)
+	fmt.Fprintf(out, "cross-partition  partials %d, order violations %d\n", res.CrossPartial, res.OrderViolations)
+	fmt.Fprintf(out, "consistent       %v\n", res.Consistent)
+	return nil
+}

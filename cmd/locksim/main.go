@@ -37,6 +37,16 @@
 //	locksim -engine -protocol wound-wait -ltot 100 -ntrans 8
 //	locksim -engine -protocol optimistic -dbsize 1000 -ltot 50 -json
 //	locksim -protocol list
+//
+// With -crash N the command runs N kill-and-recover cycles of the
+// durable engine (engine.OpenDurable) against one write-ahead-log
+// directory: each cycle crashes at a random injected point — mid
+// record, mid group flush, or mid snapshot install — then reopens the
+// directory and verifies the recovered state conserves the total
+// balance. -npros is the partition-log count, -ltot the granule count:
+//
+//	locksim -crash 6 -dbsize 400 -ltot 40 -npros 4
+//	locksim -crash 10 -protocol optimistic -crashtxns 40 -json
 package main
 
 import (
@@ -93,11 +103,29 @@ func run(args []string, out *os.File) error {
 	engineMode := fs.Bool("engine", false, "run the executable engine (one closed workload) instead of the simulation; -ltot is the granule count, -ntrans the workers, -npros the nodes")
 	protocol := fs.String("protocol", "", "engine concurrency-control protocol (with -engine); \"list\" prints the registry")
 	engTxns := fs.Int("engtxns", 200, "transactions per worker for the -engine workload")
+	crashCycles := fs.Int("crash", 0, "run this many durable-engine kill-and-recover cycles instead of the simulation")
+	crashTxns := fs.Int("crashtxns", 30, "transfers per worker per -crash cycle")
+	crashDir := fs.String("crashdir", "", "WAL directory for -crash (empty: fresh temp dir, removed afterwards)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if err := validateProtocol(*protocol); err != nil {
 		return err
+	}
+
+	if *crashCycles > 0 {
+		return runCrashMode(crashConfig{
+			dbsize:   p.DBSize,
+			granules: p.Ltot,
+			nodes:    p.NPros,
+			workers:  4,
+			cycles:   *crashCycles,
+			txns:     *crashTxns,
+			protocol: *protocol,
+			dir:      *crashDir,
+			seed:     *seed,
+			asJSON:   *asJSON,
+		}, out)
 	}
 
 	if *engineMode {

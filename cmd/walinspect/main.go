@@ -1,11 +1,23 @@
-// Command walinspect dumps a write-ahead log file and summarizes what
-// recovery would do with it.
+// Command walinspect dumps write-ahead log artifacts and summarizes
+// what recovery would do with them.
 //
 // Usage:
 //
-//	walinspect [-v] <logfile>
+//	walinspect [-v] [-verify] <path>
 //
-// With -v every record prints; otherwise only the recovery summary.
+// The path may be:
+//
+//   - a WAL directory (engine.OpenDurable layout: wal-<k>.log per
+//     partition plus snapshot.snap) — prints the snapshot header and a
+//     per-partition log summary; with -verify it also replays the
+//     snapshot and every log tail through the cross-partition ordering
+//     rule and reports the recovered sequence numbers;
+//   - a log file written by wal.OpenFile (header magic GWALLOG1);
+//   - a snapshot file (magic GWALSNP1);
+//   - a headerless stream of raw records (the wal.Writer layout).
+//
+// With -v every record (or snapshot entry) prints; otherwise only the
+// summaries.
 package main
 
 import (
@@ -14,56 +26,88 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 
 	"granulock/internal/wal"
 )
 
+// The artifact magics, from the on-disk formats in docs/WAL.md.
+const (
+	logFileMagic  = "GWALLOG1"
+	snapshotMagic = "GWALSNP1"
+)
+
 func main() {
-	verbose := flag.Bool("v", false, "print every record")
+	verbose := flag.Bool("v", false, "print every record or snapshot entry")
+	verify := flag.Bool("verify", false, "replay a WAL directory and report the recovered sequence numbers")
 	flag.Parse()
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: walinspect [-v] <logfile>")
+		fmt.Fprintln(os.Stderr, "usage: walinspect [-v] [-verify] <path>")
 		os.Exit(2)
 	}
-	if err := run(flag.Arg(0), *verbose, os.Stdout); err != nil {
+	if err := run(flag.Arg(0), *verbose, *verify, os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "walinspect:", err)
 		os.Exit(1)
 	}
 }
 
-func run(path string, verbose bool, out *os.File) error {
+// run dispatches on what the path holds.
+func run(path string, verbose, verify bool, out *os.File) error {
+	info, err := os.Stat(path)
+	if err != nil {
+		return err
+	}
+	if info.IsDir() {
+		return runDir(path, verbose, verify, out)
+	}
 	f, err := os.Open(path)
 	if err != nil {
 		return err
 	}
-	defer f.Close()
+	magic := make([]byte, 8)
+	n, _ := io.ReadFull(f, magic)
+	f.Close()
+	switch string(magic[:n]) {
+	case snapshotMagic:
+		return runSnapshot(path, verbose, out)
+	case logFileMagic:
+		return runLogFile(path, verbose, out)
+	default:
+		return runRaw(path, verbose, out)
+	}
+}
 
-	if verbose {
-		// First pass: dump records. (Recovery below re-reads the file.)
-		r := wal.NewReader(f)
-		for i := 0; ; i++ {
-			rec, err := r.Next()
-			if err != nil {
-				if !errors.Is(err, io.EOF) {
-					fmt.Fprintf(out, "%6d  -- end of usable log: %v\n", i, err)
-				}
-				break
+// dumpRecords prints every record a reader yields, one per line.
+func dumpRecords(r *wal.Reader, out *os.File) {
+	for i := 0; ; i++ {
+		rec, err := r.Next()
+		if err != nil {
+			if !errors.Is(err, io.EOF) {
+				fmt.Fprintf(out, "%6d  -- end of usable log: %v\n", i, err)
 			}
-			switch rec.Kind {
-			case wal.KindUpdate:
-				fmt.Fprintf(out, "%6d  txn %-6d %-7s entity %d: %d -> %d\n",
-					i, rec.Txn, rec.Kind, rec.Entity, rec.Before, rec.After)
-			default:
-				fmt.Fprintf(out, "%6d  txn %-6d %-7s\n", i, rec.Txn, rec.Kind)
-			}
+			break
 		}
-		if _, err := f.Seek(0, 0); err != nil {
-			return err
+		switch rec.Kind {
+		case wal.KindUpdate:
+			fmt.Fprintf(out, "%6d  txn %-6d %-7s entity %d: %d -> %d\n",
+				i, rec.Txn, rec.Kind, rec.Entity, rec.Before, rec.After)
+		case wal.KindCommit:
+			if rec.Entity != 0 {
+				fmt.Fprintf(out, "%6d  txn %-6d %-7s mask %#b\n", i, rec.Txn, rec.Kind, rec.Entity)
+				continue
+			}
+			fmt.Fprintf(out, "%6d  txn %-6d %-7s\n", i, rec.Txn, rec.Kind)
+		default:
+			fmt.Fprintf(out, "%6d  txn %-6d %-7s\n", i, rec.Txn, rec.Kind)
 		}
 	}
+}
 
+// recoverSummary replays one reader through single-log recovery and
+// prints the outcome counts.
+func recoverSummary(r *wal.Reader, out *os.File) error {
 	applied := 0
-	stats, err := wal.Recover(wal.NewReader(f), func(entity, value int64) { applied++ })
+	stats, err := wal.Recover(r, func(entity, value int64) { applied++ })
 	if err != nil {
 		return err
 	}
@@ -71,6 +115,153 @@ func run(path string, verbose bool, out *os.File) error {
 	fmt.Fprintf(out, "committed   %d transactions (%d updates would be redone)\n", stats.Committed, applied)
 	fmt.Fprintf(out, "aborted     %d\n", stats.Aborted)
 	fmt.Fprintf(out, "incomplete  %d (discarded by recovery)\n", stats.Incomplete)
+	fmt.Fprintf(out, "max txn     %d\n", stats.MaxTxn)
 	fmt.Fprintf(out, "torn tail   %v\n", stats.Torn)
+	return nil
+}
+
+// runRaw inspects a headerless record stream (the wal.Writer layout).
+func runRaw(path string, verbose bool, out *os.File) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if verbose {
+		dumpRecords(wal.NewReader(f), out)
+		if _, err := f.Seek(0, 0); err != nil {
+			return err
+		}
+	}
+	return recoverSummary(wal.NewReader(f), out)
+}
+
+// runLogFile inspects a headered log file written by wal.OpenFile.
+func runLogFile(path string, verbose bool, out *os.File) error {
+	r, base, closer, err := wal.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "log file    %s (base seq %d)\n", logFileMagic, base)
+	if verbose {
+		dumpRecords(r, out)
+		closer.Close()
+		if r, _, closer, err = wal.ReadFile(path); err != nil {
+			return err
+		}
+	}
+	defer closer.Close()
+	return recoverSummary(r, out)
+}
+
+// runSnapshot inspects a checkpoint snapshot file.
+func runSnapshot(path string, verbose bool, out *os.File) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	s, err := wal.ReadSnapshot(f)
+	if err != nil {
+		return err
+	}
+	printSnapshot(s, verbose, out)
+	return nil
+}
+
+func printSnapshot(s *wal.Snapshot, verbose bool, out *os.File) {
+	fmt.Fprintf(out, "snapshot    %s, %d logs, %d entries\n", snapshotMagic, len(s.Seqs), len(s.Entries))
+	fmt.Fprintf(out, "seq vector  %v\n", s.Seqs)
+	if verbose {
+		for _, e := range s.Entries {
+			fmt.Fprintf(out, "        entity %-8d = %d\n", e.Entity, e.Value)
+		}
+	}
+}
+
+// runDir inspects a WAL directory: the snapshot header plus one line
+// per partition log; with verify it additionally replays the directory
+// exactly as engine.OpenDurable would and reports the recovered
+// sequence numbers.
+func runDir(path string, verbose, verify bool, out *os.File) error {
+	// Count the partition logs.
+	parts := 0
+	for {
+		if _, err := os.Stat(filepath.Join(path, fmt.Sprintf("wal-%d.log", parts))); err != nil {
+			break
+		}
+		parts++
+	}
+	if parts == 0 {
+		return fmt.Errorf("%s holds no wal-<k>.log files", path)
+	}
+	fmt.Fprintf(out, "directory   %s, %d partition logs\n", path, parts)
+
+	snapFile := filepath.Join(path, "snapshot.snap")
+	if f, err := os.Open(snapFile); err == nil {
+		s, serr := wal.ReadSnapshot(f)
+		f.Close()
+		if serr != nil {
+			fmt.Fprintf(out, "snapshot    CORRUPT: %v\n", serr)
+		} else {
+			printSnapshot(s, verbose, out)
+		}
+	} else {
+		fmt.Fprintln(out, "snapshot    none")
+	}
+
+	for k := 0; k < parts; k++ {
+		lp := filepath.Join(path, fmt.Sprintf("wal-%d.log", k))
+		r, base, closer, err := wal.ReadFile(lp)
+		if err != nil {
+			fmt.Fprintf(out, "log %-3d     %v\n", k, err)
+			continue
+		}
+		if verbose {
+			fmt.Fprintf(out, "log %d records:\n", k)
+			dumpRecords(r, out)
+			closer.Close()
+			if r, base, closer, err = wal.ReadFile(lp); err != nil {
+				return err
+			}
+		}
+		records, torn := 0, false
+		for {
+			_, err := r.Next()
+			if errors.Is(err, io.EOF) {
+				break
+			}
+			if err != nil {
+				torn = true
+				break
+			}
+			records++
+		}
+		closer.Close()
+		fmt.Fprintf(out, "log %-3d     base %d, %d records, end seq %d, torn %v\n",
+			k, base, records, base+int64(records), torn)
+	}
+
+	if !verify {
+		return nil
+	}
+	// Full replay, exactly as engine.OpenDurable does it: snapshot
+	// entries first, then every log's tail past the snapshot's sequence
+	// vector, under the cross-partition ordering rule.
+	d, err := wal.OpenDir(path, parts, wal.WithPreallocate(0))
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	applied := 0
+	stats, err := d.Recover(func(entity, value int64) { applied++ })
+	if err != nil {
+		return fmt.Errorf("verify: %w", err)
+	}
+	fmt.Fprintf(out, "verify      committed %d (applied %d snapshot+tail updates), aborted %d, incomplete %d\n",
+		stats.Committed, applied, stats.Aborted, stats.Incomplete)
+	fmt.Fprintf(out, "verify      cross-partition partials %d, order violations %d, max txn %d\n",
+		stats.CrossPartial, stats.OrderViolations, stats.MaxTxn)
+	fmt.Fprintf(out, "verify      recovered seqs %v\n", d.Set().Seqs())
 	return nil
 }

@@ -117,6 +117,15 @@ type Instance interface {
 	// is released — so log order matches serialization order. A
 	// validation failure returns an ErrRestart-wrapped error before
 	// anything is applied or persisted.
+	//
+	// persist may block: under the engine's group-commit pipeline it
+	// enqueues the transaction's record group and waits for the batched
+	// flush to make it durable, so Commit's latency includes one flush
+	// of the write-ahead log. Protocols must tolerate persist taking
+	// milliseconds while rights (or a validation section) are held, and
+	// must treat a persist error as a terminal commit failure: the
+	// transaction must not be acknowledged, and the error is returned
+	// as-is (it is typically a poisoned-log error, not a restart).
 	Commit(ctx context.Context, tx *Tx, persist func([]Update) error) error
 	// End releases every right tx holds and forgets the attempt. Called
 	// exactly once per Begin — after a successful Commit, before a

@@ -22,6 +22,7 @@ package engine
 import (
 	"context"
 	"fmt"
+	"math/bits"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -87,11 +88,24 @@ type Config struct {
 	// InitialValue seeds every entity, so TotalBalance starts at
 	// DBSize·InitialValue.
 	InitialValue int64
-	// Log, when non-nil, makes transactions durable: each commit
-	// appends its update records and a commit record to the write-ahead
-	// log (and syncs) before releasing its access rights. Recover
-	// rebuilds a database from such a log.
+	// Log, when non-nil, makes transactions durable the per-commit-sync
+	// way: each commit appends its update records and a commit record
+	// to the write-ahead log and syncs before releasing its access
+	// rights. Recover rebuilds a database from such a log. Mutually
+	// exclusive with WAL — Log is the baseline path the group-commit
+	// pipeline is benchmarked against.
 	Log *wal.Writer
+	// WAL, when non-nil, makes transactions durable through the
+	// group-commit pipeline: each commit enqueues its record group and
+	// waits for the batched flush (wal.Log) before releasing its access
+	// rights. A Set of one log serializes everything through it; a Set
+	// of exactly Nodes logs is partitioned by node index, so a commit
+	// touching only node k syncs only log k. Mutually exclusive with
+	// Log.
+	WAL *wal.Set
+	// WALOptions configures the logs OpenDurable creates (preallocation,
+	// flush interval, fault injection); ignored by Open/OpenConfig.
+	WALOptions []wal.LogOption
 	// EscalationThreshold enables lock escalation for the hierarchical
 	// protocol: a transaction holding this many granules escalates to a
 	// database-level lock (0 disables; ignored by other protocols).
@@ -122,9 +136,24 @@ func WithProtocol(name Protocol) Option { return func(c *Config) { c.Protocol = 
 // WithInitialValue seeds every entity (default 0).
 func WithInitialValue(v int64) Option { return func(c *Config) { c.InitialValue = v } }
 
-// WithLog attaches a write-ahead log: commits become durable and
-// Recover can rebuild the database after a crash.
+// WithLog attaches a write-ahead log on the per-commit-sync path:
+// commits become durable and Recover can rebuild the database after a
+// crash. Prefer WithWAL (group commit) for concurrent workloads.
 func WithLog(w *wal.Writer) Option { return func(c *Config) { c.Log = w } }
+
+// WithWAL attaches a group-commit write-ahead log set: commits become
+// durable via batched flushes. The set must have one log, or exactly
+// one per node (per-partition logging keyed by node index). The caller
+// owns the set's lifecycle (Close it after the DB is quiescent);
+// OpenDurable manages all of this given just a directory.
+func WithWAL(s *wal.Set) Option { return func(c *Config) { c.WAL = s } }
+
+// WithWALOptions forwards options to the logs OpenDurable creates
+// (e.g. wal.WithFlushInterval, wal.WithPreallocate,
+// wal.WithFaultInjector for crash harnesses).
+func WithWALOptions(opts ...wal.LogOption) Option {
+	return func(c *Config) { c.WALOptions = append(c.WALOptions, opts...) }
+}
 
 // WithEscalationThreshold enables hierarchical lock escalation at the
 // given held-granule count (hierarchical protocol only).
@@ -155,6 +184,12 @@ func (c Config) validate() error {
 	}
 	if _, ok := cc.Lookup(c.Protocol); !ok {
 		return fmt.Errorf("engine: unknown protocol %q (registered: %v)", c.Protocol, cc.Names())
+	}
+	if c.Log != nil && c.WAL != nil {
+		return fmt.Errorf("engine: Log and WAL are mutually exclusive durability paths")
+	}
+	if c.WAL != nil && c.WAL.Len() != 1 && c.WAL.Len() != c.Nodes {
+		return fmt.Errorf("engine: WAL set has %d logs, need 1 or one per node (%d)", c.WAL.Len(), c.Nodes)
 	}
 	return nil
 }
@@ -237,6 +272,12 @@ type DB struct {
 	nodes []*node
 	inst  cc.Instance
 
+	// walSet is the group-commit log set (Config.WAL), nil on the
+	// legacy Writer path; walDir is non-nil only for OpenDurable
+	// databases, which own their log files and support Checkpoint.
+	walSet *wal.Set
+	walDir *wal.Dir
+
 	nextTxn   atomic.Int64
 	committed atomic.Int64
 	retries   atomic.Int64
@@ -309,18 +350,84 @@ func open(cfg Config) (*DB, error) {
 		}
 		db.nodes[i] = &node{values: values}
 	}
+	db.walSet = cfg.WAL
 	proto, _ := cc.Lookup(cfg.Protocol) // validated above
 	inst, err := proto.New(cc.Config{
 		Store:               store{db},
 		EscalationThreshold: cfg.EscalationThreshold,
 		Metrics:             cfg.Metrics,
-		RecordUpdates:       cfg.Log != nil,
+		RecordUpdates:       cfg.Log != nil || cfg.WAL != nil,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("engine: protocol %s: %w", cfg.Protocol, err)
 	}
 	db.inst = inst
 	return db, nil
+}
+
+// OpenDurable opens a file-backed durable database: a write-ahead
+// directory at dir (one group-commit log per node, keyed by node index,
+// plus the current snapshot), recovered into a fresh instance before
+// the database accepts transactions. Reopening the same directory after
+// a crash replays the snapshot and each log's tail; the returned stats
+// describe that recovery (all zero for a brand-new directory).
+//
+// Checkpoint bounds future recovery time; Close flushes and releases
+// the log files. The usual options apply; WithLog/WithWAL are rejected
+// (the directory supplies the log set), and WithWALOptions configures
+// the underlying logs.
+func OpenDurable(dir string, dbsize int, opts ...Option) (*DB, wal.SetRecoverStats, error) {
+	cfg := Config{Nodes: 1, DBSize: dbsize, Granules: dbsize}
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	if cfg.Log != nil || cfg.WAL != nil {
+		return nil, wal.SetRecoverStats{}, fmt.Errorf("engine: OpenDurable manages its own log; WithLog/WithWAL not allowed")
+	}
+	if cfg.Nodes > wal.MaxPartitions {
+		return nil, wal.SetRecoverStats{}, fmt.Errorf("engine: %d nodes exceeds %d per-partition logs", cfg.Nodes, wal.MaxPartitions)
+	}
+	d, err := wal.OpenDir(dir, max(cfg.Nodes, 1), cfg.WALOptions...)
+	if err != nil {
+		return nil, wal.SetRecoverStats{}, err
+	}
+	cfg.WAL = d.Set()
+	db, err := open(cfg)
+	if err != nil {
+		d.Close()
+		return nil, wal.SetRecoverStats{}, err
+	}
+	db.walDir = d
+	stats, err := d.Recover(func(entity, value int64) {
+		if entity >= 0 && entity < int64(cfg.DBSize) {
+			db.set(int(entity), value)
+		}
+	})
+	if err != nil {
+		d.Close()
+		return nil, stats, err
+	}
+	// Continue transaction numbering above every ID surviving in the
+	// logs: IDs key recovery's per-transaction evidence, so a fresh
+	// instance reusing a surviving ID would merge two unrelated
+	// transactions in the next recovery pass.
+	db.nextTxn.Store(stats.MaxTxn)
+	return db, stats, nil
+}
+
+// WALDir returns the database's write-ahead directory, or nil unless
+// the database was opened with OpenDurable (crash harnesses use it to
+// install failpoints).
+func (db *DB) WALDir() *wal.Dir { return db.walDir }
+
+// Close flushes and releases the log files of an OpenDurable database.
+// It is a no-op for databases whose log lifecycle the caller owns
+// (WithLog/WithWAL) and for purely in-memory ones.
+func (db *DB) Close() error {
+	if db.walDir != nil {
+		return db.walDir.Close()
+	}
+	return nil
 }
 
 // Config returns the database's configuration.
@@ -465,18 +572,41 @@ func (db *DB) Execute(ctx context.Context, t Txn) (int64, error) {
 	}
 }
 
+// walScratch is the reusable per-commit record staging buffer. The
+// persist hook completes durability before returning (AppendGroup+Sync
+// on the Writer path, enqueue-and-wait on the group-commit path), so
+// the buffers are free for reuse the moment the hook returns — a
+// sync.Pool removes the per-commit slice allocation from the hot path.
+type walScratch struct {
+	records []wal.Record
+	groups  []wal.PartGroup
+}
+
+var walScratchPool = sync.Pool{New: func() any { return new(walScratch) }}
+
 // persistFn builds the durability hook the protocol invokes at its
-// publish point: begin + update images + commit, appended as one group
-// and synced before any access right is released, so log order matches
-// serialization order on every granule. Nil without a log.
+// publish point: begin + update images + commit, made durable before
+// any access right is released, so log order matches serialization
+// order on every granule. On the group-commit path the hook enqueues
+// the group and waits for the batched flush; on the Writer path it
+// appends and syncs directly. Read-only transactions skip logging
+// entirely — they change nothing, so recovery does not need them. Nil
+// without a log.
 func (db *DB) persistFn(txnID lockmgr.TxnID) func([]cc.Update) error {
+	if db.walSet != nil {
+		return db.persistSetFn(txnID)
+	}
 	if db.cfg.Log == nil {
 		return nil
 	}
 	id := int64(txnID)
 	return func(us []cc.Update) error {
-		records := make([]wal.Record, 0, len(us)+2)
-		records = append(records, wal.Record{Kind: wal.KindBegin, Txn: id})
+		if len(us) == 0 {
+			return nil
+		}
+		sc := walScratchPool.Get().(*walScratch)
+		defer walScratchPool.Put(sc)
+		records := append(sc.records[:0], wal.Record{Kind: wal.KindBegin, Txn: id})
 		for _, u := range us {
 			records = append(records, wal.Record{
 				Kind:   wal.KindUpdate,
@@ -487,11 +617,141 @@ func (db *DB) persistFn(txnID lockmgr.TxnID) func([]cc.Update) error {
 			})
 		}
 		records = append(records, wal.Record{Kind: wal.KindCommit, Txn: id})
+		sc.records = records
 		if err := db.cfg.Log.AppendGroup(records); err != nil {
 			return err
 		}
 		return db.cfg.Log.Sync()
 	}
+}
+
+// persistSetFn is persistFn for the group-commit Set: the transaction's
+// records are split by owning partition (node index keys log index when
+// the set is per-partition), appended to each touched log in ascending
+// order, with the commit record in every touched log carrying the full
+// partition mask — the cross-partition ordering rule wal.RecoverSet
+// verifies.
+func (db *DB) persistSetFn(txnID lockmgr.TxnID) func([]cc.Update) error {
+	id := int64(txnID)
+	parts := db.walSet.Len()
+	return func(us []cc.Update) error {
+		if len(us) == 0 {
+			return nil
+		}
+		sc := walScratchPool.Get().(*walScratch)
+		defer walScratchPool.Put(sc)
+		var mask int64
+		if parts == 1 {
+			mask = 1
+		} else {
+			for _, u := range us {
+				mask |= 1 << uint(db.nodeOf(u.Entity))
+			}
+		}
+		npart := bits.OnesCount64(uint64(mask))
+		// Carve every partition's group out of one arena; the total is
+		// known up front, so the appends below never reallocate and the
+		// carved subslices stay valid.
+		total := len(us) + 2*npart
+		arena := sc.records[:0]
+		if cap(arena) < total {
+			arena = make([]wal.Record, 0, total)
+		}
+		groups := sc.groups[:0]
+		for p := 0; p < parts; p++ {
+			if mask&(1<<uint(p)) == 0 {
+				continue
+			}
+			start := len(arena)
+			arena = append(arena, wal.Record{Kind: wal.KindBegin, Txn: id})
+			for _, u := range us {
+				if parts > 1 && db.nodeOf(u.Entity) != p {
+					continue
+				}
+				arena = append(arena, wal.Record{
+					Kind:   wal.KindUpdate,
+					Txn:    id,
+					Entity: int64(u.Entity),
+					Before: u.Before,
+					After:  u.After,
+				})
+			}
+			arena = append(arena, wal.Record{Kind: wal.KindCommit, Txn: id, Entity: mask})
+			groups = append(groups, wal.PartGroup{Part: p, Records: arena[start:len(arena):len(arena)]})
+		}
+		sc.records = arena
+		sc.groups = groups
+		return db.walSet.Commit(groups)
+	}
+}
+
+// Checkpoint writes a consistent snapshot of the whole database behind
+// the logs' current sequence numbers and truncates the replayed
+// prefixes, bounding future recovery time by the write rate since the
+// checkpoint rather than by history. Only OpenDurable databases support
+// it.
+//
+// Consistency comes from the concurrency-control protocol itself: the
+// checkpoint runs a full-database read transaction, so at its publish
+// point every granule is covered shared (or the full read set
+// validated, under the optimistic protocol) — no writer holds anything,
+// every committed write is already durable (persist happens before
+// release), and the sequence vector captured inside the persist hook
+// names exactly the log prefix the snapshot includes. Writers block for
+// the duration; call it off the hot path.
+func (db *DB) Checkpoint(ctx context.Context) error {
+	if db.walDir == nil {
+		return fmt.Errorf("engine: checkpoint needs an OpenDurable database")
+	}
+	t := db.FullReadTxn()
+	reqs, err := db.lockSet(t)
+	if err != nil {
+		return err
+	}
+	var snap *wal.Snapshot
+	var priority int64
+	attempt := 0
+	for {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		txnID := lockmgr.TxnID(db.nextTxn.Add(1))
+		if priority == 0 {
+			priority = int64(txnID)
+		}
+		tx := &cc.Tx{ID: txnID, Priority: priority, Attempt: attempt}
+		actx := db.inst.Begin(ctx, tx)
+		err := db.inst.Acquire(actx, tx, reqs)
+		if err == nil {
+			entries := make([]wal.SnapshotEntry, 0, db.cfg.DBSize)
+			for _, op := range t.Ops {
+				entries = append(entries, wal.SnapshotEntry{
+					Entity: int64(op.Entity),
+					Value:  db.inst.Read(tx, op.Entity),
+				})
+			}
+			err = db.inst.Commit(ctx, tx, func([]cc.Update) error {
+				// Publish point: reads validated/covered, no concurrent
+				// writer — the sequence vector and the entries describe
+				// the same state.
+				snap = &wal.Snapshot{Seqs: db.walSet.Seqs(), Entries: entries}
+				return nil
+			})
+		}
+		db.inst.End(tx)
+		if err == nil {
+			break
+		}
+		if cc.Restartable(err) {
+			attempt++
+			if err := sleepBackoff(ctx, attempt, uint64(txnID)); err != nil {
+				return err
+			}
+			continue
+		}
+		return err
+	}
+	return db.walDir.Install(snap)
 }
 
 // backoffCapAttempt bounds the exponential backoff window: attempts
@@ -554,6 +814,9 @@ func Recover(cfg Config, log *wal.Reader) (*DB, wal.RecoverStats, error) {
 	if err != nil {
 		return nil, stats, err
 	}
+	// New transactions must not reuse IDs still present in the log (see
+	// OpenDurable).
+	db.nextTxn.Store(stats.MaxTxn)
 	return db, stats, nil
 }
 

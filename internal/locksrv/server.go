@@ -88,6 +88,9 @@ const (
 	// CodeLeaseExpired: a lease re-assert arrived after the recovery
 	// window sealed or conflicts with reconstructed grants.
 	CodeLeaseExpired = "lease_expired"
+	// CodeUnavailable: the server could not durably journal the grant
+	// (WithJournal); the claim was withdrawn and may be retried.
+	CodeUnavailable = "unavailable"
 )
 
 // Response is one wire response.
@@ -260,6 +263,10 @@ type Server struct {
 	// cluster is non-nil when the server is one node of a partitioned
 	// cluster (WithCluster); nil servers serve the whole namespace.
 	cluster *clusterState
+
+	// journal, when non-nil (WithJournal), records every grant before
+	// its acknowledgement and every release after it.
+	journal Journal
 }
 
 // serverMetrics holds the service counters as registry series. Every
@@ -619,6 +626,7 @@ func (s *Server) teardown(sess *session, owned *ownedSet) {
 	delete(s.sessions, sess)
 	s.mu.Unlock()
 	forced := int64(0)
+	var released []lockmgr.TxnID
 	for _, txn := range owned.snapshot() {
 		// Ownership check and release are one atomic step under
 		// s.mu: a transaction this session was granted may since
@@ -641,9 +649,14 @@ func (s *Server) teardown(sess *session, owned *ownedSet) {
 		}
 		s.table.ReleaseAll(txn)
 		s.mu.Unlock()
+		released = append(released, txn)
 	}
 	if forced > 0 {
 		s.om.forceReleases.Add(forced)
+	}
+	// Journal outside s.mu: a journal write blocks for a log flush.
+	for _, txn := range released {
+		s.journalRelease(txn)
 	}
 }
 
@@ -815,6 +828,7 @@ func (s *Server) releaseCore(ctx context.Context, sess *session, txn lockmgr.Txn
 		s.table.ReleaseAll(txn)
 		s.mu.Unlock()
 		owned.remove(txn)
+		s.journalRelease(txn)
 		return "", ""
 	}
 }
@@ -851,7 +865,7 @@ func (s *Server) acquireCore(ctx context.Context, sess *session, txn lockmgr.Txn
 	if granted {
 		s.waits.add(0)
 		s.om.waitMS.Observe(0)
-		return s.finishAcquire(sess, txn, timeoutMS, nil, owned)
+		return s.finishAcquire(sess, txn, reqs, timeoutMS, nil, owned)
 	}
 	start := time.Now()
 	// The orphan-retry loop below polls every millisecond; the timer is
@@ -896,14 +910,20 @@ func (s *Server) acquireCore(ctx context.Context, sess *session, txn lockmgr.Txn
 	waitMS := float64(time.Since(start)) / float64(time.Millisecond)
 	s.waits.add(waitMS)
 	s.om.waitMS.Observe(waitMS)
-	return s.finishAcquire(sess, txn, timeoutMS, err, owned)
+	return s.finishAcquire(sess, txn, reqs, timeoutMS, err, owned)
 }
 
-// finishAcquire records ownership and classifies the acquire outcome,
-// shared by the zero-wait fast path and the blocking path.
-func (s *Server) finishAcquire(sess *session, txn lockmgr.TxnID, timeoutMS int64, err error, owned *ownedSet) (string, string) {
+// finishAcquire journals the grant, records ownership, and classifies
+// the acquire outcome, shared by the zero-wait fast path and the
+// blocking path.
+func (s *Server) finishAcquire(sess *session, txn lockmgr.TxnID, reqs []lockmgr.Request, timeoutMS int64, err error, owned *ownedSet) (string, string) {
 	switch {
 	case err == nil:
+		// Journal before recording ownership or replying: a grant the
+		// journal cannot make durable is withdrawn, leaving no trace.
+		if code, msg := s.journalGrant(txn, reqs); code != "" {
+			return code, msg
+		}
 		s.mu.Lock()
 		s.owners[txn] = sess
 		s.mu.Unlock()

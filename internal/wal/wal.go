@@ -11,6 +11,21 @@
 // Because recovery rebuilds state from scratch, skipping uncommitted
 // transactions is an implicit undo — the engine never externalizes
 // uncommitted state anywhere except this log.
+//
+// The package has three layers (see docs/WAL.md):
+//
+//   - Writer/Reader: the record codec over any io stream. Writer is the
+//     low-level sequential appender; Reader scans in buffered chunks.
+//   - Log: a group-commit pipeline over one sink. Committers enqueue
+//     their record group and park; a single background flusher
+//     coalesces everything queued since the last flush into one
+//     buffered write and one Sync, then wakes the whole cohort. Set
+//     spreads a Log per partition with a cross-partition ordering rule
+//     that RecoverSet verifies.
+//   - Snapshot + Dir: checksummed point-in-time images behind the log
+//     sequence numbers, installed atomically and followed by log
+//     truncation, so recovery time is bounded by write rate since the
+//     last checkpoint rather than by history.
 package wal
 
 import (
@@ -31,7 +46,12 @@ const (
 	// KindUpdate carries one entity update with before and after
 	// images.
 	KindUpdate
-	// KindCommit marks a transaction durable.
+	// KindCommit marks a transaction durable. In a per-partition Set,
+	// the commit record's Entity field carries the transaction's full
+	// partition mask (bit k set = log k was touched); 0 means the
+	// transaction lives entirely in the log the record was read from
+	// (the single-log layout, and every log written before partition
+	// masks existed).
 	KindCommit
 	// KindAbort marks a transaction rolled back (its updates must be
 	// ignored by recovery, like an uncommitted transaction's).
@@ -55,7 +75,8 @@ func (k Kind) String() string {
 }
 
 // Record is one log entry. Entity, Before and After are meaningful only
-// for KindUpdate.
+// for KindUpdate; a KindCommit record reuses Entity as the partition
+// mask (see Kind).
 type Record struct {
 	Kind   Kind
 	Txn    int64
@@ -67,6 +88,10 @@ type Record struct {
 // recordSize is the fixed on-disk record size: kind(1) + txn(8) +
 // entity(8) + before(8) + after(8) + crc(4).
 const recordSize = 1 + 8 + 8 + 8 + 8 + 4
+
+// RecordSize is the fixed on-disk record size in bytes, exported for
+// tooling that computes offsets (walinspect, crash harnesses).
+const RecordSize = recordSize
 
 var crcTable = crc32.MakeTable(crc32.Castagnoli)
 
@@ -104,16 +129,21 @@ func unmarshal(buf []byte) (Record, error) {
 	return r, nil
 }
 
-// syncer is optionally implemented by the Writer's sink (e.g. *os.File).
+// syncer is optionally implemented by a log sink (e.g. *os.File).
 type syncer interface{ Sync() error }
 
 // Writer appends records to a log sink. It is safe for concurrent use;
-// AppendGroup writes a transaction's records contiguously.
+// AppendGroup writes a transaction's records contiguously. A write
+// error poisons the Writer: the failing record may have reached the
+// sink partially, so any later append would interleave with the torn
+// bytes — every subsequent call fails fast with the original error
+// instead.
 type Writer struct {
 	mu  sync.Mutex
 	w   io.Writer
 	buf []byte
-	n   int64 // records written
+	n   int64 // records fully handed to the sink
+	err error // poison: the first write error, sticky
 }
 
 // NewWriter returns a Writer over sink.
@@ -127,13 +157,19 @@ func (w *Writer) Append(r Record) error {
 }
 
 // AppendGroup writes records contiguously under one lock acquisition —
-// the unit the engine uses for "updates + commit".
+// the unit the engine uses for "updates + commit". On a mid-group write
+// error the failed record is not counted (the sink may hold a torn
+// fragment of it) and the Writer is poisoned.
 func (w *Writer) AppendGroup(rs []Record) error {
 	w.mu.Lock()
 	defer w.mu.Unlock()
+	if w.err != nil {
+		return fmt.Errorf("wal: writer poisoned: %w", w.err)
+	}
 	for _, r := range rs {
 		r.marshal(w.buf)
 		if _, err := w.w.Write(w.buf); err != nil {
+			w.err = err
 			return fmt.Errorf("wal: append: %w", err)
 		}
 		w.n++
@@ -142,12 +178,16 @@ func (w *Writer) AppendGroup(rs []Record) error {
 }
 
 // Sync flushes the sink if it supports syncing (no-op otherwise) —
-// called by the engine at commit to make the commit record durable.
+// called by the per-commit-sync path to make a commit record durable.
 func (w *Writer) Sync() error {
 	w.mu.Lock()
 	defer w.mu.Unlock()
+	if w.err != nil {
+		return fmt.Errorf("wal: writer poisoned: %w", w.err)
+	}
 	if s, ok := w.w.(syncer); ok {
 		if err := s.Sync(); err != nil {
+			w.err = err
 			return fmt.Errorf("wal: sync: %w", err)
 		}
 	}
@@ -161,32 +201,79 @@ func (w *Writer) Records() int64 {
 	return w.n
 }
 
-// Reader iterates a log stream record by record.
+// readerChunk is how many bytes Reader pulls from its source per fill —
+// recovery reads the log in large sequential chunks instead of one
+// 37-byte ReadFull per record.
+const readerChunk = 64 * 1024
+
+// Reader iterates a log stream record by record, reading the source in
+// buffered chunks.
 type Reader struct {
-	r   io.Reader
-	buf []byte
+	r      io.Reader
+	buf    []byte
+	pos, n int   // valid window buf[pos:n]
+	err    error // sticky source error (io.EOF included)
 }
 
 // NewReader returns a Reader over src.
 func NewReader(src io.Reader) *Reader {
-	return &Reader{r: src, buf: make([]byte, recordSize)}
+	return &Reader{r: src, buf: make([]byte, readerChunk)}
+}
+
+// fill tops the buffer up until it holds at least one record or the
+// source is exhausted.
+func (r *Reader) fill() {
+	if r.pos > 0 {
+		r.n = copy(r.buf, r.buf[r.pos:r.n])
+		r.pos = 0
+	}
+	for r.n-r.pos < recordSize && r.err == nil {
+		k, err := r.r.Read(r.buf[r.n:])
+		r.n += k
+		if err != nil {
+			r.err = err
+		}
+	}
 }
 
 // Next returns the next record. It returns io.EOF at a clean end of
 // log, and ErrCorrupt (possibly wrapped) at a torn or damaged tail —
 // recovery treats both as the end of the usable log.
 func (r *Reader) Next() (Record, error) {
-	n, err := io.ReadFull(r.r, r.buf)
-	if err == io.EOF {
-		return Record{}, io.EOF
+	if r.n-r.pos < recordSize {
+		r.fill()
 	}
-	if err == io.ErrUnexpectedEOF {
-		return Record{}, fmt.Errorf("%w: torn record of %d bytes at end of log", ErrCorrupt, n)
+	if rem := r.n - r.pos; rem < recordSize {
+		if r.err != nil && r.err != io.EOF {
+			return Record{}, fmt.Errorf("wal: read: %w", r.err)
+		}
+		if rem == 0 {
+			return Record{}, io.EOF
+		}
+		return Record{}, fmt.Errorf("%w: torn record of %d bytes at end of log", ErrCorrupt, rem)
 	}
+	rec, err := unmarshal(r.buf[r.pos : r.pos+recordSize])
 	if err != nil {
-		return Record{}, fmt.Errorf("wal: read: %w", err)
+		// An all-zero slot is untouched preallocated space: the clean
+		// logical end of a file-backed log. (No valid record is all
+		// zeros — kind 0 is invalid — and a torn write leaves a nonzero
+		// prefix, since records start with a nonzero kind byte.)
+		if allZero(r.buf[r.pos : r.pos+recordSize]) {
+			return Record{}, io.EOF
+		}
+		return Record{}, err
 	}
-	return unmarshal(r.buf)
+	r.pos += recordSize
+	return rec, nil
+}
+
+func allZero(p []byte) bool {
+	for _, b := range p {
+		if b != 0 {
+			return false
+		}
+	}
+	return true
 }
 
 // RecoverStats summarizes one recovery pass.
@@ -202,11 +289,18 @@ type RecoverStats struct {
 	// Torn reports whether the scan ended at a corrupt tail rather than
 	// a clean EOF.
 	Torn bool
+	// MaxTxn is the highest transaction ID on any scanned record. A
+	// writer appending to a recovered log must number new transactions
+	// above it — reusing a surviving transaction's ID corrupts the next
+	// recovery's per-transaction evidence.
+	MaxTxn int64
 }
 
-// Recover scans the log and replays the after-images of committed
+// Recover scans a single log and replays the after-images of committed
 // transactions, in log order, through apply. A corrupt record ends the
-// scan (torn tail); everything before it is recovered.
+// scan (torn tail); everything before it is recovered. Partition masks
+// on commit records are ignored: a single log is its own partition
+// (RecoverSet is the multi-log variant that verifies masks).
 func Recover(r *Reader, apply func(entity int64, value int64)) (RecoverStats, error) {
 	var stats RecoverStats
 	type pending struct {
@@ -229,6 +323,9 @@ func Recover(r *Reader, apply func(entity int64, value int64)) (RecoverStats, er
 			return stats, err
 		}
 		stats.Records++
+		if rec.Txn > stats.MaxTxn {
+			stats.MaxTxn = rec.Txn
+		}
 		switch rec.Kind {
 		case KindBegin:
 			if txns[rec.Txn] == nil {
